@@ -1,0 +1,80 @@
+// Figure 5 — headline averages: improvement of Gurita over {Baraat, PFS,
+// Stream, Aalo} across the four evaluation scenarios: trace-driven and
+// bursty, each with FB-Tao (FB) and TPC-DS (CD, the Cloudera benchmark)
+// DAG structures.
+//
+// Paper shape to reproduce: up to ~2x vs PFS, ~1.8x vs Baraat, ~1.5x vs
+// Stream, ~parity with Aalo (1.05x trace-driven, 0.99x bursty).
+//
+//   ./bench_fig5 [--jobs 300] [--bursty-jobs 400] [--seed 7] [--pods 8]
+#include <iostream>
+
+#include "exp/args.h"
+#include "exp/experiment.h"
+#include "metrics/report.h"
+
+namespace gurita {
+namespace {
+
+/// Returns (avg-JCT improvement, mean per-job speedup) per comparator.
+std::vector<std::pair<double, double>> run_scenario(
+    const ExperimentConfig& config, const std::vector<std::string>& others) {
+  std::vector<std::string> all = others;
+  all.push_back("gurita");
+  const ComparisonResult result = compare_schedulers(config, all);
+  std::vector<std::pair<double, double>> improvements;
+  improvements.reserve(others.size());
+  for (const std::string& other : others)
+    improvements.emplace_back(result.improvement("gurita", other),
+                              result.per_job_speedup("gurita", other));
+  return improvements;
+}
+
+std::string cell(const std::pair<double, double>& v) {
+  return TextTable::num(v.first) + " / " + TextTable::num(v.second);
+}
+
+}  // namespace
+}  // namespace gurita
+
+int main(int argc, char** argv) {
+  using namespace gurita;
+  const Args args(argc, argv);
+  const int jobs = args.get_int("jobs", 300);
+  const int bursty_jobs = args.get_int("bursty-jobs", 200);
+  const std::uint64_t seed = args.get_u64("seed", 7);
+  const int bursty_pods = args.get_int("pods", 8);
+
+  const std::vector<std::string> others = {"baraat", "pfs", "stream", "aalo"};
+
+  std::cout << "=== Figure 5: average improvement of Gurita per scenario ===\n"
+               "Each cell: avg-JCT ratio / mean per-job speedup "
+               "(> 1 means Gurita faster).\n"
+               "The avg-JCT ratio is dominated by the few giant jobs; the\n"
+               "per-job speedup weights every job equally and carries the\n"
+               "paper's headline magnitudes.\n\n";
+  TextTable table(
+      {"scenario", "vs baraat", "vs pfs", "vs stream", "vs aalo"});
+
+  struct Row {
+    const char* name;
+    ExperimentConfig config;
+  };
+  const Row rows[] = {
+      {"FB-t (FB-Tao, trace)",
+       trace_scenario(StructureKind::kFbTao, jobs, seed)},
+      {"CD-t (TPC-DS, trace)",
+       trace_scenario(StructureKind::kTpcDs, jobs, seed)},
+      {"FB-b (FB-Tao, bursty)",
+       bursty_scenario(StructureKind::kFbTao, bursty_jobs, seed, bursty_pods)},
+      {"CD-b (TPC-DS, bursty)",
+       bursty_scenario(StructureKind::kTpcDs, bursty_jobs, seed, bursty_pods)},
+  };
+  for (const Row& row : rows) {
+    const auto imp = run_scenario(row.config, others);
+    table.add_row(
+        {row.name, cell(imp[0]), cell(imp[1]), cell(imp[2]), cell(imp[3])});
+  }
+  std::cout << table.to_string() << std::endl;
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 6 — trace-driven scenario: average JCT improvement of Gurita over
+// {Baraat, PFS, Stream, Aalo} in the seven Table-1 job-size categories, on
+// an 8-pod fat-tree with (a) FB-Tao and (b) TPC-DS DAG structures.
+//
+// Paper shape to reproduce: Gurita wins across categories, with the largest
+// gains for small jobs (categories I-II: up to 8.5x vs PFS, 5x vs Baraat,
+// 4x vs Stream) and parity with centralized Aalo.
+//
+//   ./bench_fig6 [--jobs 300] [--seed 7] [--schedulers pfs,baraat,...]
+#include <iostream>
+
+#include "exp/args.h"
+#include "exp/experiment.h"
+#include "metrics/report.h"
+
+namespace gurita {
+namespace {
+
+void run_panel(const char* title, StructureKind structure, int jobs,
+               std::uint64_t seed) {
+  ExperimentConfig config = trace_scenario(structure, jobs, seed);
+  const std::vector<std::string> others = {"baraat", "pfs", "stream", "aalo"};
+  std::vector<std::string> all = others;
+  all.push_back("gurita");
+  const ComparisonResult result = compare_schedulers(config, all);
+
+  std::cout << title << "  (jobs=" << jobs << ", seed=" << seed << ")\n";
+  TextTable table({"category", "jobs", "gurita JCT(s)", "vs baraat", "vs pfs",
+                   "vs stream", "vs aalo"});
+  for (int cat = 0; cat < kNumCategories; ++cat) {
+    const auto& g = result.collectors.at("gurita");
+    if (g.jobs(cat) == 0) continue;
+    std::vector<std::string> row = {category_name(cat),
+                                    std::to_string(g.jobs(cat)),
+                                    TextTable::num(g.average_jct(cat))};
+    for (const std::string& other : others)
+      row.push_back(TextTable::num(result.improvement("gurita", other, cat)));
+    table.add_row(row);
+  }
+  std::vector<std::string> overall = {"all",
+                                      std::to_string(result.collectors.at("gurita").total_jobs()),
+                                      TextTable::num(result.collectors.at("gurita").average_jct())};
+  for (const std::string& other : others)
+    overall.push_back(TextTable::num(result.improvement("gurita", other)));
+  table.add_row(overall);
+  std::cout << table.to_string() << "\n";
+}
+
+}  // namespace
+}  // namespace gurita
+
+int main(int argc, char** argv) {
+  using namespace gurita;
+  const Args args(argc, argv);
+  const int jobs = args.get_int("jobs", 300);
+  const std::uint64_t seed = args.get_u64("seed", 7);
+
+  std::cout << "=== Figure 6: per-category improvement, trace-driven "
+               "(improvement > 1 means Gurita faster) ===\n\n";
+  run_panel("Fig 6(a): FB-Tao structure", StructureKind::kFbTao, jobs, seed);
+  run_panel("Fig 6(b): TPC-DS structure", StructureKind::kTpcDs, jobs, seed);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 7 — bursty traffic in a large-scale network: per-category
+// improvement of Gurita over {Baraat, PFS, Stream, Aalo} when jobs arrive
+// 2 µs apart, with (a) FB-Tao and (b) TPC-DS structures.
+//
+// The paper runs 10,000 jobs on a 48-pod fat-tree (27,648 servers); the
+// default here is scaled down so the suite completes quickly. Reproduce at
+// paper scale with:  ./bench_fig7 --pods 48 --jobs 10000
+//
+// Paper shape: up to 2x vs PFS, 1.8x vs Baraat, 1.9x vs Stream across
+// categories — EXCEPT category I where Stream's pure SPQ lets it beat
+// Gurita, which reserves a trickle of bandwidth for starving elephants.
+#include <iostream>
+
+#include "exp/args.h"
+#include "exp/experiment.h"
+#include "metrics/report.h"
+
+namespace gurita {
+namespace {
+
+void run_panel(const char* title, StructureKind structure, int jobs,
+               std::uint64_t seed, int pods) {
+  ExperimentConfig config = bursty_scenario(structure, jobs, seed, pods);
+  const std::vector<std::string> others = {"baraat", "pfs", "stream", "aalo"};
+  std::vector<std::string> all = others;
+  all.push_back("gurita");
+  const ComparisonResult result = compare_schedulers(config, all);
+
+  std::cout << title << "  (jobs=" << jobs << ", pods=" << pods
+            << ", seed=" << seed << ")\n";
+  TextTable table({"category", "jobs", "gurita JCT(s)", "vs baraat", "vs pfs",
+                   "vs stream", "vs aalo"});
+  for (int cat = 0; cat < kNumCategories; ++cat) {
+    const auto& g = result.collectors.at("gurita");
+    if (g.jobs(cat) == 0) continue;
+    std::vector<std::string> row = {category_name(cat),
+                                    std::to_string(g.jobs(cat)),
+                                    TextTable::num(g.average_jct(cat))};
+    for (const std::string& other : others)
+      row.push_back(TextTable::num(result.improvement("gurita", other, cat)));
+    table.add_row(row);
+  }
+  std::cout << table.to_string() << "\n";
+}
+
+}  // namespace
+}  // namespace gurita
+
+int main(int argc, char** argv) {
+  using namespace gurita;
+  const Args args(argc, argv);
+  const int jobs = args.get_int("jobs", 300);
+  const int pods = args.get_int("pods", 8);
+  const std::uint64_t seed = args.get_u64("seed", 7);
+
+  std::cout << "=== Figure 7: per-category improvement, bursty arrivals "
+               "(2 us spacing; improvement > 1 means Gurita faster) ===\n\n";
+  run_panel("Fig 7(a): FB-Tao structure", StructureKind::kFbTao, jobs, seed,
+            pods);
+  run_panel("Fig 7(b): TPC-DS structure", StructureKind::kTpcDs, jobs, seed,
+            pods);
+  return 0;
+}

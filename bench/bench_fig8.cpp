@@ -1,0 +1,60 @@
+// Figure 8 — Gurita vs GuritaPlus (the clairvoyant upper bound with exact
+// per-stage in-flight bytes, instant information and free promotion), per
+// size category, with (a) FB-Tao and (b) TPC-DS structures.
+//
+// Paper shape: Gurita matches GuritaPlus across categories, "at most within
+// 0.15% of GuritaPlus' performance" — i.e. the ratio hovers at ~1.0 and
+// never collapses. Receiver-side observation suffices.
+//
+//   ./bench_fig8 [--jobs 300] [--seed 7]
+#include <iostream>
+
+#include "exp/args.h"
+#include "exp/experiment.h"
+#include "metrics/report.h"
+
+namespace gurita {
+namespace {
+
+void run_panel(const char* title, StructureKind structure, int jobs,
+               std::uint64_t seed) {
+  ExperimentConfig config = trace_scenario(structure, jobs, seed);
+  const ComparisonResult result =
+      compare_schedulers(config, {"gurita", "gurita_plus"});
+
+  std::cout << title << "  (jobs=" << jobs << ", seed=" << seed << ")\n";
+  TextTable table({"category", "jobs", "gurita JCT(s)", "gurita+ JCT(s)",
+                   "gurita/gurita+ ratio"});
+  const auto& g = result.collectors.at("gurita");
+  const auto& p = result.collectors.at("gurita_plus");
+  for (int cat = 0; cat < kNumCategories; ++cat) {
+    if (g.jobs(cat) == 0) continue;
+    const double ratio =
+        p.average_jct(cat) > 0 ? g.average_jct(cat) / p.average_jct(cat) : 0;
+    table.add_row({category_name(cat), std::to_string(g.jobs(cat)),
+                   TextTable::num(g.average_jct(cat)),
+                   TextTable::num(p.average_jct(cat)),
+                   TextTable::num(ratio)});
+  }
+  table.add_row({"all", std::to_string(g.total_jobs()),
+                 TextTable::num(g.average_jct()),
+                 TextTable::num(p.average_jct()),
+                 TextTable::num(g.average_jct() / p.average_jct())});
+  std::cout << table.to_string() << "\n";
+}
+
+}  // namespace
+}  // namespace gurita
+
+int main(int argc, char** argv) {
+  using namespace gurita;
+  const Args args(argc, argv);
+  const int jobs = args.get_int("jobs", 300);
+  const std::uint64_t seed = args.get_u64("seed", 7);
+
+  std::cout << "=== Figure 8: Gurita vs the clairvoyant GuritaPlus "
+               "(ratio ~ 1.0 = receiver-side estimation suffices) ===\n\n";
+  run_panel("Fig 8(a): FB-Tao structure", StructureKind::kFbTao, jobs, seed);
+  run_panel("Fig 8(b): TPC-DS structure", StructureKind::kTpcDs, jobs, seed);
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Microbenchmarks (google-benchmark) for the performance-critical pieces:
+// fat-tree path computation, ECMP routing, water-filling allocation,
+// critical-path analysis, blocking-effect evaluation and trace generation.
+#include <benchmark/benchmark.h>
+
+#include "coflow/critical_path.h"
+#include "coflow/shapes.h"
+#include "core/blocking_effect.h"
+#include "flowsim/allocator.h"
+#include "topology/ecmp.h"
+#include "topology/fattree.h"
+#include "workload/trace_gen.h"
+
+namespace gurita {
+namespace {
+
+void BM_FatTreeBuild(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const FatTree ft(FatTree::Config{k, gbps(10.0)});
+    benchmark::DoNotOptimize(ft.num_hosts());
+  }
+}
+BENCHMARK(BM_FatTreeBuild)->Arg(4)->Arg(8)->Arg(16)->Arg(48);
+
+void BM_EcmpRoute(benchmark::State& state) {
+  const FatTree ft(FatTree::Config{8, gbps(10.0)});
+  const EcmpRouter router(ft);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const auto path = router.route(FlowId{i}, static_cast<int>(i % 128),
+                                   static_cast<int>((i * 7 + 1) % 128) == static_cast<int>(i % 128)
+                                       ? static_cast<int>((i * 7 + 2) % 128)
+                                       : static_cast<int>((i * 7 + 1) % 128));
+    benchmark::DoNotOptimize(path.data());
+    ++i;
+  }
+}
+BENCHMARK(BM_EcmpRoute);
+
+void BM_Waterfill(benchmark::State& state) {
+  const int num_flows = static_cast<int>(state.range(0));
+  const FatTree ft(FatTree::Config{8, gbps(10.0)});
+  const EcmpRouter router(ft);
+  std::vector<SimFlow> flows(static_cast<std::size_t>(num_flows));
+  for (int i = 0; i < num_flows; ++i) {
+    SimFlow& f = flows[static_cast<std::size_t>(i)];
+    f.id = FlowId{static_cast<std::uint64_t>(i)};
+    f.size = f.remaining = 1e6;
+    f.start_time = 0;
+    const int src = i % 128;
+    const int dst = (i * 31 + 1) % 128 == src ? (src + 1) % 128 : (i * 31 + 1) % 128;
+    f.path = router.route(f.id, src, dst);
+    f.tier = i % 4;
+    f.weight = 1.0;
+  }
+  for (auto _ : state) {
+    std::vector<SimFlow*> ptrs;
+    ptrs.reserve(flows.size());
+    for (auto& f : flows) ptrs.push_back(&f);
+    allocate_rates(ft.topology(), ptrs);
+    benchmark::DoNotOptimize(flows[0].rate);
+  }
+}
+BENCHMARK(BM_Waterfill)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_CriticalPath(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  JobSpec job;
+  job.deps = shapes::random_dag(rng, n, 0.2);
+  for (int i = 0; i < n; ++i) {
+    CoflowSpec c;
+    c.flows.push_back(FlowSpec{0, 1, rng.uniform(1.0, 100.0)});
+    job.coflows.push_back(c);
+  }
+  for (auto _ : state) {
+    const auto info =
+        compute_critical_path(job, estimated_cct_costs(job, gbps(10.0)));
+    benchmark::DoNotOptimize(info.length);
+  }
+}
+BENCHMARK(BM_CriticalPath)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_BlockingEffect(benchmark::State& state) {
+  BlockingInputs in;
+  in.omega = 0.5;
+  in.epsilon = 0.6;
+  in.ell_max = 1e8;
+  in.width = 40;
+  in.beta = 0.5;
+  in.on_critical_path = true;
+  for (auto _ : state) benchmark::DoNotOptimize(blocking_effect(in));
+}
+BENCHMARK(BM_BlockingEffect);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  TraceConfig config;
+  config.num_jobs = static_cast<int>(state.range(0));
+  config.num_hosts = 128;
+  for (auto _ : state) {
+    const auto jobs = generate_trace(config);
+    benchmark::DoNotOptimize(jobs.size());
+  }
+}
+BENCHMARK(BM_TraceGeneration)->Arg(100)->Arg(1000);
+
+}  // namespace
+}  // namespace gurita
+
+BENCHMARK_MAIN();

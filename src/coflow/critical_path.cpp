@@ -1,0 +1,77 @@
+#include "coflow/critical_path.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace gurita {
+
+namespace {
+// Two path lengths closer than this (relatively) are considered equal when
+// deciding critical-path membership.
+constexpr double kRelEps = 1e-9;
+
+bool approx_eq(double a, double b) {
+  return std::abs(a - b) <= kRelEps * std::max({1.0, std::abs(a), std::abs(b)});
+}
+}  // namespace
+
+CriticalPathInfo compute_critical_path(const JobSpec& job,
+                                       const std::vector<double>& cost) {
+  const std::size_t n = job.coflows.size();
+  GURITA_CHECK_MSG(cost.size() == n, "cost must be sized to coflows");
+  for (double c : cost) GURITA_CHECK_MSG(c >= 0, "negative coflow cost");
+
+  const std::vector<int> order = topological_order(job);
+
+  CriticalPathInfo info;
+  info.longest_to.assign(n, 0.0);
+  info.longest_from.assign(n, 0.0);
+  info.on_critical.assign(n, false);
+
+  // Forward pass: longest path from a leaf up to and including i.
+  for (int u : order) {
+    double best = 0.0;
+    for (int d : job.deps[u]) best = std::max(best, info.longest_to[d]);
+    info.longest_to[u] = best + cost[u];
+  }
+
+  // Dependents adjacency for the backward pass.
+  std::vector<std::vector<int>> dependents(n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (int d : job.deps[i]) dependents[d].push_back(static_cast<int>(i));
+
+  // Backward pass (reverse topological): longest continuation below i.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const int u = *it;
+    double best = 0.0;
+    for (int v : dependents[u])
+      best = std::max(best, info.longest_from[v] + cost[v]);
+    info.longest_from[u] = best;
+  }
+
+  for (std::size_t i = 0; i < n; ++i)
+    info.length = std::max(info.length, info.longest_to[i]);
+
+  for (std::size_t i = 0; i < n; ++i)
+    info.on_critical[i] =
+        approx_eq(info.longest_to[i] + info.longest_from[i], info.length);
+
+  return info;
+}
+
+std::vector<double> estimated_cct_costs(const JobSpec& job, Rate rate) {
+  GURITA_CHECK_MSG(rate > 0, "rate must be positive");
+  std::vector<double> cost;
+  cost.reserve(job.coflows.size());
+  for (const CoflowSpec& c : job.coflows)
+    cost.push_back(c.max_flow_size() / rate);
+  return cost;
+}
+
+Time jct_lower_bound(const JobSpec& job, Rate rate) {
+  return compute_critical_path(job, estimated_cct_costs(job, rate)).length;
+}
+
+}  // namespace gurita

@@ -1,0 +1,43 @@
+// Critical-path analysis of a job's coflow DAG (§III.A).
+//
+// The paper decomposes JCT as T_j = max_{Φ ∈ Φ(DAG_j)} t(Φ): the longest
+// leaf→root path where each vertex contributes its coflow completion time.
+// Gurita's rule 4 prioritizes coflows on this path. Here we compute the
+// weighted longest path by topological DP and mark every coflow that lies
+// on some maximum-length path.
+#pragma once
+
+#include <vector>
+
+#include "common/units.h"
+#include "coflow/job.h"
+
+namespace gurita {
+
+struct CriticalPathInfo {
+  /// Longest-path length from any leaf through coflow i (inclusive of i).
+  std::vector<double> longest_to;
+  /// Longest-path length from coflow i (exclusive) down to any root.
+  std::vector<double> longest_from;
+  /// Length of the critical path: max over roots of longest_to.
+  double length = 0;
+  /// on_critical[i]: coflow i lies on some maximum-length leaf→root path.
+  std::vector<bool> on_critical;
+};
+
+/// Computes the critical path with per-coflow costs `cost` (one entry per
+/// coflow, each >= 0). Requires a valid DAG.
+[[nodiscard]] CriticalPathInfo compute_critical_path(
+    const JobSpec& job, const std::vector<double>& cost);
+
+/// Paper's clairvoyant cost estimate: CCT_c ≈ ℓ_max(c) / r, i.e. the largest
+/// flow transmitted at rate `r` bounds the coflow's completion time.
+[[nodiscard]] std::vector<double> estimated_cct_costs(const JobSpec& job,
+                                                      Rate rate);
+
+/// Lower bound on the job's completion time at full line rate `rate`:
+/// the critical-path length with CCT_c = ℓ_max(c) / rate. No scheduler can
+/// beat this bound; property tests verify every scheduler respects it.
+[[nodiscard]] Time jct_lower_bound(const JobSpec& job, Rate rate);
+
+}  // namespace gurita

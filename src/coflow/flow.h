@@ -1,0 +1,16 @@
+// Static description of a single flow inside a coflow.
+#pragma once
+
+#include "common/units.h"
+
+namespace gurita {
+
+/// One sender → receiver transfer. Host indices refer to the fabric's host
+/// numbering (FatTree::host).
+struct FlowSpec {
+  int src_host = 0;
+  int dst_host = 0;
+  Bytes size = 0;
+};
+
+}  // namespace gurita

@@ -1,0 +1,33 @@
+// Precondition / invariant checking.
+//
+// GURITA_CHECK is always on (simulation correctness beats the nanoseconds);
+// failures throw std::logic_error with file:line context so tests can assert
+// on contract violations instead of crashing the process.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gurita::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace gurita::detail
+
+/// Checks `cond`; on failure throws std::logic_error carrying `msg`.
+#define GURITA_CHECK_MSG(cond, msg)                                   \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::gurita::detail::check_failed(#cond, __FILE__, __LINE__, msg); \
+    }                                                                 \
+  } while (false)
+
+/// Checks `cond`; on failure throws std::logic_error.
+#define GURITA_CHECK(cond) GURITA_CHECK_MSG(cond, "")

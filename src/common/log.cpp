@@ -1,0 +1,35 @@
+#include "common/log.h"
+
+#include <iostream>
+
+namespace gurita::log {
+
+namespace {
+Level g_level = Level::kWarn;
+
+const char* level_name(Level lvl) {
+  switch (lvl) {
+    case Level::kDebug:
+      return "DEBUG";
+    case Level::kInfo:
+      return "INFO ";
+    case Level::kWarn:
+      return "WARN ";
+    case Level::kError:
+      return "ERROR";
+    case Level::kOff:
+      return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+void set_level(Level level) { g_level = level; }
+Level level() { return g_level; }
+
+void write(Level lvl, const std::string& msg) {
+  if (lvl < g_level) return;
+  std::cerr << "[" << level_name(lvl) << "] " << msg << "\n";
+}
+
+}  // namespace gurita::log

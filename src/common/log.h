@@ -1,0 +1,53 @@
+// Minimal leveled logging to stderr.
+//
+// The simulator is mostly silent; logging exists for debugging experiment
+// runs (`Level::kDebug` traces every scheduling decision). The level is a
+// process-wide setting deliberately kept simple — it is configuration, not
+// mutable program state.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace gurita::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the process-wide minimum level that will be emitted.
+void set_level(Level level);
+[[nodiscard]] Level level();
+
+/// Emits `msg` at `lvl` if enabled. Thread-compatible (single writer).
+void write(Level lvl, const std::string& msg);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void debug(Args&&... args) {
+  if (level() <= Level::kDebug)
+    write(Level::kDebug, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void info(Args&&... args) {
+  if (level() <= Level::kInfo)
+    write(Level::kInfo, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void warn(Args&&... args) {
+  if (level() <= Level::kWarn)
+    write(Level::kWarn, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void error(Args&&... args) {
+  if (level() <= Level::kError)
+    write(Level::kError, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace gurita::log

@@ -1,0 +1,63 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace gurita {
+
+std::uint64_t Rng::uniform_int(std::uint64_t lo, std::uint64_t hi) {
+  GURITA_CHECK_MSG(lo <= hi, "uniform_int bounds inverted");
+  const std::uint64_t span = hi - lo + 1;
+  if (span == 0) return next_u64();  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = max() - max() % span;
+  std::uint64_t v = next_u64();
+  while (v >= limit) v = next_u64();
+  return lo + v % span;
+}
+
+double Rng::exponential(double mean) {
+  GURITA_CHECK_MSG(mean > 0, "exponential mean must be positive");
+  double u = next_double();
+  while (u <= 0.0) u = next_double();
+  return -mean * std::log(u);
+}
+
+double Rng::normal(double mean, double stddev) {
+  double u1 = next_double();
+  while (u1 <= 0.0) u1 = next_double();
+  const double u2 = next_double();
+  const double z = std::sqrt(-2.0 * std::log(u1)) *
+                   std::cos(2.0 * 3.14159265358979323846 * u2);
+  return mean + stddev * z;
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::bounded_pareto(double lo, double hi, double alpha) {
+  GURITA_CHECK_MSG(lo > 0 && hi > lo && alpha > 0, "bad bounded_pareto args");
+  const double u = next_double();
+  const double la = std::pow(lo, alpha);
+  const double ha = std::pow(hi, alpha);
+  const double x = -(u * ha - u * la - ha) / (ha * la);
+  return std::pow(1.0 / x, 1.0 / alpha);
+}
+
+std::size_t Rng::weighted_choice(const std::vector<double>& weights) {
+  GURITA_CHECK_MSG(!weights.empty(), "weighted_choice on empty weights");
+  double total = 0;
+  for (double w : weights) {
+    GURITA_CHECK_MSG(w >= 0, "negative weight");
+    total += w;
+  }
+  GURITA_CHECK_MSG(total > 0, "weighted_choice weights sum to zero");
+  double r = uniform(0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (r < weights[i]) return i;
+    r -= weights[i];
+  }
+  return weights.size() - 1;  // floating point residue lands on last bucket
+}
+
+}  // namespace gurita

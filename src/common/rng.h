@@ -1,0 +1,72 @@
+// Deterministic random number generation.
+//
+// All randomness in the simulator flows from one seeded generator so every
+// experiment is exactly reproducible from its config. The generator is
+// SplitMix64 (fast, well distributed, trivially seedable) with distribution
+// helpers for the shapes the workload generator needs: uniform, exponential,
+// log-normal, bounded Pareto and weighted choice.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace gurita {
+
+/// SplitMix64 PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next_u64(); }
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    GURITA_CHECK_MSG(lo <= hi, "uniform bounds inverted");
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi);
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Log-normal: exp(N(mu, sigma^2)).
+  double lognormal(double mu, double sigma);
+
+  /// Standard normal via Box-Muller.
+  double normal(double mean, double stddev);
+
+  /// Bounded Pareto on [lo, hi] with tail index alpha > 0.
+  double bounded_pareto(double lo, double hi, double alpha);
+
+  /// Index drawn proportionally to `weights` (all >= 0, sum > 0).
+  std::size_t weighted_choice(const std::vector<double>& weights);
+
+  /// Derives an independent child generator (for per-subsystem streams).
+  Rng split() { return Rng(next_u64() ^ 0x6a09e667f3bcc909ULL); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace gurita

@@ -1,0 +1,110 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace gurita {
+
+void RunningStats::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Samples::mean() const {
+  if (xs_.empty()) return 0.0;
+  double s = 0;
+  for (double x : xs_) s += x;
+  return s / static_cast<double>(xs_.size());
+}
+
+void Samples::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(xs_.begin(), xs_.end());
+    sorted_ = true;
+  }
+}
+
+double Samples::percentile(double p) const {
+  GURITA_CHECK_MSG(!xs_.empty(), "percentile of empty sample set");
+  GURITA_CHECK_MSG(p >= 0.0 && p <= 100.0, "percentile out of range");
+  ensure_sorted();
+  if (p <= 0.0) return xs_.front();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(xs_.size())));
+  return xs_[std::min(rank == 0 ? 0 : rank - 1, xs_.size() - 1)];
+}
+
+LogHistogram::LogHistogram(double base) : base_(base) {
+  GURITA_CHECK_MSG(base > 1.0, "histogram base must exceed 1");
+}
+
+int LogHistogram::bucket_index(double x) const {
+  GURITA_CHECK_MSG(x > 0.0, "log histogram needs positive values");
+  return static_cast<int>(std::floor(std::log(x) / std::log(base_)));
+}
+
+std::size_t* LogHistogram::find_or_insert(int idx) {
+  for (auto& [i, c] : buckets_) {
+    if (i == idx) return &c;
+  }
+  buckets_.emplace_back(idx, 0);
+  std::sort(buckets_.begin(), buckets_.end());
+  return find_or_insert(idx);
+}
+
+void LogHistogram::add(double x) {
+  ++*find_or_insert(bucket_index(x));
+  ++total_;
+}
+
+std::size_t LogHistogram::count_in_bucket_of(double x) const {
+  const int idx = bucket_index(x);
+  for (const auto& [i, c] : buckets_) {
+    if (i == idx) return c;
+  }
+  return 0;
+}
+
+std::string LogHistogram::to_string() const {
+  std::ostringstream os;
+  for (const auto& [i, c] : buckets_) {
+    os << "[" << std::pow(base_, i) << ", " << std::pow(base_, i + 1)
+       << "): " << c << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace gurita

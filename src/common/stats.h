@@ -1,0 +1,78 @@
+// Lightweight online statistics and histograms for experiment reporting.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace gurita {
+
+/// Welford online accumulator: mean / variance / min / max / count.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;  ///< sample variance (n-1)
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one.
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Sample collector with exact percentile queries (keeps all samples).
+class Samples {
+ public:
+  void add(double x) {
+    xs_.push_back(x);
+    sorted_ = false;
+  }
+  [[nodiscard]] std::size_t count() const { return xs_.size(); }
+  [[nodiscard]] bool empty() const { return xs_.empty(); }
+  [[nodiscard]] double mean() const;
+  /// Nearest-rank percentile; `p` in [0, 100]. Requires non-empty.
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] const std::vector<double>& values() const { return xs_; }
+
+ private:
+  mutable std::vector<double> xs_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+/// Log-spaced histogram over (0, +inf); useful for heavy-tailed sizes.
+class LogHistogram {
+ public:
+  /// Buckets are [base^i, base^(i+1)); `base` > 1.
+  explicit LogHistogram(double base = 10.0);
+
+  void add(double x);
+  [[nodiscard]] std::size_t total() const { return total_; }
+  /// Human-readable dump, one bucket per line.
+  [[nodiscard]] std::string to_string() const;
+  /// Count in bucket containing x.
+  [[nodiscard]] std::size_t count_in_bucket_of(double x) const;
+
+ private:
+  double base_;
+  std::size_t total_ = 0;
+  // bucket index -> count; indices can be negative for x < 1.
+  std::vector<std::pair<int, std::size_t>> buckets_;
+  [[nodiscard]] int bucket_index(double x) const;
+  std::size_t* find_or_insert(int idx);
+};
+
+}  // namespace gurita

@@ -1,0 +1,37 @@
+// Scalar units used throughout the simulator.
+//
+// The fluid flow-level model does heavy floating point arithmetic on sizes,
+// times and rates, so these are plain doubles with named aliases and unit
+// constants rather than wrapper classes. The aliases document intent at
+// interfaces; the constants (`kMB`, `kGbps`, ...) keep magic numbers out of
+// call sites.
+#pragma once
+
+namespace gurita {
+
+/// Simulated time in seconds.
+using Time = double;
+/// Data volume in bytes (fractional during fluid transfer).
+using Bytes = double;
+/// Transfer rate in bytes per second.
+using Rate = double;
+
+inline constexpr Bytes kKB = 1e3;
+inline constexpr Bytes kMB = 1e6;
+inline constexpr Bytes kGB = 1e9;
+inline constexpr Bytes kTB = 1e12;
+
+/// Converts link speed in gigabits/s to bytes/s.
+constexpr Rate gbps(double g) { return g * 1e9 / 8.0; }
+
+inline constexpr Time kMicrosecond = 1e-6;
+inline constexpr Time kMillisecond = 1e-3;
+
+/// Completion guard: a flow with fewer than this many bytes left is done.
+/// Keeps floating-point residue from generating zero-length "events".
+inline constexpr Bytes kByteEpsilon = 1e-6;
+
+/// Two simulation timestamps closer than this are the same instant.
+inline constexpr Time kTimeEpsilon = 1e-12;
+
+}  // namespace gurita

@@ -1,0 +1,61 @@
+#include "core/adaptive_thresholds.h"
+
+#include <algorithm>
+
+namespace gurita {
+
+AdaptiveThresholds::AdaptiveThresholds(int queues, std::size_t capacity,
+                                       std::size_t refresh_every)
+    : queues_(queues), capacity_(capacity), refresh_every_(refresh_every) {
+  GURITA_CHECK_MSG(queues >= 1, "need at least one queue");
+  GURITA_CHECK_MSG(capacity >= static_cast<std::size_t>(queues),
+                   "reservoir must hold at least one sample per queue");
+  GURITA_CHECK_MSG(refresh_every >= 1, "refresh_every must be positive");
+  reservoir_.reserve(capacity);
+}
+
+void AdaptiveThresholds::observe(double psi) {
+  GURITA_CHECK_MSG(psi >= 0, "negative blocking effect");
+  if (reservoir_.size() < capacity_) {
+    reservoir_.push_back(psi);
+  } else {
+    reservoir_[next_slot_] = psi;
+    next_slot_ = (next_slot_ + 1) % capacity_;
+  }
+  ++total_;
+  if (++since_refresh_ >= refresh_every_ ||
+      boundaries_.empty()) {  // bootstrap eagerly, then refresh periodically
+    refresh();
+    since_refresh_ = 0;
+  }
+}
+
+void AdaptiveThresholds::refresh() {
+  if (reservoir_.size() < static_cast<std::size_t>(queues_)) return;
+  std::vector<double> sorted = reservoir_;
+  std::sort(sorted.begin(), sorted.end());
+  boundaries_.clear();
+  boundaries_.reserve(static_cast<std::size_t>(queues_) - 1);
+  // Boundary i at quantile (i+1)/queues of the empirical Ψ distribution.
+  for (int i = 1; i < queues_; ++i) {
+    const std::size_t rank = std::min(
+        sorted.size() - 1,
+        sorted.size() * static_cast<std::size_t>(i) / static_cast<std::size_t>(queues_));
+    boundaries_.push_back(sorted[rank]);
+  }
+}
+
+int AdaptiveThresholds::level(double x) const {
+  GURITA_CHECK_MSG(x >= 0, "negative signal value");
+  int lvl = 0;
+  for (double b : boundaries_) {
+    if (x >= b && lvl + 1 < queues_) {
+      ++lvl;
+    } else {
+      break;
+    }
+  }
+  return lvl;
+}
+
+}  // namespace gurita

@@ -1,0 +1,58 @@
+// Adaptive Ψ demotion thresholds — the paper's future-work direction made
+// concrete: "As part of our future work, we will extend the study in [35,
+// Poupart et al., online flow size prediction] on using machine learning to
+// determine thresholds" (§IV.B).
+//
+// Fixed exponential thresholds must be tuned to the workload's Ψ scale; a
+// mis-scaled set collapses every coflow into one queue. This learner keeps
+// a reservoir of recently observed per-stage blocking effects and places
+// the Q-1 demotion boundaries at evenly spaced quantiles of that empirical
+// distribution, so the queues stay balanced as the workload drifts — a
+// simple, online, distribution-free estimator (the same role the cited
+// flow-size predictor plays for TBS thresholds).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+
+namespace gurita {
+
+class AdaptiveThresholds {
+ public:
+  /// `queues` >= 1; boundaries are recomputed every `refresh_every`
+  /// observations from a reservoir of `capacity` recent samples.
+  AdaptiveThresholds(int queues, std::size_t capacity = 1024,
+                     std::size_t refresh_every = 64);
+
+  [[nodiscard]] int queues() const { return queues_; }
+
+  /// Feeds one observed Ψ value (>= 0).
+  void observe(double psi);
+
+  /// Queue (0 = highest priority) for signal `x` >= 0. Before enough
+  /// observations arrive (fewer than `queues`), everything maps to 0 —
+  /// matching Gurita's start-at-highest-priority rule.
+  [[nodiscard]] int level(double x) const;
+
+  [[nodiscard]] std::size_t observations() const { return total_; }
+  /// Current boundaries (size queues-1; empty until first refresh).
+  [[nodiscard]] const std::vector<double>& boundaries() const {
+    return boundaries_;
+  }
+
+ private:
+  int queues_;
+  std::size_t capacity_;
+  std::size_t refresh_every_;
+  std::size_t total_ = 0;
+  std::size_t since_refresh_ = 0;
+  std::vector<double> reservoir_;  ///< ring buffer of recent Ψ samples
+  std::size_t next_slot_ = 0;
+  std::vector<double> boundaries_;
+
+  void refresh();
+};
+
+}  // namespace gurita

@@ -1,0 +1,18 @@
+#include "core/ava.h"
+
+#include "common/check.h"
+
+namespace gurita {
+
+void AvaEstimator::observe(double ell_max) {
+  GURITA_CHECK_MSG(ell_max >= 0, "negative ℓ_max observation");
+  sum_ += ell_max;
+  ++n_;
+}
+
+bool AvaEstimator::likely_critical(double ell_max) const {
+  if (n_ == 0) return false;
+  return ell_max >= mean();
+}
+
+}  // namespace gurita

@@ -1,0 +1,33 @@
+// Average Value Approximation (AVA) critical-path estimation (§IV.B).
+//
+// Without the job structure, Gurita cannot compute the critical path
+// exactly. The paper observes that critical paths are dominated by coflows
+// with large CCTs, and CCT is driven by ℓ_max; since ℓ_max "behaves like a
+// random variable" online, AVA replaces it by its running mean: a coflow
+// whose observed ℓ̈_max is at or above the mean of all ℓ̈_max observations so
+// far is flagged as *possibly on a critical path* (α = 1). The paper bounds
+// observations per job by the average production job depth (k_total < 5).
+#pragma once
+
+#include <cstddef>
+
+namespace gurita {
+
+class AvaEstimator {
+ public:
+  /// Feeds one ℓ̈_max observation (bytes, >= 0).
+  void observe(double ell_max);
+
+  /// α: is a coflow with this ℓ̈_max likely on a critical path?
+  /// Conservative before any observations (returns false).
+  [[nodiscard]] bool likely_critical(double ell_max) const;
+
+  [[nodiscard]] double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+  [[nodiscard]] std::size_t observations() const { return n_; }
+
+ private:
+  double sum_ = 0;
+  std::size_t n_ = 0;
+};
+
+}  // namespace gurita

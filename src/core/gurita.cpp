@@ -1,0 +1,209 @@
+#include "core/gurita.h"
+
+#include <algorithm>
+#include <map>
+
+#include "core/blocking_effect.h"
+#include "core/starvation.h"
+
+namespace gurita {
+
+GuritaScheduler::GuritaScheduler(const Config& config)
+    : config_(config),
+      thresholds_(config.queues, config.first_threshold, config.multiplier),
+      adaptive_(config.queues) {
+  GURITA_CHECK_MSG(config.delta > 0, "HR update interval must be positive");
+}
+
+int GuritaScheduler::psi_level(double psi) const {
+  return config_.adaptive_thresholds ? adaptive_.level(psi)
+                                     : thresholds_.level(psi);
+}
+
+void GuritaScheduler::observe_psi(double psi) {
+  if (config_.adaptive_thresholds) adaptive_.observe(psi);
+}
+
+void GuritaScheduler::on_job_arrival(const SimJob& job, Time now) {
+  (void)now;
+  head_receivers_.emplace(job.id, HeadReceiver(job.id));
+}
+
+void GuritaScheduler::on_coflow_release(const SimCoflow& coflow, Time now) {
+  (void)now;
+  // "Newly-arriving flows of a coflow are automatically assigned the
+  // highest priority ... until a threshold is exceeded or an update is
+  // received from HR." Both demotion causes fire at the next tick.
+  coflow_queue_.emplace(coflow.id, 0);
+}
+
+void GuritaScheduler::on_coflow_finish(const SimCoflow& coflow, Time now) {
+  (void)now;
+  // Feed AVA with the coflow's final observed ℓ̈_max (all bytes received).
+  const SimJob& job = state().job(coflow.job);
+  Bytes ell_max = 0;
+  for (FlowId fid : coflow.flows)
+    ell_max = std::max(ell_max, state().flow(fid).size);
+  (void)job;
+  ava_.observe(ell_max);
+  coflow_queue_.erase(coflow.id);
+}
+
+void GuritaScheduler::on_job_finish(const SimJob& job, Time now) {
+  (void)now;
+  head_receivers_.erase(job.id);
+}
+
+double GuritaScheduler::slack_factor(const SimJob& job, Time now) const {
+  if (config_.slack_discount <= 0 || !job.spec.has_deadline()) return 1.0;
+  const double budget = job.spec.deadline - job.arrival_time;
+  if (budget <= 0) return 1.0;
+  const double spent = (now - job.arrival_time) / budget;
+  return spent >= config_.slack_urgency ? 1.0 - config_.slack_discount : 1.0;
+}
+
+bool GuritaScheduler::decide_priorities(HeadReceiver& hr, Time now) {
+  // Ψ̈ per coflow, then per-stage sums Ψ̈_J(k), scaled by the slack factor
+  // (rule 4 of Johnson's rules: jobs running out of deadline budget get a
+  // priority boost via a smaller effective blocking effect).
+  const SimJob& job = state().job(hr.job());
+  const double slack = slack_factor(job, now);
+  const double omega = omega_online(hr.completed_stages());
+  std::map<int, double> psi_stage;
+  std::unordered_map<CoflowId, int> stage_of;
+  for (const auto& [cid, obs] : hr.observations()) {
+    BlockingInputs in;
+    in.omega = omega;
+    in.epsilon = epsilon_skew(obs.ell_avg_observed, obs.ell_max_observed,
+                              config_.gamma, config_.paper_literal_epsilon);
+    in.ell_max = obs.ell_max_observed;
+    in.width = obs.open_connections;
+    in.beta = config_.beta;
+    in.on_critical_path = config_.use_critical_path &&
+                          ava_.likely_critical(obs.ell_max_observed);
+    if (in.on_critical_path) ++stats_.critical_path_hits;
+    psi_stage[obs.stage] += blocking_effect(in) * slack;
+    stage_of[cid] = obs.stage;
+  }
+  // LBEF demotion: coflows inherit their stage's queue; existing flows may
+  // only be demoted (promotions would reorder in-flight TCP segments).
+  for (const auto& [stage, psi] : psi_stage) {
+    (void)stage;
+    observe_psi(psi);
+  }
+  bool changed = false;
+  for (const auto& [cid, stage] : stage_of) {
+    const int queue = psi_level(psi_stage.at(stage));
+    auto it = coflow_queue_.find(cid);
+    GURITA_CHECK_MSG(it != coflow_queue_.end(), "observed unknown coflow");
+    if (queue > it->second) {
+      it->second = queue;
+      ++stats_.demotions;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+bool GuritaScheduler::on_tick(Time now) {
+  bool changed = false;
+  for (auto& [jid, hr] : head_receivers_) {
+    if (state().job(jid).finished()) continue;
+    hr.update(state(), now);
+    ++stats_.hr_updates;
+    if (decide_priorities(hr, now)) changed = true;
+  }
+  return changed;
+}
+
+int GuritaScheduler::coflow_queue(CoflowId id) const {
+  const auto it = coflow_queue_.find(id);
+  return it == coflow_queue_.end() ? 0 : it->second;
+}
+
+void GuritaScheduler::self_demote(const SimFlow& flow, Time now) {
+  const SimJob& job = state().job(flow.job);
+  const CoflowId cid = job.coflows[flow.coflow_index];
+  auto it = coflow_queue_.find(cid);
+  if (it == coflow_queue_.end()) return;
+  const SimCoflow& coflow = state().coflow(cid);
+  // Receiver-local estimate of this coflow's own blocking effect; the HR's
+  // last-known completed-stage count supplies ω̈.
+  const auto hr = head_receivers_.find(flow.job);
+  const int completed =
+      hr != head_receivers_.end() ? hr->second.completed_stages() : 0;
+  Bytes ell_max = 0;
+  Bytes total = 0;
+  int open = 0;
+  for (FlowId fid : coflow.flows) {
+    const SimFlow& f = state().flow(fid);
+    ell_max = std::max(ell_max, f.bytes_sent());
+    total += f.bytes_sent();
+    if (f.active()) ++open;
+  }
+  BlockingInputs in;
+  in.omega = omega_online(completed);
+  in.epsilon = epsilon_skew(
+      coflow.flows.empty() ? 0.0 : total / static_cast<double>(coflow.flows.size()),
+      ell_max, config_.gamma, config_.paper_literal_epsilon);
+  in.ell_max = ell_max;
+  in.width = open;
+  in.beta = config_.beta;
+  in.on_critical_path =
+      config_.use_critical_path && ava_.likely_critical(ell_max);
+  // The job knows its own deadline, so rule 4's slack boost applies to the
+  // receiver-local check as well.
+  const int level =
+      psi_level(blocking_effect(in) * slack_factor(job, now));
+  if (level > it->second) {
+    it->second = level;
+    ++stats_.self_demotions;
+  }
+}
+
+void GuritaScheduler::assign(Time now, std::vector<SimFlow*>& active) {
+  // Continuous receiver-local threshold check (one pass per coflow).
+  {
+    CoflowId last = CoflowId::invalid();
+    for (SimFlow* f : active) {
+      const CoflowId cid = state().job(f->job).coflows[f->coflow_index];
+      if (cid != last) {
+        self_demote(*f, now);
+        last = cid;
+      }
+    }
+  }
+  if (!config_.starvation_mitigation) {
+    for (SimFlow* f : active) {
+      const SimJob& job = state().job(f->job);
+      f->tier = coflow_queue(job.coflows[f->coflow_index]);
+      f->weight = 1.0;
+    }
+    return;
+  }
+
+  // WRR emulation of SPQ: per-queue demand is the number of active flows
+  // currently assigned to the queue ("arrival rate ... can be retrieved
+  // from switches"); queue weights come from the SPQ waiting-time model and
+  // are split evenly among the queue's flows. Every flow lives in one
+  // allocator tier so nothing starves.
+  std::vector<double> demand(static_cast<std::size_t>(config_.queues), 0.0);
+  std::vector<int> queue_of_flow(active.size(), 0);
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    const SimJob& job = state().job(active[i]->job);
+    const int q = coflow_queue(job.coflows[active[i]->coflow_index]);
+    queue_of_flow[i] = q;
+    demand[static_cast<std::size_t>(q)] += 1.0;
+  }
+  const std::vector<double> weights = wrr_weights_from_demand(
+      demand, config_.wrr_total_utilization, config_.wrr_min_queue_ratio);
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    const int q = queue_of_flow[i];
+    const double flows_in_q = demand[static_cast<std::size_t>(q)];
+    active[i]->tier = 0;
+    active[i]->weight =
+        std::max(weights[static_cast<std::size_t>(q)] / flows_in_q, 1e-9);
+  }
+}
+
+}  // namespace gurita

@@ -1,0 +1,97 @@
+#include "core/gurita_plus.h"
+
+#include <algorithm>
+#include <map>
+
+#include "coflow/critical_path.h"
+#include "core/blocking_effect.h"
+#include "core/starvation.h"
+
+namespace gurita {
+
+GuritaPlusScheduler::GuritaPlusScheduler(const Config& config)
+    : config_(config),
+      thresholds_(config.queues, config.first_threshold, config.multiplier) {}
+
+void GuritaPlusScheduler::on_job_arrival(const SimJob& job, Time now) {
+  (void)now;
+  const CriticalPathInfo info = compute_critical_path(
+      job.spec, estimated_cct_costs(job.spec, config_.line_rate));
+  on_critical_.emplace(job.id, info.on_critical);
+}
+
+void GuritaPlusScheduler::assign(Time now, std::vector<SimFlow*>& active) {
+  (void)now;
+  // Exact per-stage blocking effect from in-flight (remaining) bytes.
+  // Key: (job, stage) -> Ψ_J(k).
+  struct CoflowAgg {
+    Bytes ell_max = 0;
+    Bytes total = 0;
+    double width = 0;
+    int stage = 1;
+    JobId job;
+    int index = 0;
+  };
+  std::map<std::uint64_t, CoflowAgg> agg;  // by coflow id value
+  for (const SimFlow* f : active) {
+    const SimJob& job = state().job(f->job);
+    const CoflowId cid = job.coflows[f->coflow_index];
+    CoflowAgg& a = agg[cid.value()];
+    a.ell_max = std::max(a.ell_max, f->remaining);
+    a.total += f->remaining;
+    a.width += 1.0;
+    a.stage = state().coflow(cid).stage;
+    a.job = f->job;
+    a.index = f->coflow_index;
+  }
+
+  std::map<std::pair<std::uint64_t, int>, double> psi_stage;
+  for (const auto& [cid, a] : agg) {
+    (void)cid;
+    const SimJob& job = state().job(a.job);
+    BlockingInputs in;
+    in.omega = omega_clairvoyant(job.completed_stages, job.num_stages);
+    in.epsilon = epsilon_skew(a.width > 0 ? a.total / a.width : 0.0, a.ell_max,
+                              config_.gamma);
+    in.ell_max = a.ell_max;
+    in.width = a.width;
+    in.beta = config_.beta;
+    in.on_critical_path =
+        config_.use_critical_path &&
+        on_critical_.at(a.job)[static_cast<std::size_t>(a.index)];
+    psi_stage[{a.job.value(), a.stage}] += blocking_effect(in);
+  }
+
+  // Queue per coflow = thresholded per-stage Ψ (freely adjustable).
+  std::vector<int> queue_of_flow(active.size(), 0);
+  std::vector<double> demand(static_cast<std::size_t>(config_.queues), 0.0);
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    const SimFlow* f = active[i];
+    const SimJob& job = state().job(f->job);
+    const CoflowId cid = job.coflows[f->coflow_index];
+    const int stage = state().coflow(cid).stage;
+    const double psi = psi_stage.at({f->job.value(), stage});
+    const int q = thresholds_.level(psi);
+    queue_of_flow[i] = q;
+    demand[static_cast<std::size_t>(q)] += 1.0;
+  }
+
+  if (!config_.starvation_mitigation) {
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      active[i]->tier = queue_of_flow[i];
+      active[i]->weight = 1.0;
+    }
+    return;
+  }
+  const std::vector<double> weights = wrr_weights_from_demand(
+      demand, config_.wrr_total_utilization, config_.wrr_min_queue_ratio);
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    const int q = queue_of_flow[i];
+    active[i]->tier = 0;
+    active[i]->weight = std::max(
+        weights[static_cast<std::size_t>(q)] / demand[static_cast<std::size_t>(q)],
+        1e-9);
+  }
+}
+
+}  // namespace gurita

@@ -1,0 +1,56 @@
+// GuritaPlus — the clairvoyant upper bound Gurita is compared against in
+// Fig. 8: "an enhanced version ... where information on the total amount of
+// bytes sent per stage is available and job priority can be adjusted
+// spontaneously without concerning TCP out of order problem."
+//
+// Differences from Gurita:
+//   * No δ staleness: Ψ is recomputed from exact state at every rate
+//     recomputation.
+//   * Exact dimensions: ω = 1 − k/k_total with the true stage count;
+//     ℓ_max / width / ε from true *in-flight (remaining)* bytes per flow.
+//   * Exact critical path: computed from the job DAG at arrival
+//     (costs = ℓ_max at line rate), no AVA estimation.
+//   * Priorities move freely in both directions (no demote-only rule).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.h"
+#include "flowsim/scheduler.h"
+#include "sched/thresholds.h"
+
+namespace gurita {
+
+class GuritaPlusScheduler final : public Scheduler {
+ public:
+  struct Config {
+    int queues = 4;
+    double first_threshold = 2e7;
+    double multiplier = 16.0;
+    double gamma = 0.25;
+    double beta = 0.5;
+    bool use_critical_path = true;
+    bool starvation_mitigation = true;
+    double wrr_total_utilization = 0.97;
+    double wrr_min_queue_ratio = 16.0;
+    /// Line rate used for critical-path costs (matches fabric capacity).
+    Rate line_rate = gbps(10.0);
+  };
+
+  GuritaPlusScheduler() : GuritaPlusScheduler(Config{}) {}
+  explicit GuritaPlusScheduler(const Config& config);
+
+  [[nodiscard]] std::string name() const override { return "gurita_plus"; }
+
+  void on_job_arrival(const SimJob& job, Time now) override;
+  void assign(Time now, std::vector<SimFlow*>& active) override;
+
+ private:
+  Config config_;
+  ExpThresholds thresholds_;
+  /// Critical-path membership per job (indexed by local coflow index).
+  std::unordered_map<JobId, std::vector<bool>> on_critical_;
+};
+
+}  // namespace gurita

@@ -1,0 +1,48 @@
+#include "core/head_receiver.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace gurita {
+
+void HeadReceiver::update(const SimState& state, Time now) {
+  const SimJob& job = state.job(job_);
+  last_update_ = now;
+  completed_stages_ = job.completed_stages;
+  observations_.clear();
+
+  for (std::size_t i = 0; i < job.coflows.size(); ++i) {
+    const SimCoflow& c = state.coflow(job.coflows[i]);
+    if (!c.released() || c.finished()) continue;
+
+    CoflowObservation obs;
+    obs.stage = c.stage;
+    Bytes max_seen = 0;
+    Bytes total_seen = 0;
+    int open = 0;
+    for (FlowId fid : c.flows) {
+      const SimFlow& f = state.flow(fid);
+      // A receiver observes bytes received so far, for open and closed
+      // connections alike; open-connection count covers active flows only.
+      max_seen = std::max(max_seen, f.bytes_sent());
+      total_seen += f.bytes_sent();
+      if (f.active()) ++open;
+    }
+    obs.open_connections = open;
+    obs.ell_max_observed = max_seen;
+    obs.ell_avg_observed =
+        c.flows.empty() ? 0.0 : total_seen / static_cast<double>(c.flows.size());
+    obs.bytes_received = total_seen;
+    observations_.emplace(c.id, obs);
+  }
+}
+
+const CoflowObservation& HeadReceiver::observation(CoflowId id) const {
+  const auto it = observations_.find(id);
+  GURITA_CHECK_MSG(it != observations_.end(),
+                   "no HR observation for this coflow");
+  return it->second;
+}
+
+}  // namespace gurita

@@ -1,0 +1,66 @@
+// Head-receiver (HR) coordination state (§IV.B "Priority decision").
+//
+// Each job designates its first-invoked receiver as head receiver. Peer
+// receivers report locally observed flow information — bytes received per
+// flow and the number of open connections — every δ seconds; the HR
+// aggregates them into per-coflow observations, estimates Ψ̈, and decides
+// the job's per-stage priority queue.
+//
+// This module holds the *observation cache*: everything the HR knew as of
+// the last δ update. The Gurita scheduler reads only this cache between
+// ticks, which is what makes the scheme decentralized in the simulation —
+// decisions are made on stale, receiver-local information, never on the
+// engine's instantaneous global state.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+#include "flowsim/state.h"
+
+namespace gurita {
+
+/// What the HR knows about one active coflow after an update round.
+struct CoflowObservation {
+  int stage = 1;
+  double open_connections = 0;   ///< n̈: flows still transmitting
+  Bytes ell_max_observed = 0;    ///< ℓ̈_max: largest per-flow bytes received
+  Bytes ell_avg_observed = 0;    ///< ℓ̈_avg: mean per-flow bytes received
+  Bytes bytes_received = 0;      ///< aggregate, used for self-demotion
+};
+
+/// Per-job HR cache, refreshed on ticks by the Gurita scheduler.
+class HeadReceiver {
+ public:
+  explicit HeadReceiver(JobId job) : job_(job) {}
+
+  [[nodiscard]] JobId job() const { return job_; }
+
+  /// Gathers receiver-side observations for every released, unfinished
+  /// coflow of the job. `now` is recorded as the update time.
+  void update(const SimState& state, Time now);
+
+  [[nodiscard]] Time last_update() const { return last_update_; }
+  [[nodiscard]] bool has(CoflowId id) const {
+    return observations_.count(id) > 0;
+  }
+  [[nodiscard]] const CoflowObservation& observation(CoflowId id) const;
+  [[nodiscard]] const std::unordered_map<CoflowId, CoflowObservation>&
+  observations() const {
+    return observations_;
+  }
+
+  /// Completed-stage count as of the last update (from the job master,
+  /// which receivers learn through the coflow registration API).
+  [[nodiscard]] int completed_stages() const { return completed_stages_; }
+
+ private:
+  JobId job_;
+  Time last_update_ = -1;
+  int completed_stages_ = 0;
+  std::unordered_map<CoflowId, CoflowObservation> observations_;
+};
+
+}  // namespace gurita

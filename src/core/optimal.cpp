@@ -1,0 +1,154 @@
+#include "core/optimal.h"
+#include <functional>
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace gurita {
+
+namespace {
+
+void validate_jobs(const std::vector<StagedJob>& jobs) {
+  GURITA_CHECK_MSG(!jobs.empty(), "no jobs");
+  for (const StagedJob& j : jobs) {
+    GURITA_CHECK_MSG(!j.stage_demand.empty(), "job with no stages");
+    for (double d : j.stage_demand)
+      GURITA_CHECK_MSG(d > 0, "stage demand must be positive");
+  }
+}
+
+/// Packs a progress vector into a mixed-radix integer state key.
+class StateCodec {
+ public:
+  explicit StateCodec(const std::vector<StagedJob>& jobs) {
+    radix_.reserve(jobs.size());
+    std::uint64_t states = 1;
+    for (const StagedJob& j : jobs) {
+      radix_.push_back(j.stage_demand.size() + 1);
+      GURITA_CHECK_MSG(states <= 50'000'000 / radix_.back(),
+                       "optimal DP state space too large");
+      states *= radix_.back();
+    }
+  }
+
+  [[nodiscard]] std::uint64_t encode(const std::vector<std::size_t>& progress) const {
+    std::uint64_t key = 0;
+    for (std::size_t i = 0; i < progress.size(); ++i)
+      key = key * radix_[i] + progress[i];
+    return key;
+  }
+
+ private:
+  std::vector<std::uint64_t> radix_;
+};
+
+}  // namespace
+
+double optimal_average_jct(const std::vector<StagedJob>& jobs) {
+  validate_jobs(jobs);
+  const std::size_t n = jobs.size();
+  const StateCodec codec(jobs);
+
+  // memo[state] = minimum total JCT achievable from `state` onward, where
+  // elapsed time at `state` is implied (sum of completed stage demands).
+  std::unordered_map<std::uint64_t, double> memo;
+
+  std::vector<std::size_t> progress(n, 0);
+
+  // Recursive lambda over the progress vector; elapsed passed explicitly.
+  const std::function<double(double)> solve = [&](double elapsed) -> double {
+    bool done = true;
+    for (std::size_t i = 0; i < n; ++i)
+      if (progress[i] < jobs[i].stage_demand.size()) done = false;
+    if (done) return 0.0;
+
+    const std::uint64_t key = codec.encode(progress);
+    const auto it = memo.find(key);
+    if (it != memo.end()) return it->second;
+
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t stage = progress[i];
+      if (stage >= jobs[i].stage_demand.size()) continue;
+      const double demand = jobs[i].stage_demand[stage];
+      progress[i] = stage + 1;
+      double cost = solve(elapsed + demand);
+      if (progress[i] == jobs[i].stage_demand.size())
+        cost += elapsed + demand;  // job i's JCT accrues now
+      progress[i] = stage;
+      best = std::min(best, cost);
+    }
+    memo.emplace(key, best);
+    return best;
+  };
+
+  return solve(0.0) / static_cast<double>(n);
+}
+
+namespace {
+
+/// Runs whole jobs back-to-back in the given order.
+double serial_average_jct(const std::vector<StagedJob>& jobs,
+                          const std::vector<std::size_t>& order) {
+  double elapsed = 0;
+  double total_jct = 0;
+  for (std::size_t i : order) {
+    elapsed += jobs[i].total();
+    total_jct += elapsed;
+  }
+  return total_jct / static_cast<double>(jobs.size());
+}
+
+}  // namespace
+
+double fifo_average_jct(const std::vector<StagedJob>& jobs) {
+  validate_jobs(jobs);
+  std::vector<std::size_t> order(jobs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  return serial_average_jct(jobs, order);
+}
+
+double sjf_tbs_average_jct(const std::vector<StagedJob>& jobs) {
+  validate_jobs(jobs);
+  std::vector<std::size_t> order(jobs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (jobs[a].total() != jobs[b].total())
+      return jobs[a].total() < jobs[b].total();
+    return a < b;
+  });
+  return serial_average_jct(jobs, order);
+}
+
+double stage_greedy_average_jct(const std::vector<StagedJob>& jobs) {
+  validate_jobs(jobs);
+  const std::size_t n = jobs.size();
+  std::vector<std::size_t> progress(n, 0);
+  double elapsed = 0;
+  double total_jct = 0;
+  std::size_t finished = 0;
+  while (finished < n) {
+    // Pick the available stage with the smallest demand (ties: lowest id).
+    std::size_t pick = n;
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (progress[i] >= jobs[i].stage_demand.size()) continue;
+      const double d = jobs[i].stage_demand[progress[i]];
+      if (d < best) {
+        best = d;
+        pick = i;
+      }
+    }
+    elapsed += best;
+    if (++progress[pick] == jobs[pick].stage_demand.size()) {
+      total_jct += elapsed;
+      ++finished;
+    }
+  }
+  return total_jct / static_cast<double>(n);
+}
+
+}  // namespace gurita

@@ -1,0 +1,55 @@
+// Exact optimum for the single-machine abstraction of FFS-MJ (§III.B) —
+// the yardstick behind the paper's "near optimal" claim.
+//
+// Model: n jobs are present at time zero; each job is a *chain* of stages
+// with known processing demands (seconds on the machine). One machine
+// serves one stage at a time, non-preemptively; a job's next stage becomes
+// available when its previous stage completes (constraint 1.a collapsed to
+// a chain); the machine never idles. Objective: minimize average JCT.
+//
+// General FFS-MJ is NP-hard (Theorem 1), but this single-machine collapse
+// admits exact dynamic programming over progress vectors: the elapsed time
+// at a state is the sum of all completed stage demands (work conservation),
+// so states are just "how many stages each job has finished" —
+// Π(stages_i + 1) states, each with n transitions.
+//
+// Alongside the optimum we evaluate the three policies the paper's
+// motivation contrasts (Fig. 2): FIFO, job-level SJF by total bytes (the
+// TBS strawman) and per-stage smallest-demand-first (the LBEF idea reduced
+// to this model), so benches can quantify "near optimal" directly.
+#pragma once
+
+#include <vector>
+
+namespace gurita {
+
+struct StagedJob {
+  /// Sequential stage demands in machine-seconds; all > 0.
+  std::vector<double> stage_demand;
+
+  [[nodiscard]] double total() const {
+    double t = 0;
+    for (double d : stage_demand) t += d;
+    return t;
+  }
+};
+
+/// Minimum achievable average JCT (exact, DP). Jobs must be non-empty with
+/// positive stage demands; state-space size Π(stages+1) must stay sane
+/// (guarded at ~50M states).
+[[nodiscard]] double optimal_average_jct(const std::vector<StagedJob>& jobs);
+
+/// FIFO: jobs run to completion in input order.
+[[nodiscard]] double fifo_average_jct(const std::vector<StagedJob>& jobs);
+
+/// Job-level shortest-job-first by *total* demand, run to completion —
+/// the total-bytes-sent strawman.
+[[nodiscard]] double sjf_tbs_average_jct(const std::vector<StagedJob>& jobs);
+
+/// Per-stage greedy: whenever the machine frees, run the available stage
+/// with the smallest demand (stage-level SJF — the kernel of LBEF's
+/// rule 1/2 in one dimension).
+[[nodiscard]] double stage_greedy_average_jct(
+    const std::vector<StagedJob>& jobs);
+
+}  // namespace gurita

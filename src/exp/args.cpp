@@ -1,0 +1,41 @@
+#include "exp/args.h"
+
+#include "common/check.h"
+
+namespace gurita {
+
+Args::Args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    GURITA_CHECK_MSG(arg.rfind("--", 0) == 0, "expected --flag, got " + arg);
+    GURITA_CHECK_MSG(i + 1 < argc, "flag " + arg + " needs a value");
+    values_[arg.substr(2)] = argv[++i];
+  }
+}
+
+bool Args::has(const std::string& key) const { return values_.count(key) > 0; }
+
+int Args::get_int(const std::string& key, int fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::stoi(it->second);
+}
+
+std::uint64_t Args::get_u64(const std::string& key,
+                            std::uint64_t fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback
+                             : static_cast<std::uint64_t>(std::stoull(it->second));
+}
+
+double Args::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::stod(it->second);
+}
+
+std::string Args::get_string(const std::string& key,
+                             const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+}  // namespace gurita

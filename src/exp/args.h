@@ -1,0 +1,30 @@
+// Tiny command-line flag parser for bench binaries:
+//   ./bench_fig6 --jobs 300 --seed 7 --pods 8
+// Unknown flags throw, so typos fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace gurita {
+
+class Args {
+ public:
+  /// Parses "--key value" pairs; throws std::logic_error on malformed input.
+  Args(int argc, char** argv);
+
+  [[nodiscard]] int get_int(const std::string& key, int fallback) const;
+  [[nodiscard]] std::uint64_t get_u64(const std::string& key,
+                                      std::uint64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const;
+  [[nodiscard]] bool has(const std::string& key) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace gurita

@@ -1,0 +1,106 @@
+#include "exp/experiment.h"
+
+#include "common/check.h"
+#include "exp/registry.h"
+
+namespace gurita {
+
+double ComparisonResult::improvement(const std::string& reference,
+                                     const std::string& other,
+                                     int category) const {
+  const auto ref = collectors.find(reference);
+  const auto oth = collectors.find(other);
+  GURITA_CHECK_MSG(ref != collectors.end(), "no results for " + reference);
+  GURITA_CHECK_MSG(oth != collectors.end(), "no results for " + other);
+  return improvement_factor(ref->second, oth->second, category);
+}
+
+double ComparisonResult::per_job_speedup(const std::string& reference,
+                                         const std::string& other,
+                                         int category) const {
+  const auto ref = results.find(reference);
+  const auto oth = results.find(other);
+  GURITA_CHECK_MSG(ref != results.end(), "no results for " + reference);
+  GURITA_CHECK_MSG(oth != results.end(), "no results for " + other);
+  return mean_per_job_speedup(ref->second, oth->second, category);
+}
+
+SimResults run_one(const ExperimentConfig& config,
+                   const std::vector<JobSpec>& jobs, Scheduler& scheduler) {
+  const FatTree fabric(FatTree::Config{config.fat_tree_k,
+                                       config.link_capacity,
+                                       config.ecmp_salt});
+  Simulator sim(fabric, scheduler);
+  for (const JobSpec& job : jobs) sim.submit(job);
+  return sim.run();
+}
+
+ComparisonResult compare_schedulers(const ExperimentConfig& config,
+                                    const std::vector<std::string>& names) {
+  TraceConfig trace = config.trace;
+  const FatTree fabric(
+      FatTree::Config{config.fat_tree_k, config.link_capacity});
+  trace.num_hosts = fabric.num_hosts();
+  const std::vector<JobSpec> jobs = generate_trace(trace);
+
+  ComparisonResult out;
+  for (const std::string& name : names) {
+    const std::unique_ptr<Scheduler> scheduler = make_scheduler(name);
+    SimResults results = run_one(config, jobs, *scheduler);
+    JctCollector collector;
+    collector.add(results);
+    out.collectors.emplace(name, std::move(collector));
+    out.results.emplace(name, std::move(results));
+  }
+  return out;
+}
+
+ComparisonResult compare_schedulers_seeds(ExperimentConfig config,
+                                          const std::vector<std::string>& names,
+                                          int num_seeds) {
+  GURITA_CHECK_MSG(num_seeds >= 1, "need at least one seed");
+  ComparisonResult pooled;
+  for (int s = 0; s < num_seeds; ++s) {
+    ComparisonResult one = compare_schedulers(config, names);
+    for (const std::string& name : names) {
+      pooled.collectors[name].add(one.results.at(name));
+      SimResults& dst = pooled.results[name];
+      SimResults& src = one.results.at(name);
+      // Re-id jobs so pooled populations stay aligned across schedulers.
+      const std::uint64_t base = dst.jobs.size();
+      for (SimResults::JobResult& j : src.jobs) {
+        j.id = JobId{base + j.id.value()};
+        dst.jobs.push_back(j);
+      }
+      dst.makespan = std::max(dst.makespan, src.makespan);
+      dst.rate_recomputations += src.rate_recomputations;
+    }
+    ++config.trace.seed;
+  }
+  return pooled;
+}
+
+ExperimentConfig trace_scenario(StructureKind structure, int num_jobs,
+                                std::uint64_t seed) {
+  ExperimentConfig config;
+  config.fat_tree_k = 8;
+  config.trace.structure = structure;
+  config.trace.num_jobs = num_jobs;
+  config.trace.arrivals = ArrivalPattern::kPoisson;
+  config.trace.seed = seed;
+  return config;
+}
+
+ExperimentConfig bursty_scenario(StructureKind structure, int num_jobs,
+                                 std::uint64_t seed, int fat_tree_k) {
+  ExperimentConfig config;
+  config.fat_tree_k = fat_tree_k;
+  config.trace.structure = structure;
+  config.trace.num_jobs = num_jobs;
+  config.trace.arrivals = ArrivalPattern::kBursty;
+  config.trace.burst_spacing = 2 * kMicrosecond;  // paper: 2 µs intervals
+  config.trace.seed = seed;
+  return config;
+}
+
+}  // namespace gurita

@@ -1,0 +1,74 @@
+// Experiment harness: runs a workload through one or more schedulers on a
+// fat-tree fabric and aggregates the paper's metrics. Every bench binary is
+// a thin wrapper over this.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "flowsim/simulator.h"
+#include "metrics/collector.h"
+#include "topology/fattree.h"
+#include "workload/trace_gen.h"
+
+namespace gurita {
+
+struct ExperimentConfig {
+  int fat_tree_k = 8;              ///< paper's trace scenario: 8 pods
+  Rate link_capacity = gbps(10.0); ///< 10G switches
+  TraceConfig trace;
+  std::uint64_t ecmp_salt = 0;
+};
+
+/// Outcome per scheduler, keyed by scheduler name.
+struct ComparisonResult {
+  std::map<std::string, JctCollector> collectors;
+  std::map<std::string, SimResults> results;
+
+  /// The paper's improvement factor of Gurita over `other`
+  /// (category = -1 → overall average).
+  [[nodiscard]] double improvement(const std::string& reference,
+                                   const std::string& other,
+                                   int category = -1) const;
+
+  /// Mean per-job speedup of `reference` over `other` (every job weighted
+  /// equally; category = -1 → all jobs).
+  [[nodiscard]] double per_job_speedup(const std::string& reference,
+                                       const std::string& other,
+                                       int category = -1) const;
+};
+
+/// Runs `jobs` under `scheduler` on a fresh fabric; returns the results.
+[[nodiscard]] SimResults run_one(const ExperimentConfig& config,
+                                 const std::vector<JobSpec>& jobs,
+                                 Scheduler& scheduler);
+
+/// Generates the workload once, replays the *identical* job set under each
+/// named scheduler, and returns per-scheduler collectors.
+[[nodiscard]] ComparisonResult compare_schedulers(
+    const ExperimentConfig& config, const std::vector<std::string>& names);
+
+/// Statistical variant: repeats compare_schedulers over `num_seeds`
+/// workloads (seed, seed+1, ...) and pools the per-job results, so
+/// improvement factors and speedups average across trace randomness.
+[[nodiscard]] ComparisonResult compare_schedulers_seeds(
+    ExperimentConfig config, const std::vector<std::string>& names,
+    int num_seeds);
+
+/// Canonical configurations for the paper's scenarios.
+/// Trace-driven (§V, Figs. 5/6/8): 8-pod fat-tree, Poisson arrivals.
+[[nodiscard]] ExperimentConfig trace_scenario(StructureKind structure,
+                                              int num_jobs,
+                                              std::uint64_t seed);
+/// Bursty (§V, Figs. 5/7): jobs arrive 2 µs apart in batches on a larger
+/// fabric. The paper uses 48 pods and 10,000 jobs; defaults are scaled down
+/// so the suite completes quickly — pass the paper's numbers to reproduce
+/// at full scale.
+[[nodiscard]] ExperimentConfig bursty_scenario(StructureKind structure,
+                                               int num_jobs,
+                                               std::uint64_t seed,
+                                               int fat_tree_k = 8);
+
+}  // namespace gurita

@@ -1,0 +1,22 @@
+// Scheduler factory: builds any of the six schemes evaluated in the paper
+// by name. Used by benches and examples so experiment code stays uniform.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "flowsim/scheduler.h"
+
+namespace gurita {
+
+/// Names accepted by make_scheduler, in the paper's comparison order.
+[[nodiscard]] const std::vector<std::string>& scheduler_names();
+
+/// Builds "pfs", "baraat", "stream", "aalo", "gurita", "gurita_plus",
+/// "varys" or "mcs" with its default configuration. Throws on an unknown
+/// name.
+[[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(
+    const std::string& name);
+
+}  // namespace gurita

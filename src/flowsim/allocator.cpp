@@ -1,0 +1,114 @@
+#include "flowsim/allocator.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace gurita {
+
+void waterfill(const Topology& topo, std::vector<SimFlow*>& group,
+               std::vector<Rate>& residual) {
+  GURITA_CHECK_MSG(residual.size() == topo.link_count(),
+                   "residual vector must cover every link");
+
+  // Per-link: sum of weights and count of unfrozen flows, plus the flows
+  // crossing it. Only links actually touched by this group are tracked.
+  // The integer count, not the floating weight, decides whether a link is
+  // still active — repeated subtraction can leave a nonzero weight residue
+  // on a link whose flows are all frozen, which must not become a
+  // "bottleneck" nothing can be frozen against.
+  std::vector<double> link_weight(topo.link_count(), 0.0);
+  std::vector<std::uint32_t> link_unfrozen(topo.link_count(), 0);
+  std::vector<std::vector<std::uint32_t>> link_flows(topo.link_count());
+  std::vector<LinkId> touched;
+
+  for (std::uint32_t i = 0; i < group.size(); ++i) {
+    SimFlow* f = group[i];
+    GURITA_CHECK_MSG(!f->path.empty(), "active flow with empty path");
+    GURITA_CHECK_MSG(f->weight > 0, "flow weight must be positive");
+    f->rate = 0;
+    for (LinkId l : f->path) {
+      if (link_flows[l.value()].empty()) touched.push_back(l);
+      link_flows[l.value()].push_back(i);
+      link_weight[l.value()] += f->weight;
+      ++link_unfrozen[l.value()];
+    }
+  }
+
+  std::vector<bool> frozen(group.size(), false);
+  std::size_t remaining = group.size();
+
+  // Progressive filling: each round finds the bottleneck share, freezes
+  // every flow crossing a bottleneck link, consumes capacity, repeats.
+  // Work per round is O(touched links + flows frozen this round), so the
+  // total is O(rounds * links + flows * path length).
+  while (remaining > 0) {
+    double best_share = std::numeric_limits<double>::infinity();
+    for (LinkId l : touched) {
+      if (link_unfrozen[l.value()] == 0) continue;
+      const double w = std::max(link_weight[l.value()], 1e-300);
+      best_share = std::min(best_share, residual[l.value()] / w);
+    }
+    GURITA_CHECK_MSG(best_share < std::numeric_limits<double>::infinity(),
+                     "unfrozen flows but no carrying link");
+    best_share = std::max(best_share, 0.0);
+
+    // Freezing a flow preserves the share of every other link it crosses
+    // (weight and capacity leave together), so collecting the bottleneck
+    // links once per round is sound.
+    bool froze_any = false;
+    for (LinkId l : touched) {
+      if (link_unfrozen[l.value()] == 0) continue;
+      const double w = std::max(link_weight[l.value()], 1e-300);
+      if (residual[l.value()] / w > best_share * (1 + 1e-12) &&
+          residual[l.value()] > 1e-9)
+        continue;
+      for (std::uint32_t idx : link_flows[l.value()]) {
+        if (frozen[idx]) continue;
+        SimFlow* f = group[idx];
+        f->rate = f->weight * best_share;
+        frozen[idx] = true;
+        froze_any = true;
+        --remaining;
+        for (LinkId pl : f->path) {
+          link_weight[pl.value()] -= f->weight;
+          --link_unfrozen[pl.value()];
+          residual[pl.value()] -= f->rate;
+          if (residual[pl.value()] < 0) residual[pl.value()] = 0;
+        }
+      }
+    }
+    GURITA_CHECK_MSG(froze_any, "waterfill failed to make progress");
+  }
+}
+
+void allocate_rates(const Topology& topo, const std::vector<Rate>& capacities,
+                    std::vector<SimFlow*>& flows) {
+  GURITA_CHECK_MSG(capacities.size() == topo.link_count(),
+                   "capacity vector must cover every link");
+  for (Rate c : capacities) GURITA_CHECK_MSG(c >= 0, "negative capacity");
+  std::vector<Rate> residual = capacities;
+
+  // Stable order: by tier, then by flow id for determinism.
+  std::sort(flows.begin(), flows.end(), [](const SimFlow* a, const SimFlow* b) {
+    if (a->tier != b->tier) return a->tier < b->tier;
+    return a->id < b->id;
+  });
+
+  std::vector<SimFlow*> group;
+  std::size_t i = 0;
+  while (i < flows.size()) {
+    group.clear();
+    const Tier tier = flows[i]->tier;
+    while (i < flows.size() && flows[i]->tier == tier) group.push_back(flows[i++]);
+    waterfill(topo, group, residual);
+  }
+}
+
+void allocate_rates(const Topology& topo, std::vector<SimFlow*>& flows) {
+  std::vector<Rate> capacities(topo.link_count());
+  for (std::size_t i = 0; i < capacities.size(); ++i)
+    capacities[i] = topo.link(LinkId{i}).capacity;
+  allocate_rates(topo, capacities, flows);
+}
+
+}  // namespace gurita

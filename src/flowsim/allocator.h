@@ -1,0 +1,45 @@
+// Tiered weighted max-min rate allocation.
+//
+// All six schedulers in the reproduction share one allocation mechanism:
+//
+//   1. Active flows are grouped by `tier` (ascending). Tier t is allocated
+//      only the capacity tiers < t left unused — this is strict priority
+//      queuing (SPQ), the enforcement primitive the paper relies on, and
+//      also expresses Baraat's FIFO-LM (tier = batch serial) and Aalo's
+//      priority queues.
+//   2. Within one tier, rates follow *weighted max-min fairness* computed by
+//      progressive filling (water-filling): repeatedly find the bottleneck
+//      link (smallest residual capacity per unit weight), freeze its flows
+//      at their fair share, and continue. Weight 1 everywhere reproduces
+//      per-flow fair sharing (the PFS baseline / TCP approximation); the
+//      WRR starvation-mitigation mode maps queue weights onto flow weights.
+//
+// The result is work-conserving: no link with an unfrozen flow is left with
+// spare capacity.
+#pragma once
+
+#include <vector>
+
+#include "flowsim/state.h"
+#include "topology/graph.h"
+
+namespace gurita {
+
+/// Computes and writes `rate` for every flow in `flows` (all must be
+/// active, with non-empty paths). Rates of flows not in `flows` are not
+/// touched. `flows` may be reordered. `capacities` overrides the links'
+/// nominal capacities (indexed by LinkId value; entries may be 0 for a
+/// failed link) — the engine uses this for failure injection.
+void allocate_rates(const Topology& topo, const std::vector<Rate>& capacities,
+                    std::vector<SimFlow*>& flows);
+
+/// Convenience overload using the topology's nominal capacities.
+void allocate_rates(const Topology& topo, std::vector<SimFlow*>& flows);
+
+/// Weighted max-min within a single group, honoring `residual` capacities
+/// (indexed by LinkId value). Consumes capacity from `residual` and writes
+/// flow rates. Exposed separately for unit testing.
+void waterfill(const Topology& topo, std::vector<SimFlow*>& group,
+               std::vector<Rate>& residual);
+
+}  // namespace gurita

@@ -1,0 +1,79 @@
+// Scheduler policy interface.
+//
+// The engine owns mechanism (events, DAG release, rate allocation); a
+// Scheduler owns policy: it observes simulation events and, whenever rates
+// must be recomputed, assigns each active flow a (tier, weight) pair that
+// the tiered weighted max-min allocator turns into rates (allocator.h).
+//
+// Decentralized schemes must restrict themselves to information a receiver
+// could observe locally (bytes received, open connections) refreshed at
+// their tick interval; centralized schemes (Aalo, GuritaPlus) may read the
+// full SimState instantaneously — mirroring the paper's simulation setup.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "flowsim/state.h"
+
+namespace gurita {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Called once before the run; `state` outlives the scheduler's use.
+  virtual void attach(const SimState& state) { state_ = &state; }
+
+  virtual void on_job_arrival(const SimJob& job, Time now) {
+    (void)job;
+    (void)now;
+  }
+  /// A coflow's dependencies completed; its flows just started.
+  virtual void on_coflow_release(const SimCoflow& coflow, Time now) {
+    (void)coflow;
+    (void)now;
+  }
+  virtual void on_flow_finish(const SimFlow& flow, Time now) {
+    (void)flow;
+    (void)now;
+  }
+  virtual void on_coflow_finish(const SimCoflow& coflow, Time now) {
+    (void)coflow;
+    (void)now;
+  }
+  virtual void on_job_finish(const SimJob& job, Time now) {
+    (void)job;
+    (void)now;
+  }
+
+  /// Periodic coordination interval (δ). 0 disables ticks. For Gurita this
+  /// is the head-receiver update period; information the scheduler uses in
+  /// assign() should be refreshed here, not read fresh, to model staleness.
+  [[nodiscard]] virtual Time tick_interval() const { return 0; }
+
+  /// Returns true if the tick changed any priority assignment — only then
+  /// does the engine recompute rates, so no-op ticks stay cheap.
+  virtual bool on_tick(Time now) {
+    (void)now;
+    return false;
+  }
+
+  /// Sets `tier` and `weight` on every active flow. Called by the engine
+  /// immediately before each rate recomputation.
+  virtual void assign(Time now, std::vector<SimFlow*>& active) = 0;
+
+ protected:
+  [[nodiscard]] const SimState& state() const {
+    GURITA_CHECK_MSG(state_ != nullptr, "scheduler used before attach()");
+    return *state_;
+  }
+
+ private:
+  const SimState* state_ = nullptr;
+};
+
+}  // namespace gurita

@@ -1,0 +1,396 @@
+#include "flowsim/simulator.h"
+#include <sstream>
+
+#include <algorithm>
+#include <cmath>
+
+#include "flowsim/allocator.h"
+
+namespace gurita {
+
+double SimResults::average_jct() const {
+  if (jobs.empty()) return 0.0;
+  double s = 0;
+  for (const JobResult& j : jobs) s += j.jct();
+  return s / static_cast<double>(jobs.size());
+}
+
+double SimResults::average_cct() const {
+  if (coflows.empty()) return 0.0;
+  double s = 0;
+  for (const CoflowResult& c : coflows) s += c.cct();
+  return s / static_cast<double>(coflows.size());
+}
+
+Bytes SimState::coflow_bytes_sent(CoflowId id) const {
+  Bytes sent = 0;
+  for (FlowId f : coflow(id).flows) sent += flow(f).bytes_sent();
+  return sent;
+}
+
+Bytes SimState::coflow_total_bytes(CoflowId id) const {
+  const SimCoflow& c = coflow(id);
+  const SimJob& j = job(c.job);
+  return j.spec.coflows[c.index].total_bytes();
+}
+
+Bytes SimState::job_stage_bytes_sent(JobId id, int stage) const {
+  const SimJob& j = job(id);
+  Bytes sent = 0;
+  for (std::size_t i = 0; i < j.coflows.size(); ++i) {
+    if (j.stage_of[i] != stage) continue;
+    const SimCoflow& c = coflow(j.coflows[i]);
+    if (!c.released()) continue;
+    sent += coflow_bytes_sent(c.id);
+  }
+  return sent;
+}
+
+Bytes SimState::job_bytes_sent(JobId id) const {
+  const SimJob& j = job(id);
+  Bytes sent = 0;
+  for (CoflowId cid : j.coflows) {
+    if (coflow(cid).released()) sent += coflow_bytes_sent(cid);
+  }
+  return sent;
+}
+
+int SimState::coflow_open_connections(CoflowId id) const {
+  int open = 0;
+  for (FlowId f : coflow(id).flows)
+    if (flow(f).active()) ++open;
+  return open;
+}
+
+double SimResults::link_utilization(LinkId id, Rate capacity) const {
+  GURITA_CHECK_MSG(id.value() < link_bytes.size(),
+                   "link stats not collected or id out of range");
+  GURITA_CHECK_MSG(capacity > 0, "capacity must be positive");
+  if (makespan <= 0) return 0.0;
+  return link_bytes[id.value()] / (capacity * makespan);
+}
+
+Simulator::Simulator(const Fabric& fabric, Scheduler& scheduler,
+                     Config config)
+    : fabric_(&fabric), scheduler_(&scheduler), config_(std::move(config)) {
+  capacities_.resize(fabric.topology().link_count());
+  for (std::size_t i = 0; i < capacities_.size(); ++i)
+    capacities_[i] = fabric.topology().link(LinkId{i}).capacity;
+  for (const CapacityChange& change : config_.disruptions) {
+    GURITA_CHECK_MSG(change.link.value() < capacities_.size(),
+                     "disruption targets an unknown link");
+    GURITA_CHECK_MSG(change.new_capacity >= 0, "negative capacity");
+    GURITA_CHECK_MSG(change.time >= 0, "disruption before time zero");
+  }
+}
+
+JobId Simulator::submit(const JobSpec& spec) {
+  GURITA_CHECK_MSG(!ran_, "submit after run()");
+  validate(spec, fabric_->num_hosts());
+
+  const JobId jid{state_.jobs_.size()};
+  SimJob job;
+  job.id = jid;
+  job.spec = spec;
+  job.arrival_time = spec.arrival_time;
+  job.stage_of = stages_of(spec);
+  job.num_stages = 0;
+  for (int s : job.stage_of) job.num_stages = std::max(job.num_stages, s);
+  job.coflows_remaining = static_cast<int>(spec.coflows.size());
+  job.total_bytes = spec.total_bytes();
+
+  for (std::size_t i = 0; i < spec.coflows.size(); ++i) {
+    const CoflowId cid{state_.coflows_.size()};
+    SimCoflow c;
+    c.id = cid;
+    c.job = jid;
+    c.index = static_cast<int>(i);
+    c.stage = job.stage_of[i];
+    c.deps_remaining = static_cast<int>(spec.deps[i].size());
+    state_.coflows_.push_back(std::move(c));
+    job.coflows.push_back(cid);
+  }
+  state_.jobs_.push_back(std::move(job));
+  return jid;
+}
+
+void Simulator::release_coflow(SimCoflow& coflow) {
+  GURITA_CHECK_MSG(!coflow.released(), "double release");
+  const SimJob& job = state_.jobs_[coflow.job.value()];
+  const CoflowSpec& spec = job.spec.coflows[coflow.index];
+
+  coflow.release_time = now_;
+  coflow.flows_remaining = static_cast<int>(spec.flows.size());
+  for (const FlowSpec& fs : spec.flows) {
+    const FlowId fid{state_.flows_.size()};
+    SimFlow f;
+    f.id = fid;
+    f.job = coflow.job;
+    f.coflow_index = coflow.index;
+    f.src_host = fs.src_host;
+    f.dst_host = fs.dst_host;
+    f.size = fs.size;
+    f.remaining = fs.size;
+    f.start_time = now_;
+    f.path = fabric_->route(fid, fs.src_host, fs.dst_host);
+    state_.flows_.push_back(std::move(f));
+    coflow.flows.push_back(fid);
+    active_flows_.push_back(fid);
+  }
+  scheduler_->on_coflow_release(coflow, now_);
+}
+
+void Simulator::finish_coflow(SimCoflow& coflow) {
+  coflow.finish_time = now_;
+  scheduler_->on_coflow_finish(coflow, now_);
+
+  SimJob& job = state_.jobs_[coflow.job.value()];
+  --job.coflows_remaining;
+
+  // Maintain completed_stages: largest k with every coflow of stage <= k done.
+  // Recompute lazily from per-stage unfinished counts.
+  // (Counts are tracked in unfinished_per_stage_, engine-private.)
+
+  // Release dependents whose dependencies are now all complete.
+  const JobSpec& spec = job.spec;
+  for (std::size_t i = 0; i < spec.coflows.size(); ++i) {
+    SimCoflow& cand = state_.coflows_[job.coflows[i].value()];
+    if (cand.released()) continue;
+    bool depends = false;
+    for (int d : spec.deps[i]) {
+      if (d == coflow.index) {
+        depends = true;
+        break;
+      }
+    }
+    if (!depends) continue;
+    if (--cand.deps_remaining == 0) release_coflow(cand);
+  }
+
+  if (job.coflows_remaining == 0) {
+    job.finish_time = now_;
+    job.completed_stages = job.num_stages;
+    scheduler_->on_job_finish(job, now_);
+  } else {
+    // Update completed stages by scanning (jobs are small DAGs; this is
+    // O(coflows) on coflow completion only).
+    int k = job.num_stages;
+    for (std::size_t i = 0; i < job.coflows.size(); ++i) {
+      const SimCoflow& c = state_.coflows_[job.coflows[i].value()];
+      if (!c.finished()) k = std::min(k, job.stage_of[i] - 1);
+    }
+    job.completed_stages = k;
+  }
+}
+
+void Simulator::finish_flow(SimFlow& flow) {
+  flow.finish_time = now_;
+  flow.remaining = 0;
+  flow.rate = 0;
+  SimCoflow& coflow =
+      state_.coflows_[state_.jobs_[flow.job.value()].coflows[flow.coflow_index].value()];
+  --coflow.flows_remaining;
+  scheduler_->on_flow_finish(flow, now_);
+  if (coflow.flows_remaining == 0) finish_coflow(coflow);
+}
+
+void Simulator::arrive_job(SimJob& job) {
+  scheduler_->on_job_arrival(job, now_);
+  for (std::size_t i = 0; i < job.coflows.size(); ++i) {
+    SimCoflow& c = state_.coflows_[job.coflows[i].value()];
+    if (c.deps_remaining == 0) release_coflow(c);
+  }
+}
+
+SimResults Simulator::run() {
+  GURITA_CHECK_MSG(!ran_, "run() called twice");
+  ran_ = true;
+  scheduler_->attach(state_);
+
+  std::vector<JobId> arrival_order;
+  arrival_order.reserve(state_.jobs_.size());
+  for (const SimJob& j : state_.jobs_) arrival_order.push_back(j.id);
+  std::sort(arrival_order.begin(), arrival_order.end(),
+            [this](JobId a, JobId b) {
+              const Time ta = state_.jobs_[a.value()].arrival_time;
+              const Time tb = state_.jobs_[b.value()].arrival_time;
+              if (ta != tb) return ta < tb;
+              return a < b;
+            });
+
+  std::size_t next_arrival = 0;
+  const Time tick = scheduler_->tick_interval();
+  GURITA_CHECK_MSG(tick >= 0, "negative tick interval");
+  Time next_tick = std::numeric_limits<Time>::infinity();
+  bool dirty = true;
+  SimResults results;
+  if (config_.collect_link_stats)
+    results.link_bytes.assign(fabric_->topology().link_count(), 0.0);
+
+  // Failure injection: apply capacity changes in time order.
+  std::vector<CapacityChange> disruptions = config_.disruptions;
+  std::sort(disruptions.begin(), disruptions.end(),
+            [](const CapacityChange& a, const CapacityChange& b) {
+              return a.time < b.time;
+            });
+  std::size_t next_disruption = 0;
+  const auto apply_due_disruptions = [&] {
+    while (next_disruption < disruptions.size() &&
+           disruptions[next_disruption].time <= now_ + kTimeEpsilon) {
+      const CapacityChange& change = disruptions[next_disruption++];
+      capacities_[change.link.value()] = change.new_capacity;
+      dirty = true;
+    }
+  };
+
+  std::vector<SimFlow*> active_ptrs;
+  std::uint64_t iterations = 0;
+
+  while (next_arrival < arrival_order.size() || !active_flows_.empty()) {
+    if (++iterations > config_.max_iterations) {
+      std::ostringstream os;
+      os << "simulation live-lock guard tripped: now=" << now_
+         << " active_flows=" << active_flows_.size()
+         << " pending_arrivals=" << (arrival_order.size() - next_arrival)
+         << " recomputations=" << results.rate_recomputations;
+      throw std::logic_error(os.str());
+    }
+    if (active_flows_.empty()) {
+      // Idle network: jump straight to the next arrival.
+      SimJob& job = state_.jobs_[arrival_order[next_arrival].value()];
+      now_ = std::max(now_, job.arrival_time);
+      ++next_arrival;
+      arrive_job(job);
+      // Coalesce simultaneous arrivals.
+      while (next_arrival < arrival_order.size()) {
+        SimJob& j = state_.jobs_[arrival_order[next_arrival].value()];
+        if (j.arrival_time > now_ + kTimeEpsilon) break;
+        ++next_arrival;
+        arrive_job(j);
+      }
+      if (tick > 0) next_tick = now_ + tick;
+      apply_due_disruptions();
+      dirty = true;
+      continue;
+    }
+
+    bool any_ramp_capped = false;
+    if (dirty) {
+      active_ptrs.clear();
+      for (FlowId id : active_flows_)
+        active_ptrs.push_back(&state_.flows_[id.value()]);
+      scheduler_->assign(now_, active_ptrs);
+      allocate_rates(fabric_->topology(), capacities_, active_ptrs);
+      ++results.rate_recomputations;
+      dirty = false;
+    }
+    // TCP slow-start ramp: cap each flow at its window-growth rate. A
+    // capped flow's allowance grows as it sends, so while any flow is
+    // capped the engine refreshes rates at ramp-time granularity.
+    if (config_.tcp_ramp_time > 0) {
+      for (FlowId id : active_flows_) {
+        SimFlow& f = state_.flows_[id.value()];
+        const Rate cap =
+            (config_.tcp_initial_window + f.bytes_sent()) / config_.tcp_ramp_time;
+        if (f.rate > cap) {
+          f.rate = cap;
+          any_ramp_capped = true;
+        }
+      }
+    }
+
+    Time t_complete = std::numeric_limits<Time>::infinity();
+    for (FlowId id : active_flows_) {
+      const SimFlow& f = state_.flows_[id.value()];
+      if (f.rate > 0)
+        t_complete = std::min(t_complete, now_ + f.remaining / f.rate);
+    }
+    const Time t_arrival =
+        next_arrival < arrival_order.size()
+            ? state_.jobs_[arrival_order[next_arrival].value()].arrival_time
+            : std::numeric_limits<Time>::infinity();
+    const Time t_tick = tick > 0 ? next_tick : std::numeric_limits<Time>::infinity();
+    const Time t_disruption = next_disruption < disruptions.size()
+                                  ? disruptions[next_disruption].time
+                                  : std::numeric_limits<Time>::infinity();
+
+    Time t_next = std::min({t_complete, t_arrival, t_tick, t_disruption});
+    if (any_ramp_capped) {
+      // Refresh while ramping so capped flows pick up their grown windows.
+      t_next = std::min(t_next, now_ + config_.tcp_ramp_time);
+      dirty = true;
+    }
+    GURITA_CHECK_MSG(std::isfinite(t_next),
+                     "simulation stalled: active flows but no next event");
+    GURITA_CHECK_MSG(t_next <= config_.max_time, "simulation exceeded max_time");
+    t_next = std::max(t_next, now_);
+
+    const Time dt = t_next - now_;
+    if (dt > 0) {
+      for (FlowId id : active_flows_) {
+        SimFlow& f = state_.flows_[id.value()];
+        f.remaining = std::max(0.0, f.remaining - f.rate * dt);
+        if (config_.collect_link_stats && f.rate > 0) {
+          for (LinkId l : f.path)
+            results.link_bytes[l.value()] += f.rate * dt;
+        }
+      }
+    }
+    now_ = t_next;
+    apply_due_disruptions();
+
+    // Completions (deterministic order: ascending flow id). A flow is done
+    // when its residual bytes are negligible OR its residual transfer time
+    // falls below the clock's floating-point resolution at `now_` — without
+    // the second clause a nearly-drained flow whose remaining/rate is
+    // smaller than one ulp of now_ would stall the clock forever.
+    const Time quantum = std::max(1.0, now_) * 1e-12;
+    std::vector<FlowId> done;
+    for (FlowId id : active_flows_) {
+      const SimFlow& f = state_.flows_[id.value()];
+      if (f.remaining <= kByteEpsilon || f.remaining <= f.rate * quantum)
+        done.push_back(id);
+    }
+    if (!done.empty()) {
+      std::sort(done.begin(), done.end());
+      for (FlowId id : done) finish_flow(state_.flows_[id.value()]);
+      std::erase_if(active_flows_, [this](FlowId id) {
+        return state_.flows_[id.value()].finished();
+      });
+      dirty = true;
+    }
+
+    // Arrivals due now.
+    while (next_arrival < arrival_order.size()) {
+      SimJob& j = state_.jobs_[arrival_order[next_arrival].value()];
+      if (j.arrival_time > now_ + kTimeEpsilon) break;
+      ++next_arrival;
+      arrive_job(j);
+      dirty = true;
+    }
+
+    // Coordination tick; only a changed priority forces a rate recompute.
+    if (tick > 0 && now_ + kTimeEpsilon >= next_tick) {
+      if (scheduler_->on_tick(now_)) dirty = true;
+      next_tick += tick;
+    }
+  }
+
+  results.makespan = now_;
+  results.jobs.reserve(state_.jobs_.size());
+  for (const SimJob& j : state_.jobs_) {
+    GURITA_CHECK_MSG(j.finished(), "job left unfinished at end of run");
+    results.jobs.push_back(SimResults::JobResult{j.id, j.arrival_time,
+                                                 j.finish_time, j.total_bytes,
+                                                 j.num_stages});
+  }
+  results.coflows.reserve(state_.coflows_.size());
+  for (const SimCoflow& c : state_.coflows_) {
+    results.coflows.push_back(SimResults::CoflowResult{
+        c.id, c.job, c.stage, c.release_time, c.finish_time,
+        state_.coflow_total_bytes(c.id)});
+  }
+  return results;
+}
+
+}  // namespace gurita

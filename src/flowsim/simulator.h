@@ -1,0 +1,130 @@
+// Event-driven flow-level network simulator.
+//
+// This is the evaluation substrate the paper describes in §V: "a flow-level
+// simulator [that] accounts for the flow arrival and departure events,
+// rather than packet sending and receiving events. It updates the rate and
+// the remaining volume of each flow when an event occurs."
+//
+// Fluid model: between events every flow transfers at a constant rate
+// computed by the tiered weighted max-min allocator; events are job
+// arrivals, flow completions (computed analytically), DAG releases and
+// scheduler coordination ticks (δ). ECMP assigns each flow a stable path
+// through the fat-tree at release time.
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "common/units.h"
+#include "coflow/job.h"
+#include "flowsim/scheduler.h"
+#include "flowsim/state.h"
+#include "topology/fabric.h"
+
+namespace gurita {
+
+/// A scheduled change to one link's capacity (failure injection: degrade a
+/// link mid-run, restore it later). A capacity of 0 models a hard failure;
+/// note flows already routed across a dead link can never finish — the
+/// engine then throws its stall guard, which is the honest outcome for a
+/// fabric without re-routing.
+struct CapacityChange {
+  Time time = 0;
+  LinkId link;
+  Rate new_capacity = 0;
+};
+
+/// Outcome of one simulation run.
+struct SimResults {
+  struct JobResult {
+    JobId id;
+    Time arrival = 0;
+    Time finish = 0;
+    Bytes total_bytes = 0;
+    int num_stages = 1;
+    [[nodiscard]] Time jct() const { return finish - arrival; }
+  };
+  struct CoflowResult {
+    CoflowId id;
+    JobId job;
+    int stage = 1;
+    Time release = 0;
+    Time finish = 0;
+    Bytes total_bytes = 0;
+    [[nodiscard]] Time cct() const { return finish - release; }
+  };
+
+  std::vector<JobResult> jobs;
+  std::vector<CoflowResult> coflows;
+  Time makespan = 0;
+  std::uint64_t rate_recomputations = 0;
+  /// Bytes carried per link over the run (indexed by LinkId value); only
+  /// populated when Config::collect_link_stats is set.
+  std::vector<Bytes> link_bytes;
+
+  /// Utilization of link `id` given its capacity: carried bytes divided by
+  /// capacity × makespan. Requires link stats collection.
+  [[nodiscard]] double link_utilization(LinkId id, Rate capacity) const;
+
+  [[nodiscard]] double average_jct() const;
+  [[nodiscard]] double average_cct() const;
+};
+
+class Simulator {
+ public:
+  struct Config {
+    /// Hard wall on simulated time; exceeding it throws (deadlock guard).
+    Time max_time = std::numeric_limits<Time>::infinity();
+    /// Hard wall on main-loop iterations; exceeding it throws with
+    /// diagnostics (live-lock guard).
+    std::uint64_t max_iterations = 500'000'000;
+    /// Scheduled link-capacity changes (failure injection), any order.
+    std::vector<CapacityChange> disruptions;
+    /// Record per-link carried bytes (adds O(path length) work per flow per
+    /// event; off by default).
+    bool collect_link_stats = false;
+    /// TCP slow-start approximation (§V: "we implement [a] rate limiter
+    /// that behaves like TCP"): a flow's rate is additionally capped at
+    /// (tcp_initial_window + bytes_sent) / tcp_ramp_time — the fluid
+    /// analogue of a congestion window doubling every RTT. 0 disables the
+    /// ramp (pure max-min steady state, the default).
+    Time tcp_ramp_time = 0;
+    Bytes tcp_initial_window = 64 * kKB;
+  };
+
+  /// `fabric` and `scheduler` must outlive the simulator. Any Fabric
+  /// works: the paper's fat-tree or the big-switch abstraction.
+  Simulator(const Fabric& fabric, Scheduler& scheduler, Config config);
+  Simulator(const Fabric& fabric, Scheduler& scheduler)
+      : Simulator(fabric, scheduler, Config{}) {}
+
+  /// Registers a job (validated against the fabric). All jobs must be
+  /// submitted before run(). Returns the assigned job id.
+  JobId submit(const JobSpec& job);
+
+  /// Runs to completion of all submitted jobs and returns the results.
+  /// May be called once.
+  SimResults run();
+
+  [[nodiscard]] const SimState& state() const { return state_; }
+
+ private:
+  const Fabric* fabric_;
+  Scheduler* scheduler_;
+  Config config_;
+  SimState state_;
+  bool ran_ = false;
+
+  std::vector<FlowId> active_flows_;
+  Time now_ = 0;
+  /// Current link capacities (nominal, mutated by disruptions).
+  std::vector<Rate> capacities_;
+
+  void release_coflow(SimCoflow& coflow);
+  void finish_flow(SimFlow& flow);
+  void finish_coflow(SimCoflow& coflow);
+  void arrive_job(SimJob& job);
+};
+
+}  // namespace gurita

@@ -1,0 +1,123 @@
+// Runtime state of the flow-level simulation: flows, coflows and jobs with
+// their progress, plus the scheduling attributes the active scheduler
+// assigns. Schedulers receive `const SimState&` and may only mutate the
+// (tier, weight) attributes through the engine's assignment pass.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/ids.h"
+#include "common/units.h"
+#include "coflow/job.h"
+
+namespace gurita {
+
+/// Priority tier: lower value = strictly higher priority. Tiers express SPQ
+/// queues (0..Q-1), Baraat's FIFO batch serials, or composite orderings.
+using Tier = std::int64_t;
+
+struct SimFlow {
+  FlowId id;
+  JobId job;
+  /// Local coflow index within the owning job.
+  int coflow_index = 0;
+  int src_host = 0;
+  int dst_host = 0;
+  Bytes size = 0;
+  Bytes remaining = 0;
+  Time start_time = -1;
+  Time finish_time = -1;
+  std::vector<LinkId> path;
+
+  // --- set by the rate allocator each recomputation ---
+  Rate rate = 0;
+
+  // --- set by the scheduler ---
+  Tier tier = 0;
+  double weight = 1.0;
+
+  [[nodiscard]] bool started() const { return start_time >= 0; }
+  [[nodiscard]] bool finished() const { return finish_time >= 0; }
+  [[nodiscard]] bool active() const { return started() && !finished(); }
+  [[nodiscard]] Bytes bytes_sent() const { return size - remaining; }
+};
+
+struct SimCoflow {
+  CoflowId id;
+  JobId job;
+  /// Local index within the owning job's JobSpec.
+  int index = 0;
+  /// 1-based stage of this coflow within the job DAG.
+  int stage = 1;
+  std::vector<FlowId> flows;
+  int flows_remaining = 0;
+  int deps_remaining = 0;
+  Time release_time = -1;  ///< when dependencies completed and flows started
+  Time finish_time = -1;
+
+  [[nodiscard]] bool released() const { return release_time >= 0; }
+  [[nodiscard]] bool finished() const { return finish_time >= 0; }
+};
+
+struct SimJob {
+  JobId id;
+  JobSpec spec;
+  /// Global coflow ids of this job's coflows, parallel to spec.coflows.
+  std::vector<CoflowId> coflows;
+  /// 1-based stage per local coflow index.
+  std::vector<int> stage_of;
+  int num_stages = 1;
+  int coflows_remaining = 0;
+  Time arrival_time = 0;
+  Time finish_time = -1;
+  Bytes total_bytes = 0;
+
+  [[nodiscard]] bool finished() const { return finish_time >= 0; }
+  /// Number of fully completed stages: the largest k such that every coflow
+  /// with stage <= k has finished. Maintained by the engine.
+  int completed_stages = 0;
+};
+
+/// The complete simulation state; owned by the engine, read by schedulers.
+class SimState {
+ public:
+  [[nodiscard]] const SimFlow& flow(FlowId id) const {
+    GURITA_CHECK_MSG(id.value() < flows_.size(), "flow id out of range");
+    return flows_[id.value()];
+  }
+  [[nodiscard]] const SimCoflow& coflow(CoflowId id) const {
+    GURITA_CHECK_MSG(id.value() < coflows_.size(), "coflow id out of range");
+    return coflows_[id.value()];
+  }
+  [[nodiscard]] const SimJob& job(JobId id) const {
+    GURITA_CHECK_MSG(id.value() < jobs_.size(), "job id out of range");
+    return jobs_[id.value()];
+  }
+
+  [[nodiscard]] std::size_t flow_count() const { return flows_.size(); }
+  [[nodiscard]] std::size_t coflow_count() const { return coflows_.size(); }
+  [[nodiscard]] std::size_t job_count() const { return jobs_.size(); }
+
+  /// Bytes sent so far by coflow `id` (sum over its flows).
+  [[nodiscard]] Bytes coflow_bytes_sent(CoflowId id) const;
+  /// Total bytes of coflow `id`.
+  [[nodiscard]] Bytes coflow_total_bytes(CoflowId id) const;
+  /// Bytes sent so far by job `id` in stage `stage`.
+  [[nodiscard]] Bytes job_stage_bytes_sent(JobId id, int stage) const;
+  /// Bytes sent so far by job `id` across all stages (the TBS signal the
+  /// paper's baselines schedule on).
+  [[nodiscard]] Bytes job_bytes_sent(JobId id) const;
+  /// Number of currently transmitting (active) flows of coflow `id` —
+  /// "open connections" as observed at receivers.
+  [[nodiscard]] int coflow_open_connections(CoflowId id) const;
+
+ private:
+  friend class Simulator;
+  std::vector<SimFlow> flows_;
+  std::vector<SimCoflow> coflows_;
+  std::vector<SimJob> jobs_;
+};
+
+}  // namespace gurita

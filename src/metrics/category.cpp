@@ -1,0 +1,38 @@
+#include "metrics/category.h"
+
+#include "common/check.h"
+
+namespace gurita {
+
+const std::array<Bytes, kNumCategories>& category_lower_bounds() {
+  static const std::array<Bytes, kNumCategories> bounds = {
+      6 * kMB,    // I
+      81 * kMB,   // II
+      801 * kMB,  // III
+      8 * kGB,    // IV
+      10 * kGB,   // V
+      100 * kGB,  // VI
+      1 * kTB,    // VII
+  };
+  return bounds;
+}
+
+int category_of(Bytes total_bytes) {
+  GURITA_CHECK_MSG(total_bytes >= 0, "negative job size");
+  const auto& bounds = category_lower_bounds();
+  int cat = 0;
+  for (int i = 1; i < kNumCategories; ++i) {
+    if (total_bytes >= bounds[static_cast<std::size_t>(i)]) cat = i;
+  }
+  return cat;
+}
+
+std::string category_name(int category) {
+  static const char* names[kNumCategories] = {"I",  "II", "III", "IV",
+                                              "V",  "VI", "VII"};
+  GURITA_CHECK_MSG(category >= 0 && category < kNumCategories,
+                   "category out of range");
+  return names[category];
+}
+
+}  // namespace gurita

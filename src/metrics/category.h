@@ -1,0 +1,27 @@
+// Table 1 of the paper: the seven categories of multi-stage job size used
+// throughout the evaluation (Figs. 6–8).
+//
+//   I: 6MB–80MB   II: 81MB–800MB   III: 801MB–8GB   IV: 8GB–10GB
+//   V: 10GB–100GB VI: 100GB–1TB    VII: > 1TB
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "common/units.h"
+
+namespace gurita {
+
+inline constexpr int kNumCategories = 7;
+
+/// Inclusive lower bound of each category in bytes.
+[[nodiscard]] const std::array<Bytes, kNumCategories>& category_lower_bounds();
+
+/// Category index (0-based: 0 = "I" ... 6 = "VII") for a job's total bytes.
+/// Jobs below 6 MB fold into category I, matching the trace's minimum.
+[[nodiscard]] int category_of(Bytes total_bytes);
+
+/// Roman-numeral label, "I" .. "VII".
+[[nodiscard]] std::string category_name(int category);
+
+}  // namespace gurita

@@ -1,0 +1,66 @@
+#include "metrics/collector.h"
+
+#include "common/check.h"
+
+namespace gurita {
+
+void JctCollector::add(const SimResults& results) {
+  for (const SimResults::JobResult& j : results.jobs) {
+    all_.add(j.jct());
+    by_category_[static_cast<std::size_t>(category_of(j.total_bytes))].add(
+        j.jct());
+  }
+}
+
+double JctCollector::average_jct(int category) const {
+  GURITA_CHECK_MSG(category >= 0 && category < kNumCategories,
+                   "category out of range");
+  return by_category_[static_cast<std::size_t>(category)].mean();
+}
+
+std::size_t JctCollector::jobs(int category) const {
+  GURITA_CHECK_MSG(category >= 0 && category < kNumCategories,
+                   "category out of range");
+  return by_category_[static_cast<std::size_t>(category)].count();
+}
+
+double JctCollector::p95_jct() const {
+  return all_.empty() ? 0.0 : all_.percentile(95);
+}
+
+double mean_per_job_speedup(const SimResults& reference,
+                            const SimResults& other, int category) {
+  GURITA_CHECK_MSG(reference.jobs.size() == other.jobs.size(),
+                   "speedup requires runs over the same workload");
+  double sum = 0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < reference.jobs.size(); ++i) {
+    const auto& ref = reference.jobs[i];
+    const auto& oth = other.jobs[i];
+    GURITA_CHECK_MSG(ref.id == oth.id, "job populations differ");
+    if (category >= 0 && category_of(ref.total_bytes) != category) continue;
+    if (ref.jct() <= 0) continue;
+    sum += oth.jct() / ref.jct();
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double improvement_factor(const JctCollector& reference,
+                          const JctCollector& other, int category) {
+  double ref_jct = 0;
+  double other_jct = 0;
+  if (category < 0) {
+    if (reference.total_jobs() == 0 || other.total_jobs() == 0) return 0.0;
+    ref_jct = reference.average_jct();
+    other_jct = other.average_jct();
+  } else {
+    if (reference.jobs(category) == 0 || other.jobs(category) == 0) return 0.0;
+    ref_jct = reference.average_jct(category);
+    other_jct = other.average_jct(category);
+  }
+  if (ref_jct <= 0) return 0.0;
+  return other_jct / ref_jct;
+}
+
+}  // namespace gurita

@@ -1,0 +1,52 @@
+// Aggregation of simulation results into the paper's metrics: average JCT
+// (overall and per size category) and the improvement factor
+//
+//   improvement = avg JCT of scheme' / avg JCT of Gurita
+//
+// "if the improvement is greater (smaller) than one, Gurita is faster
+// (slower)" (§V).
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "common/stats.h"
+#include "flowsim/simulator.h"
+#include "metrics/category.h"
+
+namespace gurita {
+
+class JctCollector {
+ public:
+  /// Ingests every job of a run.
+  void add(const SimResults& results);
+
+  [[nodiscard]] double average_jct() const { return all_.mean(); }
+  [[nodiscard]] double average_jct(int category) const;
+  [[nodiscard]] std::size_t jobs(int category) const;
+  [[nodiscard]] std::size_t total_jobs() const { return all_.count(); }
+  [[nodiscard]] double p95_jct() const;
+
+ private:
+  Samples all_;
+  std::array<Samples, kNumCategories> by_category_;
+};
+
+/// Improvement of `reference` (Gurita) over `other`, per the paper's
+/// definition: other's average JCT divided by reference's. Returns 0 when
+/// either side has no jobs in the category (category = -1 → overall).
+[[nodiscard]] double improvement_factor(const JctCollector& reference,
+                                        const JctCollector& other,
+                                        int category = -1);
+
+/// Mean per-job speedup: average over the shared job population of
+/// JCT_other / JCT_reference. Both runs must replay the same workload
+/// (jobs aligned by id). Unlike the ratio of averages — which the few
+/// giant jobs dominate — this weights every job equally, so it surfaces
+/// the improvement experienced by the typical job. `category` = -1 for
+/// all jobs.
+[[nodiscard]] double mean_per_job_speedup(const SimResults& reference,
+                                          const SimResults& other,
+                                          int category = -1);
+
+}  // namespace gurita

@@ -1,0 +1,41 @@
+#include "metrics/deadlines.h"
+
+#include <algorithm>
+
+#include "coflow/critical_path.h"
+#include "common/check.h"
+
+namespace gurita {
+
+TardinessReport tardiness_report(const std::vector<JobSpec>& jobs,
+                                 const SimResults& results) {
+  GURITA_CHECK_MSG(jobs.size() == results.jobs.size(),
+                   "spec and result job populations differ");
+  TardinessReport report;
+  double total_tardiness = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (!jobs[i].has_deadline()) continue;
+    ++report.jobs_with_deadline;
+    const double tardiness =
+        std::max(0.0, results.jobs[i].finish - jobs[i].deadline);
+    if (tardiness > 0) ++report.misses;
+    total_tardiness += tardiness;
+    report.max_tardiness = std::max(report.max_tardiness, tardiness);
+  }
+  if (report.jobs_with_deadline > 0)
+    report.mean_tardiness =
+        total_tardiness / static_cast<double>(report.jobs_with_deadline);
+  return report;
+}
+
+void assign_deadlines(std::vector<JobSpec>& jobs, Rng& rng, double tight,
+                      double loose, Rate line_rate) {
+  GURITA_CHECK_MSG(tight > 1.0 && loose >= tight,
+                   "slack factors must satisfy 1 < tight <= loose");
+  for (JobSpec& job : jobs) {
+    const double bound = jct_lower_bound(job, line_rate);
+    job.deadline = job.arrival_time + rng.uniform(tight, loose) * bound;
+  }
+}
+
+}  // namespace gurita

@@ -1,0 +1,40 @@
+// Deadline / tardiness metrics — Johnson's fourth rule ("avoid tardiness:
+// tardiness is the time that elapses between when a job is supposed to
+// complete and when it actually completes", §IV.A) made measurable.
+#pragma once
+
+#include <vector>
+
+#include "coflow/job.h"
+#include "common/rng.h"
+#include "flowsim/simulator.h"
+
+namespace gurita {
+
+struct TardinessReport {
+  std::size_t jobs_with_deadline = 0;
+  std::size_t misses = 0;
+  double mean_tardiness = 0;  ///< over deadline-carrying jobs (0 if met)
+  double max_tardiness = 0;
+
+  [[nodiscard]] double miss_rate() const {
+    return jobs_with_deadline == 0
+               ? 0.0
+               : static_cast<double>(misses) /
+                     static_cast<double>(jobs_with_deadline);
+  }
+};
+
+/// Evaluates deadline outcomes. `jobs` are the submitted specs in job-id
+/// order (matching `results.jobs`); jobs without deadlines are ignored.
+[[nodiscard]] TardinessReport tardiness_report(
+    const std::vector<JobSpec>& jobs, const SimResults& results);
+
+/// Assigns every job a deadline of
+///   arrival + slack_factor × critical-path bound at `line_rate`
+/// with slack_factor drawn uniformly from [tight, loose] (both > 1 —
+/// a deadline below the physical bound is unmeetable by construction).
+void assign_deadlines(std::vector<JobSpec>& jobs, Rng& rng, double tight,
+                      double loose, Rate line_rate);
+
+}  // namespace gurita

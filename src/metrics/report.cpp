@@ -1,0 +1,49 @@
+#include "metrics/report.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace gurita {
+
+TextTable::TextTable(std::vector<std::string> header) {
+  GURITA_CHECK_MSG(!header.empty(), "table needs at least one column");
+  rows_.push_back(std::move(header));
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  GURITA_CHECK_MSG(row.size() == rows_.front().size(),
+                   "row width differs from header");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::num(double v) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3) << v;
+  return os.str();
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> width(rows_.front().size(), 0);
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream os;
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(width[c]) + 2)
+         << rows_[r][c];
+    }
+    os << "\n";
+    if (r == 0) {
+      for (std::size_t c = 0; c < width.size(); ++c)
+        os << std::string(width[c], '-') << "  ";
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace gurita

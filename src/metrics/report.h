@@ -1,0 +1,25 @@
+// Fixed-width text tables for bench output — the rows/series the paper's
+// figures plot, printed in a form diffable across runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gurita {
+
+/// Simple column-aligned table builder.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  /// Formats a double with 3 significant decimals.
+  [[nodiscard]] static std::string num(double v);
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gurita

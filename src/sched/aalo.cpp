@@ -1,0 +1,38 @@
+#include "sched/aalo.h"
+
+namespace gurita {
+
+namespace {
+/// Room for FIFO ranks below one queue step in the composite tier.
+constexpr Tier kQueueStride = 1LL << 40;
+}  // namespace
+
+void AaloScheduler::on_coflow_release(const SimCoflow& coflow, Time now) {
+  (void)now;
+  fifo_rank_.emplace(coflow.id, next_rank_++);
+  queue_of_.emplace(coflow.id, 0);
+}
+
+void AaloScheduler::assign(Time now, std::vector<SimFlow*>& active) {
+  (void)now;
+  for (SimFlow* f : active) {
+    const SimJob& job = state().job(f->job);
+    const CoflowId cid = job.coflows[f->coflow_index];
+    auto qit = queue_of_.find(cid);
+    GURITA_CHECK_MSG(qit != queue_of_.end(), "flow of an unknown coflow");
+    // Global instantaneous signal: bytes this coflow has sent so far.
+    qit->second =
+        std::max(qit->second, thresholds_.level(state().coflow_bytes_sent(cid)));
+    const Tier queue = qit->second;
+    if (config_.intra_queue_fifo) {
+      const Tier rank = static_cast<Tier>(fifo_rank_.at(cid));
+      GURITA_CHECK_MSG(rank < kQueueStride, "FIFO rank overflowed tier stride");
+      f->tier = queue * kQueueStride + rank;
+    } else {
+      f->tier = queue;
+    }
+    f->weight = 1.0;
+  }
+}
+
+}  // namespace gurita

@@ -1,0 +1,49 @@
+#include "sched/baraat.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace gurita {
+
+void BaraatScheduler::on_job_arrival(const SimJob& job, Time now) {
+  (void)now;
+  serial_.emplace(job.id, next_serial_++);
+}
+
+void BaraatScheduler::assign(Time now, std::vector<SimFlow*>& active) {
+  (void)now;
+  // Jobs with at least one active flow, in FIFO (serial) order.
+  std::vector<std::pair<std::uint64_t, JobId>> jobs;
+  for (const SimFlow* f : active) {
+    const auto it = serial_.find(f->job);
+    GURITA_CHECK_MSG(it != serial_.end(), "flow of an unknown job");
+    jobs.emplace_back(it->second, f->job);
+  }
+  std::sort(jobs.begin(), jobs.end());
+  jobs.erase(std::unique(jobs.begin(), jobs.end()), jobs.end());
+
+  // Form service groups: each tier holds up to `base_multiplexing` light
+  // jobs; heavy jobs ride along without occupying a slot (they no longer
+  // block the queue behind them).
+  GURITA_CHECK_MSG(config_.base_multiplexing >= 1,
+                   "base multiplexing must be >= 1");
+  std::unordered_map<JobId, Tier> tier_of;
+  Tier tier = 0;
+  int light_in_group = 0;
+  for (const auto& [serial, id] : jobs) {
+    (void)serial;
+    const bool heavy = state().job_bytes_sent(id) > config_.heavy_threshold;
+    tier_of[id] = tier;
+    if (!heavy && ++light_in_group >= config_.base_multiplexing) {
+      ++tier;
+      light_in_group = 0;
+    }
+  }
+
+  for (SimFlow* f : active) {
+    f->tier = tier_of.at(f->job);
+    f->weight = 1.0;
+  }
+}
+
+}  // namespace gurita

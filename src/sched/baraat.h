@@ -1,0 +1,49 @@
+// Baraat — decentralized task-aware scheduling (Dogar et al., SIGCOMM'14),
+// "the current state of the art decentralized scheduler" the paper compares
+// against: FIFO with Limited Multiplexing (FIFO-LM).
+//
+// Jobs (tasks) are served in arrival order, identified by a globally
+// increasing serial. Pure FIFO would let an elephant head-of-line block
+// everyone, so FIFO-LM (a) keeps a base multiplexing level — the first M
+// jobs in arrival order share the network — and (b) detects *heavy* jobs
+// (accumulated bytes beyond a threshold) which stop occupying a
+// multiplexing slot, letting the jobs queued behind them through. We
+// realize this by forming service groups over the arrival order: a group
+// holds up to `base_multiplexing` light jobs plus every heavy job
+// interleaved among them; groups map to allocator tiers in order, and
+// flows within a group share fairly.
+#pragma once
+
+#include <unordered_map>
+
+#include "common/units.h"
+#include "flowsim/scheduler.h"
+
+namespace gurita {
+
+class BaraatScheduler final : public Scheduler {
+ public:
+  struct Config {
+    /// A job with more accumulated bytes than this is "heavy" and stops
+    /// blocking the jobs queued behind it.
+    Bytes heavy_threshold = 100 * kMB;
+    /// Light jobs that may share the network concurrently (FIFO-LM's base
+    /// multiplexing level).
+    int base_multiplexing = 4;
+  };
+
+  BaraatScheduler() : BaraatScheduler(Config{}) {}
+  explicit BaraatScheduler(const Config& config) : config_(config) {}
+
+  [[nodiscard]] std::string name() const override { return "baraat"; }
+
+  void on_job_arrival(const SimJob& job, Time now) override;
+  void assign(Time now, std::vector<SimFlow*>& active) override;
+
+ private:
+  Config config_;
+  std::unordered_map<JobId, std::uint64_t> serial_;
+  std::uint64_t next_serial_ = 0;
+};
+
+}  // namespace gurita

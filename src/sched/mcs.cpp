@@ -1,0 +1,51 @@
+#include "sched/mcs.h"
+
+#include <algorithm>
+
+namespace gurita {
+
+void McsScheduler::on_coflow_release(const SimCoflow& coflow, Time now) {
+  (void)now;
+  queue_of_.emplace(coflow.id, 0);
+}
+
+void McsScheduler::on_coflow_finish(const SimCoflow& coflow, Time now) {
+  (void)now;
+  queue_of_.erase(coflow.id);
+}
+
+bool McsScheduler::on_tick(Time now) {
+  (void)now;
+  bool changed = false;
+  for (auto& [cid, queue] : queue_of_) {
+    const SimCoflow& coflow = state().coflow(cid);
+    if (coflow.finished()) continue;
+    Bytes ell_max = 0;
+    int open = 0;
+    for (FlowId fid : coflow.flows) {
+      const SimFlow& f = state().flow(fid);
+      ell_max = std::max(ell_max, f.bytes_sent());
+      if (f.active()) ++open;
+    }
+    const double signal = ell_max * static_cast<double>(open);
+    const int level = thresholds_.level(signal);
+    if (level > queue) {
+      queue = level;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+void McsScheduler::assign(Time now, std::vector<SimFlow*>& active) {
+  (void)now;
+  for (SimFlow* f : active) {
+    const CoflowId cid = state().job(f->job).coflows[f->coflow_index];
+    const auto it = queue_of_.find(cid);
+    GURITA_CHECK_MSG(it != queue_of_.end(), "flow of an unknown coflow");
+    f->tier = it->second;
+    f->weight = 1.0;
+  }
+}
+
+}  // namespace gurita

@@ -1,0 +1,26 @@
+// Per-Flow Fair Sharing (PFS) — the paper's baseline.
+//
+// "A scheduling scheme that divides the resource capacity equally among
+// flows traversing the same link" (§V): exactly (unweighted) max-min
+// fairness, which is what TCP approximates in steady state. Every flow is
+// placed in one tier with weight 1.
+#pragma once
+
+#include "flowsim/scheduler.h"
+
+namespace gurita {
+
+class PfsScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "pfs"; }
+
+  void assign(Time now, std::vector<SimFlow*>& active) override {
+    (void)now;
+    for (SimFlow* f : active) {
+      f->tier = 0;
+      f->weight = 1.0;
+    }
+  }
+};
+
+}  // namespace gurita

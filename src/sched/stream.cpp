@@ -1,0 +1,35 @@
+#include "sched/stream.h"
+
+namespace gurita {
+
+void StreamScheduler::on_job_arrival(const SimJob& job, Time now) {
+  (void)now;
+  queue_of_.emplace(job.id, 0);  // jobs start at the highest priority
+}
+
+bool StreamScheduler::on_tick(Time now) {
+  (void)now;
+  bool changed = false;
+  for (auto& [id, q] : queue_of_) {
+    if (state().job(id).finished()) continue;
+    // Demotion only: priority never climbs back (bytes sent is monotone).
+    const int level = thresholds_.level(state().job_bytes_sent(id));
+    if (level > q) {
+      q = level;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+void StreamScheduler::assign(Time now, std::vector<SimFlow*>& active) {
+  (void)now;
+  for (SimFlow* f : active) {
+    const auto it = queue_of_.find(f->job);
+    GURITA_CHECK_MSG(it != queue_of_.end(), "flow of an unknown job");
+    f->tier = it->second;
+    f->weight = 1.0;
+  }
+}
+
+}  // namespace gurita

@@ -1,0 +1,32 @@
+#include "sched/thresholds.h"
+
+namespace gurita {
+
+ExpThresholds::ExpThresholds(int queues, double first, double multiplier)
+    : queues_(queues) {
+  GURITA_CHECK_MSG(queues >= 1, "need at least one queue");
+  GURITA_CHECK_MSG(first > 0, "first threshold must be positive");
+  GURITA_CHECK_MSG(multiplier > 1, "multiplier must exceed 1");
+  thresholds_.reserve(static_cast<std::size_t>(queues) - 1);
+  double t = first;
+  for (int i = 0; i + 1 < queues; ++i) {
+    thresholds_.push_back(t);
+    t *= multiplier;
+  }
+}
+
+int ExpThresholds::level(double x) const {
+  GURITA_CHECK_MSG(x >= 0, "negative signal value");
+  int lvl = 0;
+  while (lvl < static_cast<int>(thresholds_.size()) && x >= thresholds_[lvl])
+    ++lvl;
+  return lvl;
+}
+
+double ExpThresholds::threshold(int i) const {
+  GURITA_CHECK_MSG(i >= 0 && i < static_cast<int>(thresholds_.size()),
+                   "threshold index out of range");
+  return thresholds_[i];
+}
+
+}  // namespace gurita

@@ -1,0 +1,35 @@
+// Exponentially-spaced priority-demotion thresholds.
+//
+// TBS-style schedulers (Stream, Aalo) and Gurita all map a scalar signal
+// (bytes sent, or blocking effect Ψ) onto one of Q priority queues by
+// comparing it against exponentially spaced thresholds, "as recommended by
+// [Aalo, SIGCOMM'15]": queue 0 holds signals below t_0, queue i holds
+// signals in [t_{i-1}, t_i), and the last queue everything above t_{Q-2}.
+#pragma once
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace gurita {
+
+class ExpThresholds {
+ public:
+  /// `queues` >= 1 priority levels; thresholds t_i = first * multiplier^i
+  /// for i in [0, queues-1). `first` > 0, `multiplier` > 1.
+  ExpThresholds(int queues, double first, double multiplier);
+
+  [[nodiscard]] int queues() const { return queues_; }
+
+  /// Queue (0 = highest priority) for signal value `x` >= 0.
+  [[nodiscard]] int level(double x) const;
+
+  /// Threshold i (upper bound of queue i), i in [0, queues-1).
+  [[nodiscard]] double threshold(int i) const;
+
+ private:
+  int queues_;
+  std::vector<double> thresholds_;
+};
+
+}  // namespace gurita

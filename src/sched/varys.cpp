@@ -1,0 +1,55 @@
+#include "sched/varys.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace gurita {
+
+Bytes VarysScheduler::bottleneck_bytes(
+    const std::vector<const SimFlow*>& flows) {
+  std::unordered_map<int, Bytes> out_port;  // per src host
+  std::unordered_map<int, Bytes> in_port;   // per dst host
+  for (const SimFlow* f : flows) {
+    out_port[f->src_host] += f->remaining;
+    in_port[f->dst_host] += f->remaining;
+  }
+  Bytes bottleneck = 0;
+  for (const auto& [host, bytes] : out_port)
+    bottleneck = std::max(bottleneck, bytes);
+  for (const auto& [host, bytes] : in_port)
+    bottleneck = std::max(bottleneck, bytes);
+  return bottleneck;
+}
+
+void VarysScheduler::assign(Time now, std::vector<SimFlow*>& active) {
+  (void)now;
+  // Group active flows by coflow and compute each coflow's remaining Γ.
+  std::map<std::uint64_t, std::vector<const SimFlow*>> by_coflow;
+  for (const SimFlow* f : active) {
+    const CoflowId cid = state().job(f->job).coflows[f->coflow_index];
+    by_coflow[cid.value()].push_back(f);
+  }
+
+  // SEBF: ascending Γ; ties broken by coflow id for determinism.
+  std::vector<std::pair<double, std::uint64_t>> order;
+  order.reserve(by_coflow.size());
+  for (const auto& [cid, flows] : by_coflow)
+    order.emplace_back(bottleneck_bytes(flows) / config_.port_rate, cid);
+  std::sort(order.begin(), order.end());
+
+  std::unordered_map<std::uint64_t, Tier> tier_of;
+  Tier tier = 0;
+  for (const auto& [gamma, cid] : order) {
+    (void)gamma;
+    tier_of[cid] = tier++;
+  }
+
+  for (SimFlow* f : active) {
+    const CoflowId cid = state().job(f->job).coflows[f->coflow_index];
+    f->tier = tier_of.at(cid.value());
+    f->weight = 1.0;
+  }
+}
+
+}  // namespace gurita

@@ -1,0 +1,29 @@
+#include "topology/ecmp.h"
+
+namespace gurita {
+
+namespace {
+std::uint64_t mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+std::uint64_t EcmpRouter::hash(FlowId flow, int src_host,
+                               int dst_host) const {
+  std::uint64_t h = salt_ ^ 0x9e3779b97f4a7c15ULL;
+  h = mix(h ^ flow.value());
+  h = mix(h ^ static_cast<std::uint64_t>(src_host));
+  h = mix(h ^ static_cast<std::uint64_t>(dst_host));
+  return h;
+}
+
+std::vector<LinkId> EcmpRouter::route(FlowId flow, int src_host,
+                                      int dst_host) const {
+  const std::uint64_t h = hash(flow, src_host, dst_host);
+  // Split the hash into two independent choices (up path, core member).
+  return fabric_->path(src_host, dst_host, h & 0xffffffffULL, h >> 32);
+}
+
+}  // namespace gurita

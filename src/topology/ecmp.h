@@ -1,0 +1,36 @@
+// Equal-Cost Multi-Path (ECMP) routing over the fat-tree.
+//
+// Real switches hash the 5-tuple to pick among equal-cost next hops; we hash
+// the (flow id, src, dst) triple — stable for a flow's lifetime, independent
+// across flows — and let the fat-tree resolve the hash into a concrete path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "topology/fattree.h"
+
+namespace gurita {
+
+class EcmpRouter {
+ public:
+  /// `salt` perturbs the hash so experiments can vary routing independently
+  /// of workload randomness.
+  explicit EcmpRouter(const FatTree& fabric, std::uint64_t salt = 0)
+      : fabric_(&fabric), salt_(salt) {}
+
+  /// Path for `flow` from src_host to dst_host (host indices).
+  [[nodiscard]] std::vector<LinkId> route(FlowId flow, int src_host,
+                                          int dst_host) const;
+
+  /// The hash ECMP would use for this flow (exposed for tests).
+  [[nodiscard]] std::uint64_t hash(FlowId flow, int src_host,
+                                   int dst_host) const;
+
+ private:
+  const FatTree* fabric_;
+  std::uint64_t salt_;
+};
+
+}  // namespace gurita

@@ -1,0 +1,156 @@
+#include "topology/fattree.h"
+
+#include "topology/ecmp.h"
+
+namespace gurita {
+
+std::vector<LinkId> FatTree::route(FlowId flow, int src_host,
+                                   int dst_host) const {
+  return EcmpRouter(*this, ecmp_salt_).route(flow, src_host, dst_host);
+}
+
+FatTree::FatTree(const Config& config)
+    : k_(config.k), half_(config.k / 2), ecmp_salt_(config.ecmp_salt) {
+  GURITA_CHECK_MSG(k_ >= 2 && k_ % 2 == 0, "fat-tree k must be even, >= 2");
+  GURITA_CHECK_MSG(config.link_capacity > 0, "capacity must be positive");
+
+  const int hosts_per_pod = half_ * half_;
+  hosts_.reserve(static_cast<std::size_t>(k_) * hosts_per_pod);
+  edges_.reserve(static_cast<std::size_t>(k_) * half_);
+  aggs_.reserve(static_cast<std::size_t>(k_) * half_);
+  cores_.reserve(static_cast<std::size_t>(half_) * half_);
+
+  for (int pod = 0; pod < k_; ++pod) {
+    for (int e = 0; e < half_; ++e)
+      edges_.push_back(topo_.add_node(NodeKind::kEdgeSwitch, pod, e));
+    for (int a = 0; a < half_; ++a)
+      aggs_.push_back(topo_.add_node(NodeKind::kAggSwitch, pod, a));
+    for (int h = 0; h < hosts_per_pod; ++h)
+      hosts_.push_back(topo_.add_node(NodeKind::kHost, pod, h));
+  }
+  for (int group = 0; group < half_; ++group) {
+    for (int member = 0; member < half_; ++member)
+      cores_.push_back(
+          topo_.add_node(NodeKind::kCoreSwitch, -1, group * half_ + member));
+  }
+
+  // host <-> edge
+  for (int h = 0; h < num_hosts(); ++h)
+    topo_.add_duplex(hosts_[h], edge_of_host(h), config.link_capacity);
+  // edge <-> agg (full bipartite within pod)
+  for (int pod = 0; pod < k_; ++pod)
+    for (int e = 0; e < half_; ++e)
+      for (int a = 0; a < half_; ++a)
+        topo_.add_duplex(edge_switch(pod, e), agg_switch(pod, a),
+                         config.link_capacity);
+  // agg <-> core: agg `g` of each pod connects to all cores in group `g`
+  for (int pod = 0; pod < k_; ++pod)
+    for (int g = 0; g < half_; ++g)
+      for (int m = 0; m < half_; ++m)
+        topo_.add_duplex(agg_switch(pod, g), core_switch(g, m),
+                         config.link_capacity);
+}
+
+void FatTree::check_host(int h) const {
+  GURITA_CHECK_MSG(h >= 0 && h < num_hosts(), "host index out of range");
+}
+
+NodeId FatTree::host(int h) const {
+  check_host(h);
+  return hosts_[h];
+}
+
+int FatTree::pod_of_host(int h) const {
+  check_host(h);
+  return h / (half_ * half_);
+}
+
+NodeId FatTree::edge_of_host(int h) const {
+  check_host(h);
+  const int pod = pod_of_host(h);
+  const int within = h % (half_ * half_);
+  return edge_switch(pod, within / half_);
+}
+
+NodeId FatTree::edge_switch(int pod, int index) const {
+  GURITA_CHECK_MSG(pod >= 0 && pod < k_ && index >= 0 && index < half_,
+                   "edge switch coordinates out of range");
+  return edges_[pod * half_ + index];
+}
+
+NodeId FatTree::agg_switch(int pod, int index) const {
+  GURITA_CHECK_MSG(pod >= 0 && pod < k_ && index >= 0 && index < half_,
+                   "agg switch coordinates out of range");
+  return aggs_[pod * half_ + index];
+}
+
+NodeId FatTree::core_switch(int group, int member) const {
+  GURITA_CHECK_MSG(group >= 0 && group < half_ && member >= 0 &&
+                       member < half_,
+                   "core switch coordinates out of range");
+  return cores_[group * half_ + member];
+}
+
+std::size_t FatTree::path_count(int src_host, int dst_host) const {
+  check_host(src_host);
+  check_host(dst_host);
+  GURITA_CHECK_MSG(src_host != dst_host, "path between identical hosts");
+  if (edge_of_host(src_host) == edge_of_host(dst_host)) return 1;
+  if (pod_of_host(src_host) == pod_of_host(dst_host))
+    return static_cast<std::size_t>(half_);
+  return static_cast<std::size_t>(half_) * half_;
+}
+
+std::vector<LinkId> FatTree::path(int src_host, int dst_host,
+                                  std::uint64_t up_choice,
+                                  std::uint64_t core_choice) const {
+  check_host(src_host);
+  check_host(dst_host);
+  GURITA_CHECK_MSG(src_host != dst_host, "path between identical hosts");
+
+  const NodeId src = hosts_[src_host];
+  const NodeId dst = hosts_[dst_host];
+  const NodeId src_edge = edge_of_host(src_host);
+  const NodeId dst_edge = edge_of_host(dst_host);
+
+  std::vector<LinkId> links;
+  const auto push = [&](NodeId a, NodeId b) {
+    const LinkId id = topo_.find_link(a, b);
+    GURITA_CHECK_MSG(id.valid(), "fat-tree path traversed a missing link");
+    links.push_back(id);
+  };
+
+  if (src_edge == dst_edge) {
+    push(src, src_edge);
+    push(src_edge, dst);
+    return links;
+  }
+
+  const int src_pod = pod_of_host(src_host);
+  const int dst_pod = pod_of_host(dst_host);
+  const int agg_idx = static_cast<int>(up_choice % static_cast<std::uint64_t>(half_));
+
+  if (src_pod == dst_pod) {
+    const NodeId agg = agg_switch(src_pod, agg_idx);
+    push(src, src_edge);
+    push(src_edge, agg);
+    push(agg, dst_edge);
+    push(dst_edge, dst);
+    return links;
+  }
+
+  const int member =
+      static_cast<int>(core_choice % static_cast<std::uint64_t>(half_));
+  const NodeId up_agg = agg_switch(src_pod, agg_idx);
+  const NodeId core = core_switch(agg_idx, member);
+  const NodeId down_agg = agg_switch(dst_pod, agg_idx);
+  push(src, src_edge);
+  push(src_edge, up_agg);
+  push(up_agg, core);
+  push(core, down_agg);
+  push(down_agg, dst_edge);
+  push(dst_edge, dst);
+  return links;
+}
+
+}  // namespace gurita

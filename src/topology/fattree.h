@@ -1,0 +1,78 @@
+// k-ary fat-tree datacenter topology (Al-Fares et al., SIGCOMM 2008),
+// the topology used in the paper's evaluation: 8 pods → 128 servers and
+// 80 switches; 48 pods → 27,648 servers and 2,880 switches.
+//
+// Layout for even k:
+//   - k pods; each pod has k/2 edge switches and k/2 aggregation switches;
+//   - each edge switch serves k/2 hosts → k^3/4 hosts total;
+//   - (k/2)^2 core switches in k/2 groups of k/2; core group g attaches to
+//     aggregation switch g of every pod.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+#include "topology/fabric.h"
+#include "topology/graph.h"
+
+namespace gurita {
+
+class FatTree final : public Fabric {
+ public:
+  struct Config {
+    int k = 8;                         ///< pod count; must be even, >= 2
+    Rate link_capacity = gbps(10.0);   ///< uniform everywhere (10G switches)
+    std::uint64_t ecmp_salt = 0;       ///< perturbs ECMP hashing
+  };
+
+  explicit FatTree(const Config& config);
+
+  [[nodiscard]] const Topology& topology() const override { return topo_; }
+  [[nodiscard]] int k() const { return k_; }
+  [[nodiscard]] int num_hosts() const override { return k_ * k_ * k_ / 4; }
+
+  /// ECMP route (Fabric interface): hashes (flow, src, dst) with the
+  /// configured salt into one of the equal-cost paths.
+  [[nodiscard]] std::vector<LinkId> route(FlowId flow, int src_host,
+                                          int dst_host) const override;
+  [[nodiscard]] int num_switches() const {
+    return k_ * k_ + k_ * k_ / 4;  // k*(k/2 edge + k/2 agg) + (k/2)^2 core
+  }
+
+  /// NodeId of host `h` in [0, num_hosts).
+  [[nodiscard]] NodeId host(int h) const;
+  [[nodiscard]] int pod_of_host(int h) const;
+  /// Edge switch serving host `h`.
+  [[nodiscard]] NodeId edge_of_host(int h) const;
+
+  [[nodiscard]] NodeId edge_switch(int pod, int index) const;
+  [[nodiscard]] NodeId agg_switch(int pod, int index) const;
+  /// Core switch in group `group` (attached to agg index `group`), member
+  /// `member`, both in [0, k/2).
+  [[nodiscard]] NodeId core_switch(int group, int member) const;
+
+  /// Shortest path (as directed link ids) from src host to dst host.
+  /// `up_choice` / `core_choice` pick among the equal-cost alternatives
+  /// (callers hash flow identity into them; ECMP lives in ecmp.h).
+  /// Precondition: src_host != dst_host.
+  [[nodiscard]] std::vector<LinkId> path(int src_host, int dst_host,
+                                         std::uint64_t up_choice,
+                                         std::uint64_t core_choice) const;
+
+  /// Number of equal-cost paths between two distinct hosts.
+  [[nodiscard]] std::size_t path_count(int src_host, int dst_host) const;
+
+ private:
+  int k_;
+  int half_;  // k/2
+  std::uint64_t ecmp_salt_;
+  Topology topo_;
+  std::vector<NodeId> hosts_;
+  std::vector<NodeId> edges_;  // pod-major: pod * half_ + index
+  std::vector<NodeId> aggs_;   // pod-major
+  std::vector<NodeId> cores_;  // group-major: group * half_ + member
+  void check_host(int h) const;
+};
+
+}  // namespace gurita

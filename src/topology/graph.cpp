@@ -1,0 +1,63 @@
+#include "topology/graph.h"
+
+namespace gurita {
+
+const char* to_string(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kHost:
+      return "host";
+    case NodeKind::kEdgeSwitch:
+      return "edge";
+    case NodeKind::kAggSwitch:
+      return "agg";
+    case NodeKind::kCoreSwitch:
+      return "core";
+  }
+  return "?";
+}
+
+NodeId Topology::add_node(NodeKind kind, int pod, int index) {
+  const NodeId id{nodes_.size()};
+  nodes_.push_back(Node{id, kind, pod, index});
+  out_.emplace_back();
+  return id;
+}
+
+LinkId Topology::add_link(NodeId src, NodeId dst, Rate capacity) {
+  GURITA_CHECK_MSG(src.value() < nodes_.size(), "link src out of range");
+  GURITA_CHECK_MSG(dst.value() < nodes_.size(), "link dst out of range");
+  GURITA_CHECK_MSG(src != dst, "self loop");
+  GURITA_CHECK_MSG(capacity > 0, "link capacity must be positive");
+  GURITA_CHECK_MSG(!find_link(src, dst).valid(), "duplicate link");
+  const LinkId id{links_.size()};
+  links_.push_back(Link{id, src, dst, capacity});
+  out_[src.value()].push_back(id);
+  by_endpoints_.emplace(key(src, dst), id);
+  return id;
+}
+
+LinkId Topology::add_duplex(NodeId a, NodeId b, Rate capacity) {
+  const LinkId forward = add_link(a, b, capacity);
+  add_link(b, a, capacity);
+  return forward;
+}
+
+LinkId Topology::find_link(NodeId src, NodeId dst) const {
+  const auto it = by_endpoints_.find(key(src, dst));
+  return it == by_endpoints_.end() ? LinkId::invalid() : it->second;
+}
+
+const std::vector<LinkId>& Topology::out_links(NodeId node) const {
+  GURITA_CHECK_MSG(node.value() < out_.size(), "node id out of range");
+  return out_[node.value()];
+}
+
+std::size_t Topology::count(NodeKind kind) const {
+  std::size_t n = 0;
+  for (const Node& node : nodes_) {
+    if (node.kind == kind) ++n;
+  }
+  return n;
+}
+
+}  // namespace gurita

@@ -1,0 +1,80 @@
+// Generic directed network graph: nodes (hosts / switches) and directed
+// capacity-bearing links. The fat-tree builder (fattree.h) populates this;
+// the flow simulator consumes it.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/ids.h"
+#include "common/units.h"
+
+namespace gurita {
+
+enum class NodeKind { kHost, kEdgeSwitch, kAggSwitch, kCoreSwitch };
+
+[[nodiscard]] const char* to_string(NodeKind kind);
+
+struct Node {
+  NodeId id;
+  NodeKind kind = NodeKind::kHost;
+  /// Pod number for host/edge/agg nodes; -1 for core switches.
+  int pod = -1;
+  /// Index of the node within its (kind, pod) group.
+  int index = 0;
+};
+
+/// A directed, fixed-capacity link. Full-duplex cables are modeled as two
+/// independent directed links.
+struct Link {
+  LinkId id;
+  NodeId src;
+  NodeId dst;
+  Rate capacity = 0;
+};
+
+/// An immutable-after-build directed graph.
+class Topology {
+ public:
+  NodeId add_node(NodeKind kind, int pod, int index);
+  LinkId add_link(NodeId src, NodeId dst, Rate capacity);
+  /// Adds both directions with the same capacity; returns the forward link.
+  LinkId add_duplex(NodeId a, NodeId b, Rate capacity);
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+
+  [[nodiscard]] const Node& node(NodeId id) const {
+    GURITA_CHECK_MSG(id.value() < nodes_.size(), "node id out of range");
+    return nodes_[id.value()];
+  }
+  [[nodiscard]] const Link& link(LinkId id) const {
+    GURITA_CHECK_MSG(id.value() < links_.size(), "link id out of range");
+    return links_[id.value()];
+  }
+
+  /// LinkId for the directed edge src -> dst; invalid() if absent.
+  [[nodiscard]] LinkId find_link(NodeId src, NodeId dst) const;
+
+  /// All links leaving `node`.
+  [[nodiscard]] const std::vector<LinkId>& out_links(NodeId node) const;
+
+  [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
+  [[nodiscard]] const std::vector<Link>& links() const { return links_; }
+
+  /// Number of nodes of the given kind.
+  [[nodiscard]] std::size_t count(NodeKind kind) const;
+
+ private:
+  static std::uint64_t key(NodeId src, NodeId dst) {
+    return (src.value() << 32) | (dst.value() & 0xffffffffULL);
+  }
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> out_;
+  std::unordered_map<std::uint64_t, LinkId> by_endpoints_;
+};
+
+}  // namespace gurita

@@ -1,0 +1,93 @@
+#include "workload/structures.h"
+
+#include "common/check.h"
+
+namespace gurita {
+
+const char* to_string(StructureKind kind) {
+  switch (kind) {
+    case StructureKind::kTpcDs:
+      return "tpcds";
+    case StructureKind::kFbTao:
+      return "fbtao";
+    case StructureKind::kMixed:
+      return "mixed";
+  }
+  return "?";
+}
+
+StructureKind structure_from_string(const std::string& name) {
+  if (name == "tpcds") return StructureKind::kTpcDs;
+  if (name == "fbtao") return StructureKind::kFbTao;
+  if (name == "mixed") return StructureKind::kMixed;
+  GURITA_CHECK_MSG(false, "unknown structure kind: " + name);
+  return StructureKind::kMixed;  // unreachable
+}
+
+shapes::Deps tpcds_q42_deps() {
+  shapes::Deps deps(7);
+  deps[3] = {0, 1};  // join1 <- scan(date_dim), scan(store_sales)
+  deps[4] = {3, 2};  // join2 <- join1, scan(item)
+  deps[5] = {4};     // aggregate <- join2
+  deps[6] = {5};     // sort/limit <- aggregate
+  return deps;
+}
+
+shapes::Deps fb_tao_deps() {
+  shapes::Deps deps(7);
+  deps[4] = {0, 1};  // follower agg A <- shards 0,1
+  deps[5] = {2, 3};  // follower agg B <- shards 2,3
+  deps[6] = {4, 5};  // leader <- both follower aggregations
+  return deps;
+}
+
+shapes::Deps mixed_deps(Rng& rng) {
+  // Microsoft production study mix (Graphene, OSDI'16): ~40% trees; the
+  // remainder split across simple and composite shapes. Depths average ~5.
+  const std::vector<double> weights = {
+      0.40,  // tree
+      0.15,  // chain
+      0.10,  // single stage
+      0.10,  // inverted V
+      0.10,  // W
+      0.08,  // parallel chains
+      0.07,  // multi-root
+  };
+  switch (rng.weighted_choice(weights)) {
+    case 0: {
+      const int depth = static_cast<int>(rng.uniform_int(2, 4));
+      return shapes::tree(depth, 2);
+    }
+    case 1: {
+      const int length = static_cast<int>(rng.uniform_int(2, 10));
+      return shapes::chain(length);
+    }
+    case 2:
+      return shapes::single();
+    case 3:
+      return shapes::inverted_v(static_cast<int>(rng.uniform_int(2, 6)));
+    case 4:
+      return shapes::w_shape();
+    case 5:
+      return shapes::parallel_chains(static_cast<int>(rng.uniform_int(2, 3)),
+                                     static_cast<int>(rng.uniform_int(2, 5)));
+    default:
+      return shapes::multi_root(static_cast<int>(rng.uniform_int(2, 3)),
+                                static_cast<int>(rng.uniform_int(2, 4)));
+  }
+}
+
+shapes::Deps draw_deps(StructureKind kind, Rng& rng) {
+  switch (kind) {
+    case StructureKind::kTpcDs:
+      return tpcds_q42_deps();
+    case StructureKind::kFbTao:
+      return fb_tao_deps();
+    case StructureKind::kMixed:
+      return mixed_deps(rng);
+  }
+  GURITA_CHECK_MSG(false, "unknown structure kind");
+  return {};
+}
+
+}  // namespace gurita

@@ -1,0 +1,55 @@
+// Benchmark DAG structures used in the paper's evaluation (§V "Traffic
+// pattern and load"):
+//
+//  * TPC-DS query-42 — a multi-stage SQL query plan. Query 42 aggregates
+//    store_sales joined with date_dim and item: three scan stages feed two
+//    join stages, then an aggregation and a final sort/limit. Seven
+//    coflows, five stages (matching the production average depth of five).
+//
+//  * FB-Tao — Facebook's TAO social-graph serving structure (Bronson et
+//    al., ATC'13): a wide, shallow fan-in. Web-tier requests hit many
+//    leaf cache shards in parallel; two follower-cache aggregations feed a
+//    single leader/root. Seven coflows, three stages — wide and shallow
+//    where TPC-DS is narrow and deep, exercising the horizontal vs. depth
+//    dimensions differently.
+//
+// The original benchmark files are not distributed with the paper; like the
+// authors, we replicate trace-derived coflows into these fixed shapes
+// (substitution #2 in DESIGN.md).
+#pragma once
+
+#include <string>
+
+#include "coflow/shapes.h"
+
+namespace gurita {
+
+enum class StructureKind {
+  kTpcDs,   ///< TPC-DS query-42 plan (deep, 5 stages)
+  kFbTao,   ///< FB-Tao fan-in (wide, 3 stages)
+  kMixed,   ///< production mix of shapes per the Microsoft study [28]
+};
+
+[[nodiscard]] const char* to_string(StructureKind kind);
+/// Parses "tpcds" | "fbtao" | "mixed"; throws on anything else.
+[[nodiscard]] StructureKind structure_from_string(const std::string& name);
+
+/// Dependency relation of the TPC-DS query-42 plan.
+/// Index map: 0 scan(date_dim), 1 scan(store_sales), 2 scan(item),
+/// 3 join(date_dim ⋈ store_sales), 4 join(⋈ item), 5 aggregate, 6 sort.
+[[nodiscard]] shapes::Deps tpcds_q42_deps();
+
+/// Dependency relation of the FB-Tao fan-in.
+/// Index map: 0..3 leaf cache shards, 4..5 follower aggregations
+/// (two shards each), 6 leader/root.
+[[nodiscard]] shapes::Deps fb_tao_deps();
+
+/// A randomly drawn production-mix shape (Microsoft study: ~40% trees, the
+/// rest chains, W, inverted-V, parallel chains, multi-root and single-stage
+/// jobs; average depth ≈ 5, up to > 10 stages).
+[[nodiscard]] shapes::Deps mixed_deps(Rng& rng);
+
+/// Draws a deps relation for the given structure kind.
+[[nodiscard]] shapes::Deps draw_deps(StructureKind kind, Rng& rng);
+
+}  // namespace gurita

@@ -1,0 +1,117 @@
+#include "workload/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace gurita {
+
+namespace {
+constexpr const char* kMagic = "gurita-trace v1";
+
+[[noreturn]] void parse_error(std::size_t line, const std::string& what) {
+  std::ostringstream os;
+  os << "trace parse error at line " << line << ": " << what;
+  throw std::logic_error(os.str());
+}
+}  // namespace
+
+void save_trace(const std::string& path, const std::vector<JobSpec>& jobs) {
+  std::ofstream out(path);
+  GURITA_CHECK_MSG(out.good(), "cannot open trace file for writing: " + path);
+  out.precision(17);
+  out << kMagic << "\n";
+  out << "# jobs: " << jobs.size() << "\n";
+  for (const JobSpec& job : jobs) {
+    out << "J " << job.arrival_time << " " << job.coflows.size();
+    if (job.has_deadline()) out << " " << job.deadline;
+    out << "\n";
+    for (std::size_t c = 0; c < job.coflows.size(); ++c) {
+      out << "C " << job.deps[c].size();
+      for (int d : job.deps[c]) out << " " << d;
+      out << "\n";
+      for (const FlowSpec& f : job.coflows[c].flows)
+        out << "F " << f.src_host << " " << f.dst_host << " " << f.size
+            << "\n";
+    }
+  }
+  GURITA_CHECK_MSG(out.good(), "write failed: " + path);
+}
+
+std::vector<JobSpec> load_trace(const std::string& path) {
+  std::ifstream in(path);
+  GURITA_CHECK_MSG(in.good(), "cannot open trace file: " + path);
+
+  std::vector<JobSpec> jobs;
+  std::string line;
+  std::size_t lineno = 0;
+
+  GURITA_CHECK_MSG(std::getline(in, line) && line == kMagic,
+                   "missing trace magic header in " + path);
+  ++lineno;
+
+  JobSpec* job = nullptr;
+  std::size_t expected_coflows = 0;
+  bool have_coflow = false;
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream is(line);
+    std::string tag;
+    is >> tag;
+    if (tag == "J") {
+      Time arrival;
+      std::size_t ncoflows;
+      if (!(is >> arrival >> ncoflows) || ncoflows == 0)
+        parse_error(lineno, "bad J record");
+      Time deadline = 0;
+      is >> deadline;  // optional trailing field
+      if (job != nullptr && job->coflows.size() != expected_coflows)
+        parse_error(lineno, "previous job has wrong coflow count");
+      jobs.emplace_back();
+      job = &jobs.back();
+      job->arrival_time = arrival;
+      job->deadline = deadline;
+      expected_coflows = ncoflows;
+      have_coflow = false;
+    } else if (tag == "C") {
+      if (job == nullptr) parse_error(lineno, "C before any J");
+      std::size_t ndeps;
+      if (!(is >> ndeps)) parse_error(lineno, "bad C record");
+      std::vector<int> deps(ndeps);
+      for (std::size_t i = 0; i < ndeps; ++i)
+        if (!(is >> deps[i])) parse_error(lineno, "truncated dep list");
+      if (job->coflows.size() >= expected_coflows)
+        parse_error(lineno, "more coflows than declared");
+      job->coflows.emplace_back();
+      job->deps.push_back(std::move(deps));
+      have_coflow = true;
+    } else if (tag == "F") {
+      if (!have_coflow) parse_error(lineno, "F before any C");
+      FlowSpec f;
+      if (!(is >> f.src_host >> f.dst_host >> f.size))
+        parse_error(lineno, "bad F record");
+      job->coflows.back().flows.push_back(f);
+    } else {
+      parse_error(lineno, "unknown record tag '" + tag + "'");
+    }
+  }
+  if (job != nullptr && job->coflows.size() != expected_coflows)
+    parse_error(lineno, "last job has wrong coflow count");
+
+  // Structural validation independent of the target fabric.
+  for (const JobSpec& j : jobs) {
+    GURITA_CHECK_MSG(!j.coflows.empty(), "trace job with no coflows");
+    (void)topological_order(j);  // throws on cycles / bad indices
+    for (const CoflowSpec& c : j.coflows) {
+      GURITA_CHECK_MSG(!c.flows.empty(), "trace coflow with no flows");
+      for (const FlowSpec& f : c.flows)
+        GURITA_CHECK_MSG(f.size > 0, "trace flow with non-positive size");
+    }
+  }
+  return jobs;
+}
+
+}  // namespace gurita

@@ -1,0 +1,29 @@
+// Plain-text trace serialization, so workloads can be generated once,
+// archived, diffed and replayed across machines/tools.
+//
+// Format (line-oriented, '#' comments allowed):
+//
+//   gurita-trace v1
+//   J <arrival_seconds> <num_coflows> [deadline_seconds]
+//   C <num_deps> <dep_index>...        # one per coflow, in local order
+//   F <src_host> <dst_host> <bytes>    # flows of the preceding coflow
+//
+// Flows belong to the most recent C record; coflows to the most recent J.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "coflow/job.h"
+
+namespace gurita {
+
+/// Serializes jobs to `path`. Throws on I/O failure.
+void save_trace(const std::string& path, const std::vector<JobSpec>& jobs);
+
+/// Parses a trace file; validates structure (not host ranges — those
+/// depend on the target fabric, checked at submit). Throws with a line
+/// number on malformed input.
+[[nodiscard]] std::vector<JobSpec> load_trace(const std::string& path);
+
+}  // namespace gurita

@@ -1,0 +1,125 @@
+// Tests for the quantile-based adaptive Ψ threshold learner (the paper's
+// future-work extension) and its integration into Gurita.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/adaptive_thresholds.h"
+#include "core/gurita.h"
+#include "flowsim/simulator.h"
+#include "topology/fattree.h"
+
+namespace gurita {
+namespace {
+
+TEST(AdaptiveThresholds, StartsEverythingAtHighestPriority) {
+  const AdaptiveThresholds t(4);
+  EXPECT_EQ(t.level(0.0), 0);
+  EXPECT_EQ(t.level(1e12), 0);  // no observations yet
+}
+
+TEST(AdaptiveThresholds, LearnsQuartileBoundaries) {
+  AdaptiveThresholds t(4, /*capacity=*/1024, /*refresh_every=*/1);
+  for (int i = 1; i <= 100; ++i) t.observe(i);
+  ASSERT_EQ(t.boundaries().size(), 3u);
+  // Quantiles of 1..100 at 1/4, 2/4, 3/4.
+  EXPECT_NEAR(t.boundaries()[0], 26.0, 1.0);
+  EXPECT_NEAR(t.boundaries()[1], 51.0, 1.0);
+  EXPECT_NEAR(t.boundaries()[2], 76.0, 1.0);
+  EXPECT_EQ(t.level(10.0), 0);
+  EXPECT_EQ(t.level(40.0), 1);
+  EXPECT_EQ(t.level(60.0), 2);
+  EXPECT_EQ(t.level(90.0), 3);
+}
+
+TEST(AdaptiveThresholds, LevelIsMonotone) {
+  AdaptiveThresholds t(8, 512, 1);
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) t.observe(rng.uniform(0, 1e6));
+  int prev = 0;
+  for (double x = 0; x <= 1e6; x += 12345.0) {
+    const int lvl = t.level(x);
+    EXPECT_GE(lvl, prev);
+    EXPECT_LT(lvl, 8);
+    prev = lvl;
+  }
+}
+
+TEST(AdaptiveThresholds, AdaptsToDistributionShift) {
+  AdaptiveThresholds t(2, /*capacity=*/64, /*refresh_every=*/8);
+  for (int i = 0; i < 64; ++i) t.observe(10.0);
+  const double small_regime = t.boundaries()[0];
+  // Shift the workload's Ψ scale by 100x; the boundary follows.
+  for (int i = 0; i < 64; ++i) t.observe(1000.0);
+  EXPECT_GT(t.boundaries()[0], small_regime);
+}
+
+TEST(AdaptiveThresholds, SingleQueueAlwaysZero) {
+  AdaptiveThresholds t(1);
+  t.observe(5.0);
+  EXPECT_EQ(t.level(1e9), 0);
+}
+
+TEST(AdaptiveThresholds, CountsObservations) {
+  AdaptiveThresholds t(4);
+  EXPECT_EQ(t.observations(), 0u);
+  t.observe(1.0);
+  t.observe(2.0);
+  EXPECT_EQ(t.observations(), 2u);
+}
+
+TEST(AdaptiveThresholds, ReservoirForgetsOldRegime) {
+  AdaptiveThresholds t(2, /*capacity=*/16, /*refresh_every=*/1);
+  for (int i = 0; i < 16; ++i) t.observe(1.0);
+  for (int i = 0; i < 16; ++i) t.observe(100.0);  // fully overwrites ring
+  EXPECT_DOUBLE_EQ(t.boundaries()[0], 100.0);
+}
+
+TEST(AdaptiveThresholds, RejectsBadArgs) {
+  EXPECT_THROW(AdaptiveThresholds(0), std::logic_error);
+  EXPECT_THROW(AdaptiveThresholds(4, 2), std::logic_error);
+  EXPECT_THROW(AdaptiveThresholds(4, 16, 0), std::logic_error);
+  AdaptiveThresholds t(4);
+  EXPECT_THROW(t.observe(-1.0), std::logic_error);
+  EXPECT_THROW(t.level(-1.0), std::logic_error);
+}
+
+TEST(AdaptiveGurita, CompletesWorkloadAndStaysComparable) {
+  const FatTree fabric(FatTree::Config{4, 100.0});
+  auto submit_jobs = [&](Simulator& sim) {
+    for (int i = 0; i < 12; ++i) {
+      JobSpec job;
+      CoflowSpec c1, c2;
+      c1.flows.push_back(FlowSpec{i % 16, (i + 5) % 16, 100.0 + 40.0 * i});
+      c2.flows.push_back(FlowSpec{(i + 5) % 16, (i + 9) % 16, 60.0});
+      job.coflows = {c1, c2};
+      job.deps = {{}, {0}};
+      job.arrival_time = 0.25 * i;
+      sim.submit(job);
+    }
+  };
+
+  GuritaScheduler::Config fixed_config;
+  fixed_config.first_threshold = 75.0;
+  fixed_config.multiplier = 4.0;
+  fixed_config.delta = 0.1;
+  GuritaScheduler fixed(fixed_config);
+  Simulator sim_fixed(fabric, fixed);
+  submit_jobs(sim_fixed);
+  const SimResults r_fixed = sim_fixed.run();
+
+  GuritaScheduler::Config adaptive_config = fixed_config;
+  adaptive_config.adaptive_thresholds = true;
+  GuritaScheduler adaptive(adaptive_config);
+  Simulator sim_adaptive(fabric, adaptive);
+  submit_jobs(sim_adaptive);
+  const SimResults r_adaptive = sim_adaptive.run();
+
+  ASSERT_EQ(r_adaptive.jobs.size(), r_fixed.jobs.size());
+  // Self-tuned thresholds should land within 2x of the hand-tuned ones on
+  // this small mix (they need a few jobs to warm up).
+  EXPECT_LT(r_adaptive.average_jct(), r_fixed.average_jct() * 2.0);
+  EXPECT_GT(r_adaptive.average_jct(), r_fixed.average_jct() * 0.5);
+}
+
+}  // namespace
+}  // namespace gurita

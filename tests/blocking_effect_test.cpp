@@ -1,0 +1,179 @@
+// Unit tests for the blocking-effect formula Ψ (eq. 2/3) and its factors
+// ω (final-stage weight), ε (flow-size skew) and the critical-path discount.
+#include <gtest/gtest.h>
+
+#include "core/blocking_effect.h"
+
+namespace gurita {
+namespace {
+
+// ------------------------------------------------------------------ omega
+
+TEST(Omega, ClairvoyantDecreasesWithProgress) {
+  EXPECT_DOUBLE_EQ(omega_clairvoyant(0, 5), 1.0);
+  EXPECT_DOUBLE_EQ(omega_clairvoyant(1, 5), 0.8);
+  EXPECT_DOUBLE_EQ(omega_clairvoyant(4, 5), 0.2);
+}
+
+TEST(Omega, ClairvoyantFinalStageFloored) {
+  // Floor keeps Ψ ordered among final-stage coflows instead of zeroing.
+  EXPECT_GT(omega_clairvoyant(5, 5), 0.0);
+  EXPECT_LT(omega_clairvoyant(5, 5), 0.01);
+}
+
+TEST(Omega, ClairvoyantRejectsBadArgs) {
+  EXPECT_THROW(omega_clairvoyant(-1, 5), std::logic_error);
+  EXPECT_THROW(omega_clairvoyant(6, 5), std::logic_error);
+  EXPECT_THROW(omega_clairvoyant(0, 0), std::logic_error);
+}
+
+TEST(Omega, OnlineHarmonicDecay) {
+  EXPECT_DOUBLE_EQ(omega_online(0), 1.0);
+  EXPECT_DOUBLE_EQ(omega_online(1), 0.5);
+  EXPECT_DOUBLE_EQ(omega_online(4), 0.2);
+}
+
+TEST(Omega, OnlineInfluenceDiminishes) {
+  // "The influence diminishes as k -> inf" — deep jobs don't look final.
+  EXPECT_LT(omega_online(100), 0.01);
+  EXPECT_GT(omega_online(100), 0.0);
+}
+
+TEST(Omega, OnlineRejectsNegative) {
+  EXPECT_THROW(omega_online(-1), std::logic_error);
+}
+
+// ---------------------------------------------------------------- epsilon
+
+TEST(Epsilon, UniformFlowsBlockMost) {
+  // d = 1 (all flows near ℓ_max): ε -> 1 - γ, the maximum.
+  const double uniform = epsilon_skew(100.0, 100.0, 0.25);
+  const double skewed = epsilon_skew(10.0, 100.0, 0.25);
+  EXPECT_DOUBLE_EQ(uniform, 0.75);
+  EXPECT_LT(skewed, uniform);
+  EXPECT_GT(skewed, 0.0);
+}
+
+TEST(Epsilon, MonotoneInSkewRatio) {
+  double prev = 0.0;
+  for (double avg = 5.0; avg <= 100.0; avg += 5.0) {
+    const double e = epsilon_skew(avg, 100.0, 0.5);
+    EXPECT_GE(e, prev);
+    prev = e;
+  }
+}
+
+TEST(Epsilon, NothingObservedIsNeutral) {
+  EXPECT_DOUBLE_EQ(epsilon_skew(0.0, 0.0, 0.25), 0.75);
+}
+
+TEST(Epsilon, PaperLiteralBranch) {
+  // The ambiguous d >= 1 branch of the paper's ε: 0.1·γ.
+  EXPECT_DOUBLE_EQ(epsilon_skew(100.0, 100.0, 0.25, /*paper_literal=*/true),
+                   0.025);
+  // d < 1 is unaffected by the flag.
+  EXPECT_DOUBLE_EQ(epsilon_skew(50.0, 100.0, 0.25, true),
+                   epsilon_skew(50.0, 100.0, 0.25, false));
+}
+
+TEST(Epsilon, RejectsBadGamma) {
+  EXPECT_THROW(epsilon_skew(1.0, 2.0, 0.0), std::logic_error);
+  EXPECT_THROW(epsilon_skew(1.0, 2.0, 1.0), std::logic_error);
+  EXPECT_THROW(epsilon_skew(1.0, 2.0, -0.5), std::logic_error);
+}
+
+TEST(Epsilon, RejectsNegativeSizes) {
+  EXPECT_THROW(epsilon_skew(-1.0, 2.0, 0.5), std::logic_error);
+  EXPECT_THROW(epsilon_skew(1.0, -2.0, 0.5), std::logic_error);
+}
+
+// -------------------------------------------------------------------- psi
+
+BlockingInputs base_inputs() {
+  BlockingInputs in;
+  in.omega = 0.5;
+  in.epsilon = 0.6;
+  in.ell_max = 100.0;
+  in.width = 10.0;
+  return in;
+}
+
+TEST(Psi, ProductForm) {
+  // Ψ = ω · ε · ℓ_max · n  (eq. 2).
+  EXPECT_DOUBLE_EQ(blocking_effect(base_inputs()), 0.5 * 0.6 * 100.0 * 10.0);
+}
+
+TEST(Psi, MonotoneInEachDimension) {
+  const double base = blocking_effect(base_inputs());
+  auto bump = [&](auto f) {
+    BlockingInputs in = base_inputs();
+    f(in);
+    return blocking_effect(in);
+  };
+  EXPECT_GT(bump([](BlockingInputs& in) { in.ell_max *= 2; }), base);
+  EXPECT_GT(bump([](BlockingInputs& in) { in.width *= 2; }), base);
+  EXPECT_GT(bump([](BlockingInputs& in) { in.omega = 1.0; }), base);
+  EXPECT_GT(bump([](BlockingInputs& in) { in.epsilon = 1.0; }), base);
+}
+
+TEST(Psi, CriticalPathDiscount) {
+  BlockingInputs in = base_inputs();
+  in.beta = 0.5;
+  in.on_critical_path = true;
+  EXPECT_DOUBLE_EQ(blocking_effect(in),
+                   blocking_effect(base_inputs()) * 0.5);
+}
+
+TEST(Psi, NoDiscountOffCriticalPath) {
+  BlockingInputs in = base_inputs();
+  in.beta = 0.5;
+  in.on_critical_path = false;
+  EXPECT_DOUBLE_EQ(blocking_effect(in), blocking_effect(base_inputs()));
+}
+
+TEST(Psi, ZeroWidthIsZero) {
+  BlockingInputs in = base_inputs();
+  in.width = 0;
+  EXPECT_DOUBLE_EQ(blocking_effect(in), 0.0);
+}
+
+TEST(Psi, RejectsInvalidInputs) {
+  BlockingInputs in = base_inputs();
+  in.omega = -1;
+  EXPECT_THROW(blocking_effect(in), std::logic_error);
+  in = base_inputs();
+  in.beta = 2.0;
+  EXPECT_THROW(blocking_effect(in), std::logic_error);
+  in = base_inputs();
+  in.width = -1;
+  EXPECT_THROW(blocking_effect(in), std::logic_error);
+}
+
+// Parameterized sanity: Ψ ordering matches intuition across a sweep — the
+// coflow with more/larger flows always blocks at least as much.
+struct PsiCase {
+  double ell_a, width_a, ell_b, width_b;
+};
+
+class PsiDominance : public ::testing::TestWithParam<PsiCase> {};
+
+TEST_P(PsiDominance, DominatedCoflowHasSmallerPsi) {
+  const auto p = GetParam();
+  BlockingInputs a, b;
+  a.ell_max = p.ell_a;
+  a.width = p.width_a;
+  b.ell_max = p.ell_b;
+  b.width = p.width_b;
+  ASSERT_LE(p.ell_a, p.ell_b);
+  ASSERT_LE(p.width_a, p.width_b);
+  EXPECT_LE(blocking_effect(a), blocking_effect(b));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PsiDominance,
+    ::testing::Values(PsiCase{1, 1, 2, 1}, PsiCase{1, 1, 1, 2},
+                      PsiCase{10, 5, 20, 50}, PsiCase{0, 0, 100, 100},
+                      PsiCase{5, 5, 5, 5}));
+
+}  // namespace
+}  // namespace gurita

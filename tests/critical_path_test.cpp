@@ -1,0 +1,138 @@
+// Unit tests for critical-path analysis: longest weighted leaf→root path,
+// critical-member marking, and the JCT lower bound (§III.A).
+#include <gtest/gtest.h>
+
+#include "coflow/critical_path.h"
+#include "coflow/shapes.h"
+#include "common/rng.h"
+
+namespace gurita {
+namespace {
+
+JobSpec job_with(const shapes::Deps& deps, std::vector<Bytes> max_sizes) {
+  JobSpec job;
+  job.deps = deps;
+  for (Bytes s : max_sizes) {
+    CoflowSpec c;
+    c.flows.push_back(FlowSpec{0, 1, s});
+    job.coflows.push_back(c);
+  }
+  return job;
+}
+
+TEST(CriticalPath, SingleCoflow) {
+  const JobSpec job = job_with(shapes::single(), {10.0});
+  const auto info = compute_critical_path(job, {3.0});
+  EXPECT_DOUBLE_EQ(info.length, 3.0);
+  EXPECT_TRUE(info.on_critical[0]);
+}
+
+TEST(CriticalPath, ChainSumsCosts) {
+  const JobSpec job = job_with(shapes::chain(3), {1.0, 1.0, 1.0});
+  const auto info = compute_critical_path(job, {1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(info.length, 6.0);
+  EXPECT_TRUE(info.on_critical[0]);
+  EXPECT_TRUE(info.on_critical[1]);
+  EXPECT_TRUE(info.on_critical[2]);
+}
+
+TEST(CriticalPath, DiamondPicksHeavierBranch) {
+  // 3 depends on 1 and 2; both depend on 0. Branch via 1 is heavier.
+  JobSpec job = job_with({{}, {0}, {0}, {1, 2}}, {1, 1, 1, 1});
+  const auto info = compute_critical_path(job, {1.0, 5.0, 2.0, 1.0});
+  EXPECT_DOUBLE_EQ(info.length, 7.0);  // 0 -> 1 -> 3
+  EXPECT_TRUE(info.on_critical[0]);
+  EXPECT_TRUE(info.on_critical[1]);
+  EXPECT_FALSE(info.on_critical[2]);
+  EXPECT_TRUE(info.on_critical[3]);
+}
+
+TEST(CriticalPath, TiedBranchesBothCritical) {
+  JobSpec job = job_with({{}, {0}, {0}, {1, 2}}, {1, 1, 1, 1});
+  const auto info = compute_critical_path(job, {1.0, 2.0, 2.0, 1.0});
+  EXPECT_TRUE(info.on_critical[1]);
+  EXPECT_TRUE(info.on_critical[2]);
+}
+
+TEST(CriticalPath, IndependentCoflowsOnlyLargestCritical) {
+  JobSpec job = job_with({{}, {}, {}}, {1, 1, 1});
+  const auto info = compute_critical_path(job, {1.0, 4.0, 2.0});
+  EXPECT_DOUBLE_EQ(info.length, 4.0);
+  EXPECT_FALSE(info.on_critical[0]);
+  EXPECT_TRUE(info.on_critical[1]);
+  EXPECT_FALSE(info.on_critical[2]);
+}
+
+TEST(CriticalPath, ParallelChainsLongestWins) {
+  // Two chains of 2; second chain heavier.
+  JobSpec job = job_with(shapes::parallel_chains(2, 2), {1, 1, 1, 1});
+  const auto info = compute_critical_path(job, {1.0, 1.0, 3.0, 3.0});
+  EXPECT_DOUBLE_EQ(info.length, 6.0);
+  EXPECT_FALSE(info.on_critical[0]);
+  EXPECT_FALSE(info.on_critical[1]);
+  EXPECT_TRUE(info.on_critical[2]);
+  EXPECT_TRUE(info.on_critical[3]);
+}
+
+TEST(CriticalPath, ZeroCostsAllowed) {
+  const JobSpec job = job_with(shapes::chain(2), {1.0, 1.0});
+  const auto info = compute_critical_path(job, {0.0, 0.0});
+  EXPECT_DOUBLE_EQ(info.length, 0.0);
+}
+
+TEST(CriticalPath, RejectsWrongCostSize) {
+  const JobSpec job = job_with(shapes::chain(2), {1.0, 1.0});
+  EXPECT_THROW(compute_critical_path(job, {1.0}), std::logic_error);
+}
+
+TEST(CriticalPath, RejectsNegativeCost) {
+  const JobSpec job = job_with(shapes::chain(2), {1.0, 1.0});
+  EXPECT_THROW(compute_critical_path(job, {1.0, -1.0}), std::logic_error);
+}
+
+TEST(EstimatedCosts, UsesLargestFlowOverRate) {
+  JobSpec job = job_with(shapes::single(), {100.0});
+  job.coflows[0].flows.push_back(FlowSpec{2, 3, 40.0});
+  const auto costs = estimated_cct_costs(job, 10.0);
+  ASSERT_EQ(costs.size(), 1u);
+  EXPECT_DOUBLE_EQ(costs[0], 10.0);  // 100 bytes at 10 B/s
+}
+
+TEST(EstimatedCosts, RejectsNonPositiveRate) {
+  const JobSpec job = job_with(shapes::single(), {1.0});
+  EXPECT_THROW(estimated_cct_costs(job, 0.0), std::logic_error);
+}
+
+TEST(JctLowerBound, ChainEqualsSumOfLargestFlows) {
+  const JobSpec job = job_with(shapes::chain(3), {10.0, 20.0, 30.0});
+  EXPECT_DOUBLE_EQ(jct_lower_bound(job, 10.0), 6.0);
+}
+
+// Property: the lower bound over random DAGs equals the longest path, is
+// monotone in rate, and never exceeds total-bytes-at-line-rate.
+class LowerBoundSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LowerBoundSeeds, BoundProperties) {
+  Rng rng(GetParam());
+  const int n = 2 + static_cast<int>(rng.uniform_int(0, 8));
+  const auto deps = shapes::random_dag(rng, n, 0.3);
+  std::vector<Bytes> sizes;
+  for (int i = 0; i < n; ++i) sizes.push_back(rng.uniform(1.0, 100.0));
+  const JobSpec job = job_with(deps, sizes);
+
+  const double lb_fast = jct_lower_bound(job, 100.0);
+  const double lb_slow = jct_lower_bound(job, 10.0);
+  EXPECT_GT(lb_fast, 0.0);
+  EXPECT_NEAR(lb_slow, lb_fast * 10.0, 1e-9);
+
+  // Bound can never exceed serializing every coflow's largest flow.
+  double serial = 0;
+  for (const auto& c : job.coflows) serial += c.max_flow_size() / 100.0;
+  EXPECT_LE(lb_fast, serial + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(ManySeeds, LowerBoundSeeds,
+                         ::testing::Range<std::uint64_t>(0, 16));
+
+}  // namespace
+}  // namespace gurita

@@ -1,0 +1,117 @@
+// Property tests under failure injection: random link degradations must
+// never break the engine's structural invariants, only slow things down.
+#include <gtest/gtest.h>
+
+#include "coflow/shapes.h"
+#include "exp/registry.h"
+#include "flowsim/simulator.h"
+#include "topology/fattree.h"
+
+namespace gurita {
+namespace {
+
+std::vector<JobSpec> random_jobs(Rng& rng, int num_hosts) {
+  std::vector<JobSpec> jobs;
+  const int count = 4 + static_cast<int>(rng.uniform_int(0, 4));
+  for (int j = 0; j < count; ++j) {
+    JobSpec job;
+    job.arrival_time = rng.uniform(0.0, 1.0);
+    const int n = 1 + static_cast<int>(rng.uniform_int(0, 3));
+    job.deps = shapes::random_dag(rng, n, 0.4);
+    for (int c = 0; c < n; ++c) {
+      CoflowSpec coflow;
+      const int width = 1 + static_cast<int>(rng.uniform_int(0, 2));
+      for (int f = 0; f < width; ++f) {
+        FlowSpec flow;
+        flow.src_host = static_cast<int>(rng.uniform_int(0, static_cast<std::uint64_t>(num_hosts) - 1));
+        do {
+          flow.dst_host = static_cast<int>(rng.uniform_int(0, static_cast<std::uint64_t>(num_hosts) - 1));
+        } while (flow.dst_host == flow.src_host);
+        flow.size = rng.uniform(20.0, 400.0);
+        coflow.flows.push_back(flow);
+      }
+      job.coflows.push_back(coflow);
+    }
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
+class DisruptionProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DisruptionProperties, InvariantsSurviveDegradations) {
+  Rng rng(GetParam());
+  const FatTree fabric(FatTree::Config{4, 100.0});
+  const auto jobs = random_jobs(rng, fabric.num_hosts());
+
+  Simulator::Config config;
+  // A handful of random degradations (never to zero) and restorations.
+  const int changes = 2 + static_cast<int>(rng.uniform_int(0, 4));
+  for (int i = 0; i < changes; ++i) {
+    CapacityChange change;
+    change.time = rng.uniform(0.0, 5.0);
+    change.link = LinkId{rng.uniform_int(0, fabric.topology().link_count() - 1)};
+    change.new_capacity = rng.uniform(10.0, 100.0);
+    config.disruptions.push_back(change);
+  }
+
+  const auto sched = make_scheduler(GetParam() % 2 == 0 ? "gurita" : "pfs");
+  Simulator sim(fabric, *sched, config);
+  for (const auto& job : jobs) sim.submit(job);
+  const SimResults results = sim.run();
+
+  // Everything still completes, bytes conserved, DAG order preserved.
+  ASSERT_EQ(results.jobs.size(), jobs.size());
+  const SimState& state = sim.state();
+  for (std::size_t i = 0; i < state.flow_count(); ++i) {
+    const SimFlow& f = state.flow(FlowId{i});
+    EXPECT_TRUE(f.finished());
+    EXPECT_NEAR(f.bytes_sent(), f.size, 1e-2);
+  }
+  for (std::size_t j = 0; j < state.job_count(); ++j) {
+    const SimJob& job = state.job(JobId{j});
+    for (std::size_t c = 0; c < job.coflows.size(); ++c) {
+      const SimCoflow& coflow = state.coflow(job.coflows[c]);
+      double dep_finish = job.arrival_time;
+      for (int d : job.spec.deps[c])
+        dep_finish = std::max(
+            dep_finish,
+            state.coflow(job.coflows[static_cast<std::size_t>(d)]).finish_time);
+      EXPECT_NEAR(coflow.release_time, dep_finish, 1e-9);
+    }
+  }
+}
+
+TEST_P(DisruptionProperties, DegradationNeverSpeedsUpTheRun) {
+  Rng rng(GetParam() + 1000);
+  const FatTree fabric(FatTree::Config{4, 100.0});
+  const auto jobs = random_jobs(rng, fabric.num_hosts());
+
+  auto run_with = [&](bool degrade) {
+    Simulator::Config config;
+    if (degrade) {
+      // Degrade every host uplink to half rate at t=0: uniform slowdown.
+      for (int h = 0; h < fabric.num_hosts(); ++h) {
+        const LinkId up =
+            fabric.topology().find_link(fabric.host(h), fabric.edge_of_host(h));
+        config.disruptions.push_back(CapacityChange{0.0, up, 50.0});
+      }
+    }
+    const auto sched = make_scheduler("pfs");
+    Simulator sim(fabric, *sched, config);
+    for (const auto& job : jobs) sim.submit(job);
+    return sim.run();
+  };
+
+  const SimResults normal = run_with(false);
+  const SimResults degraded = run_with(true);
+  EXPECT_GE(degraded.makespan, normal.makespan - 1e-9);
+  for (std::size_t i = 0; i < normal.jobs.size(); ++i)
+    EXPECT_GE(degraded.jobs[i].jct(), normal.jobs[i].jct() - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DisruptionProperties,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+}  // namespace
+}  // namespace gurita

@@ -1,0 +1,115 @@
+// Tests for the experiment-harness utilities: the flag parser, the
+// per-job speedup metric and scenario plumbing.
+#include <gtest/gtest.h>
+
+#include "exp/args.h"
+#include "exp/experiment.h"
+#include "metrics/collector.h"
+
+namespace gurita {
+namespace {
+
+// ------------------------------------------------------------------- Args
+
+Args parse(std::vector<std::string> tokens) {
+  std::vector<char*> argv;
+  static std::vector<std::string> storage;
+  storage = std::move(tokens);
+  argv.push_back(const_cast<char*>("prog"));
+  for (auto& s : storage) argv.push_back(s.data());
+  return Args(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, ParsesKeyValuePairs) {
+  const Args args = parse({"--jobs", "300", "--seed", "9", "--name", "x"});
+  EXPECT_EQ(args.get_int("jobs", 0), 300);
+  EXPECT_EQ(args.get_u64("seed", 0), 9u);
+  EXPECT_EQ(args.get_string("name", ""), "x");
+  EXPECT_TRUE(args.has("jobs"));
+  EXPECT_FALSE(args.has("missing"));
+}
+
+TEST(Args, FallbacksWhenAbsent) {
+  const Args args = parse({});
+  EXPECT_EQ(args.get_int("jobs", 42), 42);
+  EXPECT_DOUBLE_EQ(args.get_double("rate", 1.5), 1.5);
+  EXPECT_EQ(args.get_string("name", "dflt"), "dflt");
+}
+
+TEST(Args, ParsesDoubles) {
+  const Args args = parse({"--rate", "2.75"});
+  EXPECT_DOUBLE_EQ(args.get_double("rate", 0), 2.75);
+}
+
+TEST(Args, RejectsBareFlag) {
+  EXPECT_THROW(parse({"--jobs"}), std::logic_error);
+}
+
+TEST(Args, RejectsPositionalArgument) {
+  EXPECT_THROW(parse({"300"}), std::logic_error);
+}
+
+TEST(Args, LastValueWins) {
+  const Args args = parse({"--jobs", "1", "--jobs", "2"});
+  EXPECT_EQ(args.get_int("jobs", 0), 2);
+}
+
+// --------------------------------------------------------- per-job speedup
+
+SimResults make_results(std::vector<std::pair<Bytes, double>> size_jct) {
+  SimResults r;
+  std::uint64_t id = 0;
+  for (const auto& [bytes, jct] : size_jct) {
+    SimResults::JobResult j;
+    j.id = JobId{id++};
+    j.arrival = 0;
+    j.finish = jct;
+    j.total_bytes = bytes;
+    r.jobs.push_back(j);
+  }
+  return r;
+}
+
+TEST(PerJobSpeedup, AveragesRatios) {
+  const SimResults ref = make_results({{10 * kMB, 1.0}, {10 * kMB, 2.0}});
+  const SimResults oth = make_results({{10 * kMB, 3.0}, {10 * kMB, 2.0}});
+  // Ratios: 3.0 and 1.0 -> mean 2.0.
+  EXPECT_DOUBLE_EQ(mean_per_job_speedup(ref, oth), 2.0);
+}
+
+TEST(PerJobSpeedup, FiltersByCategory) {
+  const SimResults ref = make_results({{10 * kMB, 1.0}, {2 * kGB, 10.0}});
+  const SimResults oth = make_results({{10 * kMB, 5.0}, {2 * kGB, 10.0}});
+  EXPECT_DOUBLE_EQ(mean_per_job_speedup(ref, oth, 0), 5.0);
+  EXPECT_DOUBLE_EQ(mean_per_job_speedup(ref, oth, 2), 1.0);
+  EXPECT_DOUBLE_EQ(mean_per_job_speedup(ref, oth, 6), 0.0);  // empty
+}
+
+TEST(PerJobSpeedup, GiantJobsDoNotDominate) {
+  // One giant unchanged job + many 4x-faster small jobs: the ratio of
+  // averages stays ~1, the per-job mean shows ~3.4x.
+  std::vector<std::pair<Bytes, double>> ref_jobs, oth_jobs;
+  ref_jobs.emplace_back(2 * kTB, 1000.0);
+  oth_jobs.emplace_back(2 * kTB, 1000.0);
+  for (int i = 0; i < 9; ++i) {
+    ref_jobs.emplace_back(10 * kMB, 1.0);
+    oth_jobs.emplace_back(10 * kMB, 4.0);
+  }
+  const SimResults ref = make_results(ref_jobs);
+  const SimResults oth = make_results(oth_jobs);
+
+  JctCollector cref, coth;
+  cref.add(ref);
+  coth.add(oth);
+  EXPECT_LT(improvement_factor(cref, coth), 1.05);
+  EXPECT_NEAR(mean_per_job_speedup(ref, oth), 3.7, 0.01);
+}
+
+TEST(PerJobSpeedup, RejectsMismatchedPopulations) {
+  const SimResults ref = make_results({{10 * kMB, 1.0}});
+  const SimResults oth = make_results({{10 * kMB, 1.0}, {10 * kMB, 2.0}});
+  EXPECT_THROW(mean_per_job_speedup(ref, oth), std::logic_error);
+}
+
+}  // namespace
+}  // namespace gurita

@@ -1,0 +1,96 @@
+// Tests for the TCP slow-start ramp approximation.
+#include <gtest/gtest.h>
+
+#include "flowsim/simulator.h"
+#include "sched/pfs.h"
+#include "topology/fattree.h"
+
+namespace gurita {
+namespace {
+
+class TcpRampFixture : public ::testing::Test {
+ protected:
+  TcpRampFixture() : fabric_(FatTree::Config{4, 1000.0}) {}
+  FatTree fabric_;
+  PfsScheduler pfs_;
+
+  JobSpec job(Bytes size) {
+    JobSpec j;
+    CoflowSpec c;
+    c.flows.push_back(FlowSpec{0, 1, size});
+    j.coflows.push_back(c);
+    j.deps = {{}};
+    return j;
+  }
+};
+
+TEST_F(TcpRampFixture, DisabledByDefault) {
+  Simulator sim(fabric_, pfs_);
+  sim.submit(job(1000.0));
+  // Full rate immediately: 1000 B at 1000 B/s.
+  EXPECT_NEAR(sim.run().makespan, 1.0, 1e-9);
+}
+
+TEST_F(TcpRampFixture, RampSlowsShortFlows) {
+  Simulator::Config config;
+  config.tcp_ramp_time = 0.1;
+  config.tcp_initial_window = 10.0;  // bytes
+  Simulator sim(fabric_, pfs_, config);
+  sim.submit(job(1000.0));
+  const SimResults r = sim.run();
+  // Initial cap: 10/0.1 = 100 B/s << 1000 B/s line rate; the window grows
+  // with bytes sent so the flow accelerates, but the total must exceed the
+  // unramped 1 s noticeably.
+  EXPECT_GT(r.makespan, 1.2);
+  EXPECT_LT(r.makespan, 5.0);  // and the ramp does open up
+}
+
+TEST_F(TcpRampFixture, LargeFlowsAmortizeTheRamp) {
+  Simulator::Config config;
+  config.tcp_ramp_time = 0.1;
+  config.tcp_initial_window = 10.0;  // ramp bites until ~90 bytes sent
+  // Relative penalty shrinks as flows grow.
+  auto jct_of = [&](Bytes size) {
+    PfsScheduler pfs;
+    Simulator sim(fabric_, pfs, config);
+    sim.submit(job(size));
+    return sim.run().makespan;
+  };
+  const double small_penalty = jct_of(200.0) / (200.0 / 1000.0);
+  const double big_penalty = jct_of(100000.0) / (100000.0 / 1000.0);
+  EXPECT_GT(small_penalty, big_penalty);
+  EXPECT_LT(big_penalty, 1.2);
+}
+
+TEST_F(TcpRampFixture, BytesStillConserved) {
+  Simulator::Config config;
+  config.tcp_ramp_time = 0.05;
+  config.tcp_initial_window = 50.0;
+  Simulator sim(fabric_, pfs_, config);
+  sim.submit(job(777.0));
+  (void)sim.run();
+  const SimFlow& f = sim.state().flow(FlowId{0});
+  EXPECT_TRUE(f.finished());
+  EXPECT_NEAR(f.bytes_sent(), 777.0, 1e-2);
+}
+
+TEST_F(TcpRampFixture, RampNeverSpeedsAnythingUp) {
+  auto run_with_ramp = [&](bool ramp) {
+    Simulator::Config config;
+    if (ramp) {
+      config.tcp_ramp_time = 0.05;
+      config.tcp_initial_window = 100.0;
+    }
+    PfsScheduler pfs;
+    Simulator sim(fabric_, pfs, config);
+    for (int i = 0; i < 4; ++i) sim.submit(job(500.0 + 100.0 * i));
+    return sim.run();
+  };
+  const SimResults plain = run_with_ramp(false);
+  const SimResults ramped = run_with_ramp(true);
+  for (std::size_t i = 0; i < plain.jobs.size(); ++i)
+    EXPECT_GE(ramped.jobs[i].jct(), plain.jobs[i].jct() - 1e-9);
+}
+
+}  // namespace
+}  // namespace gurita

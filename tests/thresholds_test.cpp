@@ -1,0 +1,82 @@
+// Unit tests for exponentially-spaced demotion thresholds.
+#include <gtest/gtest.h>
+
+#include "sched/thresholds.h"
+
+namespace gurita {
+namespace {
+
+TEST(ExpThresholds, LevelsAreExponentiallySpaced) {
+  const ExpThresholds t(4, 10.0, 10.0);  // thresholds: 10, 100, 1000
+  EXPECT_DOUBLE_EQ(t.threshold(0), 10.0);
+  EXPECT_DOUBLE_EQ(t.threshold(1), 100.0);
+  EXPECT_DOUBLE_EQ(t.threshold(2), 1000.0);
+}
+
+TEST(ExpThresholds, LevelMapping) {
+  const ExpThresholds t(4, 10.0, 10.0);
+  EXPECT_EQ(t.level(0.0), 0);
+  EXPECT_EQ(t.level(9.99), 0);
+  EXPECT_EQ(t.level(10.0), 1);  // boundary goes to the lower priority
+  EXPECT_EQ(t.level(99.0), 1);
+  EXPECT_EQ(t.level(100.0), 2);
+  EXPECT_EQ(t.level(999.0), 2);
+  EXPECT_EQ(t.level(1000.0), 3);
+  EXPECT_EQ(t.level(1e12), 3);  // clamped to the last queue
+}
+
+TEST(ExpThresholds, SingleQueueAlwaysLevelZero) {
+  const ExpThresholds t(1, 10.0, 10.0);
+  EXPECT_EQ(t.level(0.0), 0);
+  EXPECT_EQ(t.level(1e18), 0);
+}
+
+TEST(ExpThresholds, TwoQueues) {
+  const ExpThresholds t(2, 5.0, 2.0);
+  EXPECT_EQ(t.level(4.9), 0);
+  EXPECT_EQ(t.level(5.0), 1);
+}
+
+TEST(ExpThresholds, NonDecreasingInSignal) {
+  const ExpThresholds t(8, 1.0, 3.0);
+  int prev = 0;
+  for (double x = 0; x < 10000; x += 13.7) {
+    const int lvl = t.level(x);
+    EXPECT_GE(lvl, prev);
+    EXPECT_LT(lvl, 8);
+    prev = lvl;
+  }
+}
+
+TEST(ExpThresholds, RejectsBadArguments) {
+  EXPECT_THROW(ExpThresholds(0, 1.0, 2.0), std::logic_error);
+  EXPECT_THROW(ExpThresholds(4, 0.0, 2.0), std::logic_error);
+  EXPECT_THROW(ExpThresholds(4, 1.0, 1.0), std::logic_error);
+  EXPECT_THROW(ExpThresholds(4, -5.0, 2.0), std::logic_error);
+}
+
+TEST(ExpThresholds, RejectsNegativeSignal) {
+  const ExpThresholds t(4, 1.0, 2.0);
+  EXPECT_THROW(t.level(-1.0), std::logic_error);
+}
+
+TEST(ExpThresholds, ThresholdIndexOutOfRangeThrows) {
+  const ExpThresholds t(4, 1.0, 2.0);
+  EXPECT_THROW(t.threshold(3), std::logic_error);
+  EXPECT_THROW(t.threshold(-1), std::logic_error);
+}
+
+class ThresholdQueueCounts : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThresholdQueueCounts, LevelRangeMatchesQueues) {
+  const int q = GetParam();
+  const ExpThresholds t(q, 2.0, 4.0);
+  EXPECT_EQ(t.level(0.0), 0);
+  EXPECT_EQ(t.level(1e30), q - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Queues, ThresholdQueueCounts,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+}  // namespace
+}  // namespace gurita

@@ -1,0 +1,287 @@
+// Unit tests for src/topology: generic graph invariants, fat-tree
+// construction (the paper's 8-pod / 80-switch / 128-host fabric), path
+// validity and ECMP behaviour.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topology/ecmp.h"
+#include "topology/fattree.h"
+#include "topology/graph.h"
+
+namespace gurita {
+namespace {
+
+// ------------------------------------------------------------------ Graph
+
+TEST(Topology, AddNodeAssignsSequentialIds) {
+  Topology topo;
+  const NodeId a = topo.add_node(NodeKind::kHost, 0, 0);
+  const NodeId b = topo.add_node(NodeKind::kHost, 0, 1);
+  EXPECT_EQ(a.value(), 0u);
+  EXPECT_EQ(b.value(), 1u);
+  EXPECT_EQ(topo.node_count(), 2u);
+}
+
+TEST(Topology, AddLinkConnects) {
+  Topology topo;
+  const NodeId a = topo.add_node(NodeKind::kHost, 0, 0);
+  const NodeId b = topo.add_node(NodeKind::kEdgeSwitch, 0, 0);
+  const LinkId l = topo.add_link(a, b, gbps(10));
+  EXPECT_EQ(topo.link(l).src, a);
+  EXPECT_EQ(topo.link(l).dst, b);
+  EXPECT_DOUBLE_EQ(topo.link(l).capacity, gbps(10));
+  EXPECT_EQ(topo.find_link(a, b), l);
+  EXPECT_FALSE(topo.find_link(b, a).valid());
+}
+
+TEST(Topology, AddDuplexCreatesBothDirections) {
+  Topology topo;
+  const NodeId a = topo.add_node(NodeKind::kHost, 0, 0);
+  const NodeId b = topo.add_node(NodeKind::kEdgeSwitch, 0, 0);
+  topo.add_duplex(a, b, 1e9);
+  EXPECT_TRUE(topo.find_link(a, b).valid());
+  EXPECT_TRUE(topo.find_link(b, a).valid());
+  EXPECT_EQ(topo.link_count(), 2u);
+}
+
+TEST(Topology, RejectsSelfLoop) {
+  Topology topo;
+  const NodeId a = topo.add_node(NodeKind::kHost, 0, 0);
+  EXPECT_THROW(topo.add_link(a, a, 1e9), std::logic_error);
+}
+
+TEST(Topology, RejectsDuplicateLink) {
+  Topology topo;
+  const NodeId a = topo.add_node(NodeKind::kHost, 0, 0);
+  const NodeId b = topo.add_node(NodeKind::kHost, 0, 1);
+  topo.add_link(a, b, 1e9);
+  EXPECT_THROW(topo.add_link(a, b, 1e9), std::logic_error);
+}
+
+TEST(Topology, RejectsNonPositiveCapacity) {
+  Topology topo;
+  const NodeId a = topo.add_node(NodeKind::kHost, 0, 0);
+  const NodeId b = topo.add_node(NodeKind::kHost, 0, 1);
+  EXPECT_THROW(topo.add_link(a, b, 0), std::logic_error);
+  EXPECT_THROW(topo.add_link(a, b, -1), std::logic_error);
+}
+
+TEST(Topology, OutLinksListsDepartures) {
+  Topology topo;
+  const NodeId a = topo.add_node(NodeKind::kEdgeSwitch, 0, 0);
+  const NodeId b = topo.add_node(NodeKind::kHost, 0, 0);
+  const NodeId c = topo.add_node(NodeKind::kHost, 0, 1);
+  topo.add_link(a, b, 1e9);
+  topo.add_link(a, c, 1e9);
+  EXPECT_EQ(topo.out_links(a).size(), 2u);
+  EXPECT_EQ(topo.out_links(b).size(), 0u);
+}
+
+TEST(Topology, NodeKindNames) {
+  EXPECT_STREQ(to_string(NodeKind::kHost), "host");
+  EXPECT_STREQ(to_string(NodeKind::kEdgeSwitch), "edge");
+  EXPECT_STREQ(to_string(NodeKind::kAggSwitch), "agg");
+  EXPECT_STREQ(to_string(NodeKind::kCoreSwitch), "core");
+}
+
+// ---------------------------------------------------------------- FatTree
+
+TEST(FatTree, RejectsOddOrTinyK) {
+  EXPECT_THROW(FatTree(FatTree::Config{3, gbps(10)}), std::logic_error);
+  EXPECT_THROW(FatTree(FatTree::Config{0, gbps(10)}), std::logic_error);
+  EXPECT_THROW(FatTree(FatTree::Config{-2, gbps(10)}), std::logic_error);
+}
+
+TEST(FatTree, PaperScaleEightPods) {
+  // §V: "8 pods FatTree network topology with 128 servers and 80 switches".
+  const FatTree ft(FatTree::Config{8, gbps(10)});
+  EXPECT_EQ(ft.num_hosts(), 128);
+  EXPECT_EQ(ft.num_switches(), 80);
+  EXPECT_EQ(ft.topology().count(NodeKind::kHost), 128u);
+  EXPECT_EQ(ft.topology().count(NodeKind::kEdgeSwitch), 32u);
+  EXPECT_EQ(ft.topology().count(NodeKind::kAggSwitch), 32u);
+  EXPECT_EQ(ft.topology().count(NodeKind::kCoreSwitch), 16u);
+}
+
+// The paper's bursty scenario uses k=48: 27,648 servers and 2,880 switches.
+// Constructing the full fabric is cheap enough to verify the counts.
+TEST(FatTree, PaperScaleFortyEightPods) {
+  const FatTree ft(FatTree::Config{48, gbps(10)});
+  EXPECT_EQ(ft.num_hosts(), 27648);
+  EXPECT_EQ(ft.num_switches(), 2880);
+}
+
+struct FatTreeParams {
+  int k;
+  int hosts;
+  int switches;
+};
+
+class FatTreeCounts : public ::testing::TestWithParam<FatTreeParams> {};
+
+TEST_P(FatTreeCounts, HostAndSwitchFormulas) {
+  const auto p = GetParam();
+  const FatTree ft(FatTree::Config{p.k, gbps(10)});
+  EXPECT_EQ(ft.num_hosts(), p.hosts);
+  EXPECT_EQ(ft.num_switches(), p.switches);
+  // Link count: hosts + edge-agg (k * (k/2)^2) + agg-core (k * (k/2)^2),
+  // each duplex.
+  const std::size_t half = static_cast<std::size_t>(p.k) / 2;
+  const std::size_t expected_links =
+      2 * (static_cast<std::size_t>(p.hosts) +
+           static_cast<std::size_t>(p.k) * half * half * 2);
+  EXPECT_EQ(ft.topology().link_count(), expected_links);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FatTreeCounts,
+                         ::testing::Values(FatTreeParams{2, 2, 5},
+                                           FatTreeParams{4, 16, 20},
+                                           FatTreeParams{6, 54, 45},
+                                           FatTreeParams{8, 128, 80},
+                                           FatTreeParams{16, 1024, 320}));
+
+TEST(FatTree, HostAddressing) {
+  const FatTree ft(FatTree::Config{4, gbps(10)});
+  // k=4: 4 hosts per pod, 2 per edge switch.
+  EXPECT_EQ(ft.pod_of_host(0), 0);
+  EXPECT_EQ(ft.pod_of_host(3), 0);
+  EXPECT_EQ(ft.pod_of_host(4), 1);
+  EXPECT_EQ(ft.pod_of_host(15), 3);
+  EXPECT_EQ(ft.edge_of_host(0), ft.edge_of_host(1));
+  EXPECT_NE(ft.edge_of_host(1), ft.edge_of_host(2));
+}
+
+TEST(FatTree, HostIndexOutOfRangeThrows) {
+  const FatTree ft(FatTree::Config{4, gbps(10)});
+  EXPECT_THROW(ft.host(-1), std::logic_error);
+  EXPECT_THROW(ft.host(16), std::logic_error);
+  EXPECT_THROW(ft.pod_of_host(16), std::logic_error);
+}
+
+TEST(FatTree, PathSameEdgeSwitchHasTwoHops) {
+  const FatTree ft(FatTree::Config{4, gbps(10)});
+  const auto path = ft.path(0, 1, 0, 0);  // same edge switch
+  EXPECT_EQ(path.size(), 2u);
+}
+
+TEST(FatTree, PathSamePodHasFourHops) {
+  const FatTree ft(FatTree::Config{4, gbps(10)});
+  const auto path = ft.path(0, 2, 0, 0);  // same pod, different edge
+  EXPECT_EQ(path.size(), 4u);
+}
+
+TEST(FatTree, PathCrossPodHasSixHops) {
+  const FatTree ft(FatTree::Config{4, gbps(10)});
+  const auto path = ft.path(0, 15, 0, 0);
+  EXPECT_EQ(path.size(), 6u);
+}
+
+TEST(FatTree, PathIsConnected) {
+  const FatTree ft(FatTree::Config{8, gbps(10)});
+  const Topology& topo = ft.topology();
+  for (const auto& [src, dst] : std::vector<std::pair<int, int>>{
+           {0, 1}, {0, 5}, {0, 127}, {17, 93}, {64, 63}}) {
+    for (std::uint64_t choice = 0; choice < 4; ++choice) {
+      const auto path = ft.path(src, dst, choice, choice * 3 + 1);
+      ASSERT_FALSE(path.empty());
+      EXPECT_EQ(topo.link(path.front()).src, ft.host(src));
+      EXPECT_EQ(topo.link(path.back()).dst, ft.host(dst));
+      for (std::size_t i = 0; i + 1 < path.size(); ++i)
+        EXPECT_EQ(topo.link(path[i]).dst, topo.link(path[i + 1]).src);
+    }
+  }
+}
+
+TEST(FatTree, PathBetweenSameHostThrows) {
+  const FatTree ft(FatTree::Config{4, gbps(10)});
+  EXPECT_THROW(ft.path(3, 3, 0, 0), std::logic_error);
+  EXPECT_THROW(ft.path_count(3, 3), std::logic_error);
+}
+
+TEST(FatTree, PathCountMatchesStructure) {
+  const FatTree ft(FatTree::Config{8, gbps(10)});
+  EXPECT_EQ(ft.path_count(0, 1), 1u);       // same edge
+  EXPECT_EQ(ft.path_count(0, 5), 4u);       // same pod: k/2 agg choices
+  EXPECT_EQ(ft.path_count(0, 127), 16u);    // cross pod: (k/2)^2
+}
+
+TEST(FatTree, DistinctChoicesGiveDistinctCrossPodPaths) {
+  const FatTree ft(FatTree::Config{8, gbps(10)});
+  std::set<std::vector<std::uint64_t>> unique_paths;
+  for (std::uint64_t up = 0; up < 4; ++up) {
+    for (std::uint64_t core = 0; core < 4; ++core) {
+      const auto path = ft.path(0, 127, up, core);
+      std::vector<std::uint64_t> key;
+      for (LinkId l : path) key.push_back(l.value());
+      unique_paths.insert(key);
+    }
+  }
+  EXPECT_EQ(unique_paths.size(), 16u);
+}
+
+TEST(FatTree, CoreGroupWiring) {
+  // Core group g must connect to agg switch g of every pod.
+  const FatTree ft(FatTree::Config{4, gbps(10)});
+  const Topology& topo = ft.topology();
+  for (int g = 0; g < 2; ++g) {
+    for (int m = 0; m < 2; ++m) {
+      const NodeId core = ft.core_switch(g, m);
+      for (int pod = 0; pod < 4; ++pod) {
+        EXPECT_TRUE(topo.find_link(core, ft.agg_switch(pod, g)).valid());
+        EXPECT_FALSE(topo.find_link(core, ft.agg_switch(pod, 1 - g)).valid());
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------------- ECMP
+
+TEST(Ecmp, RouteIsStableForAFlow) {
+  const FatTree ft(FatTree::Config{8, gbps(10)});
+  const EcmpRouter router(ft);
+  const auto p1 = router.route(FlowId{7}, 3, 99);
+  const auto p2 = router.route(FlowId{7}, 3, 99);
+  EXPECT_EQ(p1, p2);
+}
+
+TEST(Ecmp, DifferentFlowsSpreadAcrossPaths) {
+  const FatTree ft(FatTree::Config{8, gbps(10)});
+  const EcmpRouter router(ft);
+  std::set<std::vector<std::uint64_t>> unique_paths;
+  for (std::uint64_t f = 0; f < 200; ++f) {
+    const auto path = router.route(FlowId{f}, 0, 127);
+    std::vector<std::uint64_t> key;
+    for (LinkId l : path) key.push_back(l.value());
+    unique_paths.insert(key);
+  }
+  // 16 equal-cost paths exist; a healthy hash should find most of them.
+  EXPECT_GE(unique_paths.size(), 12u);
+}
+
+TEST(Ecmp, SaltChangesPathSelection) {
+  const FatTree ft(FatTree::Config{8, gbps(10)});
+  const EcmpRouter a(ft, 1), b(ft, 2);
+  int differing = 0;
+  for (std::uint64_t f = 0; f < 50; ++f) {
+    if (a.route(FlowId{f}, 0, 127) != b.route(FlowId{f}, 0, 127)) ++differing;
+  }
+  EXPECT_GT(differing, 10);
+}
+
+TEST(Ecmp, RoutedPathsAreValid) {
+  const FatTree ft(FatTree::Config{4, gbps(10)});
+  const EcmpRouter router(ft, 3);
+  const Topology& topo = ft.topology();
+  for (std::uint64_t f = 0; f < 64; ++f) {
+    const int src = static_cast<int>(f % 16);
+    const int dst = static_cast<int>((f * 7 + 1) % 16);
+    if (src == dst) continue;
+    const auto path = router.route(FlowId{f}, src, dst);
+    EXPECT_EQ(topo.link(path.front()).src, ft.host(src));
+    EXPECT_EQ(topo.link(path.back()).dst, ft.host(dst));
+  }
+}
+
+}  // namespace
+}  // namespace gurita

@@ -1,0 +1,144 @@
+// Tests for trace serialization: round trips, format validation and
+// malformed-input diagnostics.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "workload/trace_gen.h"
+#include "workload/trace_io.h"
+
+namespace gurita {
+namespace {
+
+class TraceIoFixture : public ::testing::Test {
+ protected:
+  std::string path_;
+
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "gurita_trace_io_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()
+                               ->current_test_info()
+                               ->line()) +
+            ".trace";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void write_file(const std::string& contents) {
+    std::ofstream out(path_);
+    out << contents;
+  }
+};
+
+TEST_F(TraceIoFixture, RoundTripPreservesEverything) {
+  TraceConfig config;
+  config.num_jobs = 25;
+  config.num_hosts = 64;
+  config.seed = 5;
+  const std::vector<JobSpec> original = generate_trace(config);
+
+  save_trace(path_, original);
+  const std::vector<JobSpec> loaded = load_trace(path_);
+
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t j = 0; j < original.size(); ++j) {
+    EXPECT_DOUBLE_EQ(loaded[j].arrival_time, original[j].arrival_time);
+    ASSERT_EQ(loaded[j].coflows.size(), original[j].coflows.size());
+    EXPECT_EQ(loaded[j].deps, original[j].deps);
+    for (std::size_t c = 0; c < original[j].coflows.size(); ++c) {
+      const auto& oc = original[j].coflows[c];
+      const auto& lc = loaded[j].coflows[c];
+      ASSERT_EQ(lc.flows.size(), oc.flows.size());
+      for (std::size_t f = 0; f < oc.flows.size(); ++f) {
+        EXPECT_EQ(lc.flows[f].src_host, oc.flows[f].src_host);
+        EXPECT_EQ(lc.flows[f].dst_host, oc.flows[f].dst_host);
+        EXPECT_DOUBLE_EQ(lc.flows[f].size, oc.flows[f].size);
+      }
+    }
+  }
+}
+
+TEST_F(TraceIoFixture, LoadedTraceValidatesAgainstFabric) {
+  TraceConfig config;
+  config.num_jobs = 5;
+  config.num_hosts = 16;
+  const auto jobs = generate_trace(config);
+  save_trace(path_, jobs);
+  for (const JobSpec& job : load_trace(path_))
+    EXPECT_NO_THROW(validate(job, 16));
+}
+
+TEST_F(TraceIoFixture, HandWrittenMinimalTrace) {
+  write_file(
+      "gurita-trace v1\n"
+      "# one two-stage job\n"
+      "J 0.5 2\n"
+      "C 0\n"
+      "F 0 1 1000\n"
+      "C 1 0\n"
+      "F 1 2 500\n");
+  const auto jobs = load_trace(path_);
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_DOUBLE_EQ(jobs[0].arrival_time, 0.5);
+  ASSERT_EQ(jobs[0].coflows.size(), 2u);
+  EXPECT_EQ(jobs[0].deps[1], (std::vector<int>{0}));
+  EXPECT_DOUBLE_EQ(jobs[0].coflows[1].flows[0].size, 500.0);
+}
+
+TEST_F(TraceIoFixture, MissingMagicRejected) {
+  write_file("J 0 1\nC 0\nF 0 1 10\n");
+  EXPECT_THROW(load_trace(path_), std::logic_error);
+}
+
+TEST_F(TraceIoFixture, FlowBeforeCoflowRejected) {
+  write_file("gurita-trace v1\nJ 0 1\nF 0 1 10\n");
+  EXPECT_THROW(load_trace(path_), std::logic_error);
+}
+
+TEST_F(TraceIoFixture, CoflowBeforeJobRejected) {
+  write_file("gurita-trace v1\nC 0\n");
+  EXPECT_THROW(load_trace(path_), std::logic_error);
+}
+
+TEST_F(TraceIoFixture, CoflowCountMismatchRejected) {
+  write_file("gurita-trace v1\nJ 0 2\nC 0\nF 0 1 10\n");
+  EXPECT_THROW(load_trace(path_), std::logic_error);
+}
+
+TEST_F(TraceIoFixture, CyclicDepsRejected) {
+  write_file(
+      "gurita-trace v1\n"
+      "J 0 2\n"
+      "C 1 1\n"
+      "F 0 1 10\n"
+      "C 1 0\n"
+      "F 1 2 10\n");
+  EXPECT_THROW(load_trace(path_), std::logic_error);
+}
+
+TEST_F(TraceIoFixture, NonPositiveFlowSizeRejected) {
+  write_file("gurita-trace v1\nJ 0 1\nC 0\nF 0 1 0\n");
+  EXPECT_THROW(load_trace(path_), std::logic_error);
+}
+
+TEST_F(TraceIoFixture, UnknownTagRejected) {
+  write_file("gurita-trace v1\nX what\n");
+  EXPECT_THROW(load_trace(path_), std::logic_error);
+}
+
+TEST_F(TraceIoFixture, MissingFileRejected) {
+  EXPECT_THROW(load_trace("/nonexistent/path/to.trace"), std::logic_error);
+}
+
+TEST_F(TraceIoFixture, ErrorsCarryLineNumbers) {
+  write_file("gurita-trace v1\nJ 0 1\nC 0\nF 0 1 10\nX bogus\n");
+  try {
+    (void)load_trace(path_);
+    FAIL() << "expected throw";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 5"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace gurita
