@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bursty_datacenter.dir/bursty_datacenter.cpp.o"
+  "CMakeFiles/bursty_datacenter.dir/bursty_datacenter.cpp.o.d"
+  "bursty_datacenter"
+  "bursty_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bursty_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gurita_sim.dir/gurita_sim.cpp.o"
+  "CMakeFiles/gurita_sim.dir/gurita_sim.cpp.o.d"
+  "gurita_sim"
+  "gurita_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gurita_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

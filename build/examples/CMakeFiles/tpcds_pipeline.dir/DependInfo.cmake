@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/tpcds_pipeline.cpp" "examples/CMakeFiles/tpcds_pipeline.dir/tpcds_pipeline.cpp.o" "gcc" "examples/CMakeFiles/tpcds_pipeline.dir/tpcds_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/gurita_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gurita_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/gurita_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/gurita_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/gurita_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/flowsim/CMakeFiles/gurita_flowsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/coflow/CMakeFiles/gurita_coflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/gurita_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gurita_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

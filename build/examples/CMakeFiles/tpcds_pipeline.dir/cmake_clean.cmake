@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcds_pipeline.dir/tpcds_pipeline.cpp.o"
+  "CMakeFiles/tpcds_pipeline.dir/tpcds_pipeline.cpp.o.d"
+  "tpcds_pipeline"
+  "tpcds_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcds_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

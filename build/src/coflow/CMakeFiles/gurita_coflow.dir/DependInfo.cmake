@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coflow/critical_path.cpp" "src/coflow/CMakeFiles/gurita_coflow.dir/critical_path.cpp.o" "gcc" "src/coflow/CMakeFiles/gurita_coflow.dir/critical_path.cpp.o.d"
+  "/root/repo/src/coflow/job.cpp" "src/coflow/CMakeFiles/gurita_coflow.dir/job.cpp.o" "gcc" "src/coflow/CMakeFiles/gurita_coflow.dir/job.cpp.o.d"
+  "/root/repo/src/coflow/shapes.cpp" "src/coflow/CMakeFiles/gurita_coflow.dir/shapes.cpp.o" "gcc" "src/coflow/CMakeFiles/gurita_coflow.dir/shapes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gurita_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gurita_coflow.dir/critical_path.cpp.o"
+  "CMakeFiles/gurita_coflow.dir/critical_path.cpp.o.d"
+  "CMakeFiles/gurita_coflow.dir/job.cpp.o"
+  "CMakeFiles/gurita_coflow.dir/job.cpp.o.d"
+  "CMakeFiles/gurita_coflow.dir/shapes.cpp.o"
+  "CMakeFiles/gurita_coflow.dir/shapes.cpp.o.d"
+  "libgurita_coflow.a"
+  "libgurita_coflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gurita_coflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

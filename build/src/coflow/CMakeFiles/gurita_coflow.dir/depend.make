@@ -1,0 +1,2 @@
+# Empty dependencies file for gurita_coflow.
+# This may be replaced when dependencies are built.

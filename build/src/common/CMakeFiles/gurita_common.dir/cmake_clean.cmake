@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gurita_common.dir/log.cpp.o"
+  "CMakeFiles/gurita_common.dir/log.cpp.o.d"
+  "CMakeFiles/gurita_common.dir/rng.cpp.o"
+  "CMakeFiles/gurita_common.dir/rng.cpp.o.d"
+  "CMakeFiles/gurita_common.dir/stats.cpp.o"
+  "CMakeFiles/gurita_common.dir/stats.cpp.o.d"
+  "libgurita_common.a"
+  "libgurita_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gurita_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

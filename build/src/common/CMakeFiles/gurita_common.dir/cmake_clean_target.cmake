@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgurita_common.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive_thresholds.cpp" "src/core/CMakeFiles/gurita_core.dir/adaptive_thresholds.cpp.o" "gcc" "src/core/CMakeFiles/gurita_core.dir/adaptive_thresholds.cpp.o.d"
+  "/root/repo/src/core/ava.cpp" "src/core/CMakeFiles/gurita_core.dir/ava.cpp.o" "gcc" "src/core/CMakeFiles/gurita_core.dir/ava.cpp.o.d"
+  "/root/repo/src/core/blocking_effect.cpp" "src/core/CMakeFiles/gurita_core.dir/blocking_effect.cpp.o" "gcc" "src/core/CMakeFiles/gurita_core.dir/blocking_effect.cpp.o.d"
+  "/root/repo/src/core/gurita.cpp" "src/core/CMakeFiles/gurita_core.dir/gurita.cpp.o" "gcc" "src/core/CMakeFiles/gurita_core.dir/gurita.cpp.o.d"
+  "/root/repo/src/core/gurita_plus.cpp" "src/core/CMakeFiles/gurita_core.dir/gurita_plus.cpp.o" "gcc" "src/core/CMakeFiles/gurita_core.dir/gurita_plus.cpp.o.d"
+  "/root/repo/src/core/head_receiver.cpp" "src/core/CMakeFiles/gurita_core.dir/head_receiver.cpp.o" "gcc" "src/core/CMakeFiles/gurita_core.dir/head_receiver.cpp.o.d"
+  "/root/repo/src/core/optimal.cpp" "src/core/CMakeFiles/gurita_core.dir/optimal.cpp.o" "gcc" "src/core/CMakeFiles/gurita_core.dir/optimal.cpp.o.d"
+  "/root/repo/src/core/starvation.cpp" "src/core/CMakeFiles/gurita_core.dir/starvation.cpp.o" "gcc" "src/core/CMakeFiles/gurita_core.dir/starvation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/gurita_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/flowsim/CMakeFiles/gurita_flowsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/gurita_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/coflow/CMakeFiles/gurita_coflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gurita_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

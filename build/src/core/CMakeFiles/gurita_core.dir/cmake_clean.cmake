@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gurita_core.dir/adaptive_thresholds.cpp.o"
+  "CMakeFiles/gurita_core.dir/adaptive_thresholds.cpp.o.d"
+  "CMakeFiles/gurita_core.dir/ava.cpp.o"
+  "CMakeFiles/gurita_core.dir/ava.cpp.o.d"
+  "CMakeFiles/gurita_core.dir/blocking_effect.cpp.o"
+  "CMakeFiles/gurita_core.dir/blocking_effect.cpp.o.d"
+  "CMakeFiles/gurita_core.dir/gurita.cpp.o"
+  "CMakeFiles/gurita_core.dir/gurita.cpp.o.d"
+  "CMakeFiles/gurita_core.dir/gurita_plus.cpp.o"
+  "CMakeFiles/gurita_core.dir/gurita_plus.cpp.o.d"
+  "CMakeFiles/gurita_core.dir/head_receiver.cpp.o"
+  "CMakeFiles/gurita_core.dir/head_receiver.cpp.o.d"
+  "CMakeFiles/gurita_core.dir/optimal.cpp.o"
+  "CMakeFiles/gurita_core.dir/optimal.cpp.o.d"
+  "CMakeFiles/gurita_core.dir/starvation.cpp.o"
+  "CMakeFiles/gurita_core.dir/starvation.cpp.o.d"
+  "libgurita_core.a"
+  "libgurita_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gurita_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

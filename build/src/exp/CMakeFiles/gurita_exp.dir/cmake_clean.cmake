@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gurita_exp.dir/args.cpp.o"
+  "CMakeFiles/gurita_exp.dir/args.cpp.o.d"
+  "CMakeFiles/gurita_exp.dir/experiment.cpp.o"
+  "CMakeFiles/gurita_exp.dir/experiment.cpp.o.d"
+  "CMakeFiles/gurita_exp.dir/registry.cpp.o"
+  "CMakeFiles/gurita_exp.dir/registry.cpp.o.d"
+  "libgurita_exp.a"
+  "libgurita_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gurita_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flowsim/allocator.cpp" "src/flowsim/CMakeFiles/gurita_flowsim.dir/allocator.cpp.o" "gcc" "src/flowsim/CMakeFiles/gurita_flowsim.dir/allocator.cpp.o.d"
+  "/root/repo/src/flowsim/simulator.cpp" "src/flowsim/CMakeFiles/gurita_flowsim.dir/simulator.cpp.o" "gcc" "src/flowsim/CMakeFiles/gurita_flowsim.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gurita_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/gurita_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/coflow/CMakeFiles/gurita_coflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

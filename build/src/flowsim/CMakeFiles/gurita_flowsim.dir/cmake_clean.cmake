@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gurita_flowsim.dir/allocator.cpp.o"
+  "CMakeFiles/gurita_flowsim.dir/allocator.cpp.o.d"
+  "CMakeFiles/gurita_flowsim.dir/simulator.cpp.o"
+  "CMakeFiles/gurita_flowsim.dir/simulator.cpp.o.d"
+  "libgurita_flowsim.a"
+  "libgurita_flowsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gurita_flowsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/category.cpp" "src/metrics/CMakeFiles/gurita_metrics.dir/category.cpp.o" "gcc" "src/metrics/CMakeFiles/gurita_metrics.dir/category.cpp.o.d"
+  "/root/repo/src/metrics/collector.cpp" "src/metrics/CMakeFiles/gurita_metrics.dir/collector.cpp.o" "gcc" "src/metrics/CMakeFiles/gurita_metrics.dir/collector.cpp.o.d"
+  "/root/repo/src/metrics/deadlines.cpp" "src/metrics/CMakeFiles/gurita_metrics.dir/deadlines.cpp.o" "gcc" "src/metrics/CMakeFiles/gurita_metrics.dir/deadlines.cpp.o.d"
+  "/root/repo/src/metrics/extended.cpp" "src/metrics/CMakeFiles/gurita_metrics.dir/extended.cpp.o" "gcc" "src/metrics/CMakeFiles/gurita_metrics.dir/extended.cpp.o.d"
+  "/root/repo/src/metrics/report.cpp" "src/metrics/CMakeFiles/gurita_metrics.dir/report.cpp.o" "gcc" "src/metrics/CMakeFiles/gurita_metrics.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gurita_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/coflow/CMakeFiles/gurita_coflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/flowsim/CMakeFiles/gurita_flowsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/gurita_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gurita_metrics.dir/category.cpp.o"
+  "CMakeFiles/gurita_metrics.dir/category.cpp.o.d"
+  "CMakeFiles/gurita_metrics.dir/collector.cpp.o"
+  "CMakeFiles/gurita_metrics.dir/collector.cpp.o.d"
+  "CMakeFiles/gurita_metrics.dir/deadlines.cpp.o"
+  "CMakeFiles/gurita_metrics.dir/deadlines.cpp.o.d"
+  "CMakeFiles/gurita_metrics.dir/extended.cpp.o"
+  "CMakeFiles/gurita_metrics.dir/extended.cpp.o.d"
+  "CMakeFiles/gurita_metrics.dir/report.cpp.o"
+  "CMakeFiles/gurita_metrics.dir/report.cpp.o.d"
+  "libgurita_metrics.a"
+  "libgurita_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gurita_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

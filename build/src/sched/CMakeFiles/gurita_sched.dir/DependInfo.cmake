@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/aalo.cpp" "src/sched/CMakeFiles/gurita_sched.dir/aalo.cpp.o" "gcc" "src/sched/CMakeFiles/gurita_sched.dir/aalo.cpp.o.d"
+  "/root/repo/src/sched/baraat.cpp" "src/sched/CMakeFiles/gurita_sched.dir/baraat.cpp.o" "gcc" "src/sched/CMakeFiles/gurita_sched.dir/baraat.cpp.o.d"
+  "/root/repo/src/sched/mcs.cpp" "src/sched/CMakeFiles/gurita_sched.dir/mcs.cpp.o" "gcc" "src/sched/CMakeFiles/gurita_sched.dir/mcs.cpp.o.d"
+  "/root/repo/src/sched/stream.cpp" "src/sched/CMakeFiles/gurita_sched.dir/stream.cpp.o" "gcc" "src/sched/CMakeFiles/gurita_sched.dir/stream.cpp.o.d"
+  "/root/repo/src/sched/thresholds.cpp" "src/sched/CMakeFiles/gurita_sched.dir/thresholds.cpp.o" "gcc" "src/sched/CMakeFiles/gurita_sched.dir/thresholds.cpp.o.d"
+  "/root/repo/src/sched/varys.cpp" "src/sched/CMakeFiles/gurita_sched.dir/varys.cpp.o" "gcc" "src/sched/CMakeFiles/gurita_sched.dir/varys.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flowsim/CMakeFiles/gurita_flowsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/gurita_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/coflow/CMakeFiles/gurita_coflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gurita_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

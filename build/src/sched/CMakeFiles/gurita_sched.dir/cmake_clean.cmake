@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gurita_sched.dir/aalo.cpp.o"
+  "CMakeFiles/gurita_sched.dir/aalo.cpp.o.d"
+  "CMakeFiles/gurita_sched.dir/baraat.cpp.o"
+  "CMakeFiles/gurita_sched.dir/baraat.cpp.o.d"
+  "CMakeFiles/gurita_sched.dir/mcs.cpp.o"
+  "CMakeFiles/gurita_sched.dir/mcs.cpp.o.d"
+  "CMakeFiles/gurita_sched.dir/stream.cpp.o"
+  "CMakeFiles/gurita_sched.dir/stream.cpp.o.d"
+  "CMakeFiles/gurita_sched.dir/thresholds.cpp.o"
+  "CMakeFiles/gurita_sched.dir/thresholds.cpp.o.d"
+  "CMakeFiles/gurita_sched.dir/varys.cpp.o"
+  "CMakeFiles/gurita_sched.dir/varys.cpp.o.d"
+  "libgurita_sched.a"
+  "libgurita_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gurita_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/big_switch.cpp" "src/topology/CMakeFiles/gurita_topology.dir/big_switch.cpp.o" "gcc" "src/topology/CMakeFiles/gurita_topology.dir/big_switch.cpp.o.d"
+  "/root/repo/src/topology/ecmp.cpp" "src/topology/CMakeFiles/gurita_topology.dir/ecmp.cpp.o" "gcc" "src/topology/CMakeFiles/gurita_topology.dir/ecmp.cpp.o.d"
+  "/root/repo/src/topology/fattree.cpp" "src/topology/CMakeFiles/gurita_topology.dir/fattree.cpp.o" "gcc" "src/topology/CMakeFiles/gurita_topology.dir/fattree.cpp.o.d"
+  "/root/repo/src/topology/graph.cpp" "src/topology/CMakeFiles/gurita_topology.dir/graph.cpp.o" "gcc" "src/topology/CMakeFiles/gurita_topology.dir/graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gurita_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

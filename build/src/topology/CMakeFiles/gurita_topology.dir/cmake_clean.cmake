@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gurita_topology.dir/big_switch.cpp.o"
+  "CMakeFiles/gurita_topology.dir/big_switch.cpp.o.d"
+  "CMakeFiles/gurita_topology.dir/ecmp.cpp.o"
+  "CMakeFiles/gurita_topology.dir/ecmp.cpp.o.d"
+  "CMakeFiles/gurita_topology.dir/fattree.cpp.o"
+  "CMakeFiles/gurita_topology.dir/fattree.cpp.o.d"
+  "CMakeFiles/gurita_topology.dir/graph.cpp.o"
+  "CMakeFiles/gurita_topology.dir/graph.cpp.o.d"
+  "libgurita_topology.a"
+  "libgurita_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gurita_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

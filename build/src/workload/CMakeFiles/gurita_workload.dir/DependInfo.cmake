@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/structures.cpp" "src/workload/CMakeFiles/gurita_workload.dir/structures.cpp.o" "gcc" "src/workload/CMakeFiles/gurita_workload.dir/structures.cpp.o.d"
+  "/root/repo/src/workload/trace_gen.cpp" "src/workload/CMakeFiles/gurita_workload.dir/trace_gen.cpp.o" "gcc" "src/workload/CMakeFiles/gurita_workload.dir/trace_gen.cpp.o.d"
+  "/root/repo/src/workload/trace_io.cpp" "src/workload/CMakeFiles/gurita_workload.dir/trace_io.cpp.o" "gcc" "src/workload/CMakeFiles/gurita_workload.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/coflow/CMakeFiles/gurita_coflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/gurita_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/flowsim/CMakeFiles/gurita_flowsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/gurita_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gurita_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

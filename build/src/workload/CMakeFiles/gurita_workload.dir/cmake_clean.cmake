@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gurita_workload.dir/structures.cpp.o"
+  "CMakeFiles/gurita_workload.dir/structures.cpp.o.d"
+  "CMakeFiles/gurita_workload.dir/trace_gen.cpp.o"
+  "CMakeFiles/gurita_workload.dir/trace_gen.cpp.o.d"
+  "CMakeFiles/gurita_workload.dir/trace_io.cpp.o"
+  "CMakeFiles/gurita_workload.dir/trace_io.cpp.o.d"
+  "libgurita_workload.a"
+  "libgurita_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gurita_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_thresholds_test.dir/adaptive_thresholds_test.cpp.o"
+  "CMakeFiles/adaptive_thresholds_test.dir/adaptive_thresholds_test.cpp.o.d"
+  "adaptive_thresholds_test"
+  "adaptive_thresholds_test.pdb"
+  "adaptive_thresholds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_thresholds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/big_switch_test.dir/big_switch_test.cpp.o"
+  "CMakeFiles/big_switch_test.dir/big_switch_test.cpp.o.d"
+  "big_switch_test"
+  "big_switch_test.pdb"
+  "big_switch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/big_switch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

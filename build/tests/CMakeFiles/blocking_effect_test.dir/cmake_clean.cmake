@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocking_effect_test.dir/blocking_effect_test.cpp.o"
+  "CMakeFiles/blocking_effect_test.dir/blocking_effect_test.cpp.o.d"
+  "blocking_effect_test"
+  "blocking_effect_test.pdb"
+  "blocking_effect_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocking_effect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

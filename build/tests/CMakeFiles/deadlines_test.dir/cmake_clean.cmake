@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadlines_test.dir/deadlines_test.cpp.o"
+  "CMakeFiles/deadlines_test.dir/deadlines_test.cpp.o.d"
+  "deadlines_test"
+  "deadlines_test.pdb"
+  "deadlines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadlines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

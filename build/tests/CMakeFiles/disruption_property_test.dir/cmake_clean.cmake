@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disruption_property_test.dir/disruption_property_test.cpp.o"
+  "CMakeFiles/disruption_property_test.dir/disruption_property_test.cpp.o.d"
+  "disruption_property_test"
+  "disruption_property_test.pdb"
+  "disruption_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disruption_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

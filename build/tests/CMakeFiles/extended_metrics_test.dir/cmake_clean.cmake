@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extended_metrics_test.dir/extended_metrics_test.cpp.o"
+  "CMakeFiles/extended_metrics_test.dir/extended_metrics_test.cpp.o.d"
+  "extended_metrics_test"
+  "extended_metrics_test.pdb"
+  "extended_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

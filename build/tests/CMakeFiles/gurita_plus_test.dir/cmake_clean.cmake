@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gurita_plus_test.dir/gurita_plus_test.cpp.o"
+  "CMakeFiles/gurita_plus_test.dir/gurita_plus_test.cpp.o.d"
+  "gurita_plus_test"
+  "gurita_plus_test.pdb"
+  "gurita_plus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gurita_plus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

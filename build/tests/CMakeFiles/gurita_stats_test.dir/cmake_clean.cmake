@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gurita_stats_test.dir/gurita_stats_test.cpp.o"
+  "CMakeFiles/gurita_stats_test.dir/gurita_stats_test.cpp.o.d"
+  "gurita_stats_test"
+  "gurita_stats_test.pdb"
+  "gurita_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gurita_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gurita_test.dir/gurita_test.cpp.o"
+  "CMakeFiles/gurita_test.dir/gurita_test.cpp.o.d"
+  "gurita_test"
+  "gurita_test.pdb"
+  "gurita_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gurita_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_baselines_test.dir/sched_baselines_test.cpp.o"
+  "CMakeFiles/sched_baselines_test.dir/sched_baselines_test.cpp.o.d"
+  "sched_baselines_test"
+  "sched_baselines_test.pdb"
+  "sched_baselines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/varys_test.dir/varys_test.cpp.o"
+  "CMakeFiles/varys_test.dir/varys_test.cpp.o.d"
+  "varys_test"
+  "varys_test.pdb"
+  "varys_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/varys_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

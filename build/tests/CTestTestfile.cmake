@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/topology_test[1]_include.cmake")
+include("/root/repo/build/tests/coflow_test[1]_include.cmake")
+include("/root/repo/build/tests/shapes_test[1]_include.cmake")
+include("/root/repo/build/tests/critical_path_test[1]_include.cmake")
+include("/root/repo/build/tests/allocator_test[1]_include.cmake")
+include("/root/repo/build/tests/simulator_test[1]_include.cmake")
+include("/root/repo/build/tests/thresholds_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/blocking_effect_test[1]_include.cmake")
+include("/root/repo/build/tests/starvation_test[1]_include.cmake")
+include("/root/repo/build/tests/gurita_test[1]_include.cmake")
+include("/root/repo/build/tests/gurita_plus_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/exp_test[1]_include.cmake")
+include("/root/repo/build/tests/adaptive_thresholds_test[1]_include.cmake")
+include("/root/repo/build/tests/varys_test[1]_include.cmake")
+include("/root/repo/build/tests/optimal_test[1]_include.cmake")
+include("/root/repo/build/tests/extended_metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_io_test[1]_include.cmake")
+include("/root/repo/build/tests/big_switch_test[1]_include.cmake")
+include("/root/repo/build/tests/gurita_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/disruption_property_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_ramp_test[1]_include.cmake")
+include("/root/repo/build/tests/deadlines_test[1]_include.cmake")
