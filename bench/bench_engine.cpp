@@ -1,0 +1,189 @@
+// Engine microbenchmark: per-event cost of the event-calendar simulator.
+//
+// Sweeps the number of simultaneously active flows (1k / 10k / 100k by
+// default) over a big-switch fabric with disjoint host pairs, so each
+// completion batch disturbs no other flow's rate — the regime where the
+// old engine's per-event full-active-set scans hurt most. Two scenarios:
+//
+//   completions  flow-completion events only (PFS, no ticks)
+//   ticks        the same workload under a δ-tick scheduler whose ticks
+//                change nothing (the Gurita HR cadence) — every tick is an
+//                event the calendar engine handles without touching flows
+//
+// Reports, per configuration: events, engine flow touches, the equivalent
+// legacy full-scan touches (both counted by the engine itself — see
+// SimResults), their ratio, and wall time. Writes BENCH_engine.json for
+// cross-PR tracking.
+//
+//   ./bench_engine [--flows 1000,10000,100000] [--groups 32]
+//                  [--tick 0.1] [--out BENCH_engine.json]
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "exp/args.h"
+#include "flowsim/simulator.h"
+#include "sched/pfs.h"
+#include "topology/big_switch.h"
+
+namespace gurita {
+namespace {
+
+/// PFS priorities with a fixed coordination tick that never changes them:
+/// isolates the engine's per-event cost under a Gurita-like δ cadence.
+class TickingPfsScheduler final : public Scheduler {
+ public:
+  explicit TickingPfsScheduler(Time delta) : delta_(delta) {}
+  [[nodiscard]] std::string name() const override { return "ticking-pfs"; }
+  [[nodiscard]] Time tick_interval() const override { return delta_; }
+  bool on_tick(Time now) override {
+    (void)now;
+    return false;
+  }
+  void assign(Time now, const std::vector<SimFlow*>& active) override {
+    (void)now;
+    for (SimFlow* f : active) {
+      f->tier = 0;
+      f->weight = 1.0;
+    }
+  }
+
+ private:
+  Time delta_;
+};
+
+struct BenchRow {
+  int flows = 0;
+  std::string scenario;
+  double wall_ms = 0;
+  Time makespan = 0;
+  std::uint64_t events = 0;
+  std::uint64_t flow_touches = 0;
+  std::uint64_t legacy_flow_touches = 0;
+
+  [[nodiscard]] double touch_ratio() const {
+    return flow_touches == 0
+               ? 0.0
+               : static_cast<double>(legacy_flow_touches) /
+                     static_cast<double>(flow_touches);
+  }
+};
+
+/// One job, one coflow, `flows` transfers on disjoint host pairs
+/// (i -> flows + i), sizes spread over `groups` distinct values so
+/// completions arrive in `groups` batches.
+JobSpec disjoint_pairs_job(int flows, int groups) {
+  JobSpec job;
+  CoflowSpec coflow;
+  coflow.flows.reserve(static_cast<std::size_t>(flows));
+  for (int i = 0; i < flows; ++i) {
+    const Bytes size = 100.0 * static_cast<double>(1 + i % groups);
+    coflow.flows.push_back(FlowSpec{i, flows + i, size});
+  }
+  job.coflows.push_back(std::move(coflow));
+  job.deps = {{}};
+  return job;
+}
+
+BenchRow run_one(int flows, int groups, Time tick, bool ticking) {
+  const BigSwitch fabric(BigSwitch::Config{2 * flows, 100.0});
+  PfsScheduler pfs;
+  TickingPfsScheduler ticking_pfs(tick);
+  Scheduler& scheduler =
+      ticking ? static_cast<Scheduler&>(ticking_pfs) : pfs;
+  Simulator sim(fabric, scheduler);
+  sim.submit(disjoint_pairs_job(flows, groups));
+
+  const auto start = std::chrono::steady_clock::now();
+  const SimResults results = sim.run();
+  const auto stop = std::chrono::steady_clock::now();
+
+  BenchRow row;
+  row.flows = flows;
+  row.scenario = ticking ? "ticks" : "completions";
+  row.wall_ms =
+      std::chrono::duration<double, std::milli>(stop - start).count();
+  row.makespan = results.makespan;
+  row.events = results.events;
+  row.flow_touches = results.flow_touches;
+  row.legacy_flow_touches = results.legacy_flow_touches;
+  return row;
+}
+
+std::vector<int> parse_flow_counts(const std::string& csv) {
+  std::vector<int> counts;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    try {
+      counts.push_back(std::stoi(item));
+    } catch (const std::exception&) {
+      counts.clear();
+    }
+    if (counts.empty() || counts.back() <= 0) {
+      std::cerr << "--flows expects a comma-separated list of positive "
+                   "counts, got \""
+                << csv << "\"\n";
+      std::exit(1);
+    }
+  }
+  return counts;
+}
+
+bool write_json(const std::string& path, const std::vector<BenchRow>& rows) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"engine\",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const BenchRow& r = rows[i];
+    out << "    {\"flows\": " << r.flows << ", \"scenario\": \"" << r.scenario
+        << "\", \"events\": " << r.events
+        << ", \"flow_touches\": " << r.flow_touches
+        << ", \"legacy_flow_touches\": " << r.legacy_flow_touches
+        << ", \"touch_ratio\": " << r.touch_ratio()
+        << ", \"wall_ms\": " << r.wall_ms << ", \"makespan\": " << r.makespan
+        << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.good();
+}
+
+}  // namespace
+}  // namespace gurita
+
+int main(int argc, char** argv) {
+  using namespace gurita;
+  const Args args(argc, argv);
+  const std::vector<int> flow_counts =
+      parse_flow_counts(args.get_string("flows", "1000,10000,100000"));
+  const int groups = args.get_int("groups", 32);
+  const Time tick = args.get_double("tick", 0.1);
+  const std::string out_path = args.get_string("out", "BENCH_engine.json");
+
+  std::cout << "=== Engine microbenchmark: per-event flow touches ===\n"
+               "touch_ratio = legacy full-scan touches / calendar-engine "
+               "touches (higher is better).\n\n";
+  std::cout << "flows      scenario      events    touches     legacy      "
+               "ratio    wall_ms\n";
+
+  std::vector<BenchRow> rows;
+  for (const int flows : flow_counts) {
+    for (const bool ticking : {false, true}) {
+      const BenchRow row = run_one(flows, groups, tick, ticking);
+      std::printf("%-10d %-12s %8llu %10llu %10llu %9.1fx %9.2f\n", row.flows,
+                  row.scenario.c_str(),
+                  static_cast<unsigned long long>(row.events),
+                  static_cast<unsigned long long>(row.flow_touches),
+                  static_cast<unsigned long long>(row.legacy_flow_touches),
+                  row.touch_ratio(), row.wall_ms);
+      rows.push_back(row);
+    }
+  }
+  if (!write_json(out_path, rows)) {
+    std::cerr << "\nfailed to write " << out_path << "\n";
+    return 1;
+  }
+  std::cout << "\nwrote " << out_path << "\n";
+  return 0;
+}

@@ -39,12 +39,13 @@ void GuritaScheduler::on_coflow_release(const SimCoflow& coflow, Time now) {
 
 void GuritaScheduler::on_coflow_finish(const SimCoflow& coflow, Time now) {
   (void)now;
-  // Feed AVA with the coflow's final observed ℓ̈_max (all bytes received).
-  const SimJob& job = state().job(coflow.job);
+  // Feed AVA with the coflow's final observed ℓ̈_max: the largest per-flow
+  // byte count actually received, not the clairvoyant flow size — the two
+  // only coincide when every flow ran to natural completion, and the online
+  // estimator must stay honest when they don't.
   Bytes ell_max = 0;
   for (FlowId fid : coflow.flows)
-    ell_max = std::max(ell_max, state().flow(fid).size);
-  (void)job;
+    ell_max = std::max(ell_max, state().flow(fid).bytes_sent());
   ava_.observe(ell_max);
   coflow_queue_.erase(coflow.id);
 }
@@ -121,26 +122,20 @@ int GuritaScheduler::coflow_queue(CoflowId id) const {
   return it == coflow_queue_.end() ? 0 : it->second;
 }
 
-void GuritaScheduler::self_demote(const SimFlow& flow, Time now) {
-  const SimJob& job = state().job(flow.job);
-  const CoflowId cid = job.coflows[flow.coflow_index];
-  auto it = coflow_queue_.find(cid);
-  if (it == coflow_queue_.end()) return;
+void GuritaScheduler::self_demote(CoflowId cid, int& queue, Time now) {
+  ++stats_.self_demote_checks;
   const SimCoflow& coflow = state().coflow(cid);
+  const SimJob& job = state().job(coflow.job);
   // Receiver-local estimate of this coflow's own blocking effect; the HR's
-  // last-known completed-stage count supplies ω̈.
-  const auto hr = head_receivers_.find(flow.job);
+  // last-known completed-stage count supplies ω̈. The byte signals come
+  // from the engine's incremental aggregates (O(1) for the sums, no
+  // per-flow re-summation).
+  const auto hr = head_receivers_.find(coflow.job);
   const int completed =
       hr != head_receivers_.end() ? hr->second.completed_stages() : 0;
-  Bytes ell_max = 0;
-  Bytes total = 0;
-  int open = 0;
-  for (FlowId fid : coflow.flows) {
-    const SimFlow& f = state().flow(fid);
-    ell_max = std::max(ell_max, f.bytes_sent());
-    total += f.bytes_sent();
-    if (f.active()) ++open;
-  }
+  const Bytes ell_max = state().coflow_ell_max(cid);
+  const Bytes total = state().coflow_bytes_sent(cid);
+  const int open = state().coflow_open_connections(cid);
   BlockingInputs in;
   in.omega = omega_online(completed);
   in.epsilon = epsilon_skew(
@@ -155,24 +150,19 @@ void GuritaScheduler::self_demote(const SimFlow& flow, Time now) {
   // receiver-local check as well.
   const int level =
       psi_level(blocking_effect(in) * slack_factor(job, now));
-  if (level > it->second) {
-    it->second = level;
+  if (level > queue) {
+    queue = level;
     ++stats_.self_demotions;
   }
 }
 
-void GuritaScheduler::assign(Time now, std::vector<SimFlow*>& active) {
-  // Continuous receiver-local threshold check (one pass per coflow).
-  {
-    CoflowId last = CoflowId::invalid();
-    for (SimFlow* f : active) {
-      const CoflowId cid = state().job(f->job).coflows[f->coflow_index];
-      if (cid != last) {
-        self_demote(*f, now);
-        last = cid;
-      }
-    }
-  }
+void GuritaScheduler::assign(Time now, const std::vector<SimFlow*>& active) {
+  // Continuous receiver-local threshold check: exactly once per released,
+  // unfinished coflow. coflow_queue_ is that set (entries are added at
+  // release and erased at finish), so iterating it directly never depends
+  // on the active list keeping a coflow's flows contiguous — the old
+  // previous-flow dedup silently skipped coflows under interleaved orders.
+  for (auto& [cid, queue] : coflow_queue_) self_demote(cid, queue, now);
   if (!config_.starvation_mitigation) {
     for (SimFlow* f : active) {
       const SimJob& job = state().job(f->job);

@@ -79,7 +79,7 @@ class GuritaScheduler final : public Scheduler {
   void on_coflow_release(const SimCoflow& coflow, Time now) override;
   void on_coflow_finish(const SimCoflow& coflow, Time now) override;
   void on_job_finish(const SimJob& job, Time now) override;
-  void assign(Time now, std::vector<SimFlow*>& active) override;
+  void assign(Time now, const std::vector<SimFlow*>& active) override;
 
   /// Exposed for tests: queue currently assigned to a coflow (0 if none).
   [[nodiscard]] int coflow_queue(CoflowId id) const;
@@ -88,6 +88,7 @@ class GuritaScheduler final : public Scheduler {
   struct Stats {
     std::uint64_t hr_updates = 0;       ///< per-job HR refresh rounds
     std::uint64_t demotions = 0;        ///< HR-decided queue demotions
+    std::uint64_t self_demote_checks = 0;  ///< receiver-local evaluations
     std::uint64_t self_demotions = 0;   ///< receiver-local threshold hits
     std::uint64_t critical_path_hits = 0;  ///< coflows AVA flagged critical
   };
@@ -119,8 +120,9 @@ class GuritaScheduler final : public Scheduler {
   /// [the highest] priority until a threshold is exceeded or an update is
   /// received from HR." A receiver sees its own byte counts continuously,
   /// so this check needs no δ coordination; only the job-level stage sums
-  /// (decide_priorities) wait for the HR round.
-  void self_demote(const SimFlow& flow, Time now);
+  /// (decide_priorities) wait for the HR round. `queue` is the coflow's
+  /// entry in coflow_queue_ (demote-only, updated in place).
+  void self_demote(CoflowId cid, int& queue, Time now);
 };
 
 }  // namespace gurita

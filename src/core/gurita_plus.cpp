@@ -20,8 +20,7 @@ void GuritaPlusScheduler::on_job_arrival(const SimJob& job, Time now) {
   on_critical_.emplace(job.id, info.on_critical);
 }
 
-void GuritaPlusScheduler::assign(Time now, std::vector<SimFlow*>& active) {
-  (void)now;
+void GuritaPlusScheduler::assign(Time now, const std::vector<SimFlow*>& active) {
   // Exact per-stage blocking effect from in-flight (remaining) bytes.
   // Key: (job, stage) -> Ψ_J(k).
   struct CoflowAgg {
@@ -37,8 +36,9 @@ void GuritaPlusScheduler::assign(Time now, std::vector<SimFlow*>& active) {
     const SimJob& job = state().job(f->job);
     const CoflowId cid = job.coflows[f->coflow_index];
     CoflowAgg& a = agg[cid.value()];
-    a.ell_max = std::max(a.ell_max, f->remaining);
-    a.total += f->remaining;
+    const Bytes remaining = f->remaining_at(now);
+    a.ell_max = std::max(a.ell_max, remaining);
+    a.total += remaining;
     a.width += 1.0;
     a.stage = state().coflow(cid).stage;
     a.job = f->job;

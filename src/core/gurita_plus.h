@@ -44,7 +44,7 @@ class GuritaPlusScheduler final : public Scheduler {
   [[nodiscard]] std::string name() const override { return "gurita_plus"; }
 
   void on_job_arrival(const SimJob& job, Time now) override;
-  void assign(Time now, std::vector<SimFlow*>& active) override;
+  void assign(Time now, const std::vector<SimFlow*>& active) override;
 
  private:
   Config config_;

@@ -18,19 +18,13 @@ void HeadReceiver::update(const SimState& state, Time now) {
 
     CoflowObservation obs;
     obs.stage = c.stage;
-    Bytes max_seen = 0;
-    Bytes total_seen = 0;
-    int open = 0;
-    for (FlowId fid : c.flows) {
-      const SimFlow& f = state.flow(fid);
-      // A receiver observes bytes received so far, for open and closed
-      // connections alike; open-connection count covers active flows only.
-      max_seen = std::max(max_seen, f.bytes_sent());
-      total_seen += f.bytes_sent();
-      if (f.active()) ++open;
-    }
-    obs.open_connections = open;
-    obs.ell_max_observed = max_seen;
+    // A receiver observes bytes received so far, for open and closed
+    // connections alike; open-connection count covers active flows only.
+    // All three signals come from the engine's incremental per-coflow
+    // aggregates instead of a per-flow re-summation.
+    const Bytes total_seen = state.coflow_bytes_sent(c.id);
+    obs.open_connections = state.coflow_open_connections(c.id);
+    obs.ell_max_observed = state.coflow_ell_max(c.id);
     obs.ell_avg_observed =
         c.flows.empty() ? 0.0 : total_seen / static_cast<double>(c.flows.size());
     obs.bytes_received = total_seen;

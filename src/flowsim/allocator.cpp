@@ -82,29 +82,48 @@ void waterfill(const Topology& topo, std::vector<SimFlow*>& group,
 }
 
 void allocate_rates(const Topology& topo, const std::vector<Rate>& capacities,
-                    std::vector<SimFlow*>& flows) {
+                    const std::vector<SimFlow*>& flows,
+                    std::vector<RateChange>* changed) {
   GURITA_CHECK_MSG(capacities.size() == topo.link_count(),
                    "capacity vector must cover every link");
   for (Rate c : capacities) GURITA_CHECK_MSG(c >= 0, "negative capacity");
   std::vector<Rate> residual = capacities;
 
-  // Stable order: by tier, then by flow id for determinism.
-  std::sort(flows.begin(), flows.end(), [](const SimFlow* a, const SimFlow* b) {
+  std::vector<Rate> old_rates;
+  if (changed != nullptr) {
+    changed->clear();
+    old_rates.reserve(flows.size());
+    for (const SimFlow* f : flows) old_rates.push_back(f->rate);
+  }
+
+  // Stable order: by tier, then by flow id for determinism. Sorting a copy
+  // keeps the caller's order intact (the engine hands in its persistent
+  // active list); the total order depends only on (tier, id), so the rates
+  // produced are independent of the caller's order.
+  std::vector<SimFlow*> order(flows);
+  std::sort(order.begin(), order.end(), [](const SimFlow* a, const SimFlow* b) {
     if (a->tier != b->tier) return a->tier < b->tier;
     return a->id < b->id;
   });
 
   std::vector<SimFlow*> group;
   std::size_t i = 0;
-  while (i < flows.size()) {
+  while (i < order.size()) {
     group.clear();
-    const Tier tier = flows[i]->tier;
-    while (i < flows.size() && flows[i]->tier == tier) group.push_back(flows[i++]);
+    const Tier tier = order[i]->tier;
+    while (i < order.size() && order[i]->tier == tier) group.push_back(order[i++]);
     waterfill(topo, group, residual);
+  }
+
+  if (changed != nullptr) {
+    for (std::size_t j = 0; j < flows.size(); ++j) {
+      if (flows[j]->rate != old_rates[j])
+        changed->push_back(RateChange{flows[j], old_rates[j]});
+    }
   }
 }
 
-void allocate_rates(const Topology& topo, std::vector<SimFlow*>& flows) {
+void allocate_rates(const Topology& topo, const std::vector<SimFlow*>& flows) {
   std::vector<Rate> capacities(topo.link_count());
   for (std::size_t i = 0; i < capacities.size(); ++i)
     capacities[i] = topo.link(LinkId{i}).capacity;

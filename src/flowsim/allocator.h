@@ -25,16 +25,32 @@
 
 namespace gurita {
 
+/// One flow whose allocated rate differs (bitwise) from the rate it carried
+/// going into the recomputation, together with that previous rate. The old
+/// rate is what the engine needs to settle the flow's lazy byte drain over
+/// the interval the flow actually transmitted at it.
+struct RateChange {
+  SimFlow* flow = nullptr;
+  Rate old_rate = 0;
+};
+
 /// Computes and writes `rate` for every flow in `flows` (all must be
 /// active, with non-empty paths). Rates of flows not in `flows` are not
-/// touched. `flows` may be reordered. `capacities` overrides the links'
-/// nominal capacities (indexed by LinkId value; entries may be 0 for a
-/// failed link) — the engine uses this for failure injection.
+/// touched; the order of `flows` is preserved. `capacities` overrides the
+/// links' nominal capacities (indexed by LinkId value; entries may be 0 for
+/// a failed link) — the engine uses this for failure injection.
+///
+/// When `changed` is non-null it is cleared and filled (in `flows` order)
+/// with the flows whose rate actually moved. Identical inputs produce
+/// bit-identical rates, so an event that does not disturb the allocation
+/// reports no changes — the hook the event-calendar engine uses to touch
+/// only flows whose projected finish time shifted.
 void allocate_rates(const Topology& topo, const std::vector<Rate>& capacities,
-                    std::vector<SimFlow*>& flows);
+                    const std::vector<SimFlow*>& flows,
+                    std::vector<RateChange>* changed = nullptr);
 
 /// Convenience overload using the topology's nominal capacities.
-void allocate_rates(const Topology& topo, std::vector<SimFlow*>& flows);
+void allocate_rates(const Topology& topo, const std::vector<SimFlow*>& flows);
 
 /// Weighted max-min within a single group, honoring `residual` capacities
 /// (indexed by LinkId value). Consumes capacity from `residual` and writes

@@ -63,8 +63,10 @@ class Scheduler {
   }
 
   /// Sets `tier` and `weight` on every active flow. Called by the engine
-  /// immediately before each rate recomputation.
-  virtual void assign(Time now, std::vector<SimFlow*>& active) = 0;
+  /// immediately before each rate recomputation. `active` is the engine's
+  /// persistent active list (arrival order modulo swap-with-last removals);
+  /// schedulers must not rely on its order and cannot reorder it.
+  virtual void assign(Time now, const std::vector<SimFlow*>& active) = 0;
 
  protected:
   [[nodiscard]] const SimState& state() const {

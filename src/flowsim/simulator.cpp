@@ -22,46 +22,6 @@ double SimResults::average_cct() const {
   return s / static_cast<double>(coflows.size());
 }
 
-Bytes SimState::coflow_bytes_sent(CoflowId id) const {
-  Bytes sent = 0;
-  for (FlowId f : coflow(id).flows) sent += flow(f).bytes_sent();
-  return sent;
-}
-
-Bytes SimState::coflow_total_bytes(CoflowId id) const {
-  const SimCoflow& c = coflow(id);
-  const SimJob& j = job(c.job);
-  return j.spec.coflows[c.index].total_bytes();
-}
-
-Bytes SimState::job_stage_bytes_sent(JobId id, int stage) const {
-  const SimJob& j = job(id);
-  Bytes sent = 0;
-  for (std::size_t i = 0; i < j.coflows.size(); ++i) {
-    if (j.stage_of[i] != stage) continue;
-    const SimCoflow& c = coflow(j.coflows[i]);
-    if (!c.released()) continue;
-    sent += coflow_bytes_sent(c.id);
-  }
-  return sent;
-}
-
-Bytes SimState::job_bytes_sent(JobId id) const {
-  const SimJob& j = job(id);
-  Bytes sent = 0;
-  for (CoflowId cid : j.coflows) {
-    if (coflow(cid).released()) sent += coflow_bytes_sent(cid);
-  }
-  return sent;
-}
-
-int SimState::coflow_open_connections(CoflowId id) const {
-  int open = 0;
-  for (FlowId f : coflow(id).flows)
-    if (flow(f).active()) ++open;
-  return open;
-}
-
 double SimResults::link_utilization(LinkId id, Rate capacity) const {
   GURITA_CHECK_MSG(id.value() < link_bytes.size(),
                    "link stats not collected or id out of range");
@@ -108,10 +68,66 @@ JobId Simulator::submit(const JobSpec& spec) {
     c.stage = job.stage_of[i];
     c.deps_remaining = static_cast<int>(spec.deps[i].size());
     state_.coflows_.push_back(std::move(c));
+    state_.aggregates_.emplace_back();
     job.coflows.push_back(cid);
   }
   state_.jobs_.push_back(std::move(job));
   return jid;
+}
+
+SimState::CoflowAggregate& Simulator::aggregate_of(const SimFlow& flow) {
+  const CoflowId cid =
+      state_.jobs_[flow.job.value()].coflows[flow.coflow_index];
+  return state_.aggregates_[cid.value()];
+}
+
+void Simulator::settle(SimFlow& flow) {
+  const Time elapsed = now_ - flow.last_touched;
+  if (elapsed > 0 && flow.rate > 0) {
+    if (config_.collect_link_stats) {
+      for (LinkId l : flow.path)
+        live_results_->link_bytes[l.value()] += flow.rate * elapsed;
+    }
+    const Bytes after = std::max(0.0, flow.remaining - flow.rate * elapsed);
+    SimState::CoflowAggregate& agg = aggregate_of(flow);
+    agg.base_bytes += flow.remaining - after;
+    // The flow's rate·last_touched contribution moves to rate·now_, so the
+    // aggregate's linear form keeps reporting the same bytes_sent(now_).
+    agg.rate_time_sum += flow.rate * elapsed;
+    flow.remaining = after;
+  }
+  flow.last_touched = now_;
+}
+
+void Simulator::set_rate(SimFlow& flow, Rate new_rate) {
+  // Requires a settled flow (last_touched == now_), so the old rate's
+  // drain has already been folded into the aggregate.
+  SimState::CoflowAggregate& agg = aggregate_of(flow);
+  agg.rate_sum += new_rate - flow.rate;
+  agg.rate_time_sum += (new_rate - flow.rate) * now_;
+  flow.rate = new_rate;
+}
+
+void Simulator::push_key(SimFlow& flow) {
+  const std::uint32_t gen = ++gen_[flow.id.value()];
+  if (flow.remaining <= kByteEpsilon) {
+    // Already drained (zero-size flows, epsilon residue): due immediately.
+    calendar_.push(CalendarEntry{now_, gen, flow.id});
+  } else if (flow.rate > 0) {
+    calendar_.push(
+        CalendarEntry{now_ + flow.remaining / flow.rate, gen, flow.id});
+  }
+  // rate == 0 with real bytes left: no projected finish. The flow re-enters
+  // the calendar when a recomputation next gives it a rate; if nothing ever
+  // does (e.g. a dead link), the engine's stall guard fires as before.
+}
+
+void Simulator::remove_from_active(SimFlow& flow) {
+  const std::uint32_t pos = pos_in_active_[flow.id.value()];
+  SimFlow* last = active_.back();
+  active_[pos] = last;
+  pos_in_active_[last->id.value()] = pos;
+  active_.pop_back();
 }
 
 void Simulator::release_coflow(SimCoflow& coflow) {
@@ -121,7 +137,10 @@ void Simulator::release_coflow(SimCoflow& coflow) {
 
   coflow.release_time = now_;
   coflow.flows_remaining = static_cast<int>(spec.flows.size());
+  SimState::CoflowAggregate& agg = state_.aggregates_[coflow.id.value()];
   for (const FlowSpec& fs : spec.flows) {
+    GURITA_CHECK_MSG(state_.flows_.size() < state_.flows_.capacity(),
+                     "flow store would reallocate under the active list");
     const FlowId fid{state_.flows_.size()};
     SimFlow f;
     f.id = fid;
@@ -132,10 +151,18 @@ void Simulator::release_coflow(SimCoflow& coflow) {
     f.size = fs.size;
     f.remaining = fs.size;
     f.start_time = now_;
+    f.last_touched = now_;
     f.path = fabric_->route(fid, fs.src_host, fs.dst_host);
     state_.flows_.push_back(std::move(f));
     coflow.flows.push_back(fid);
-    active_flows_.push_back(fid);
+
+    SimFlow& stored = state_.flows_.back();
+    pos_in_active_.push_back(static_cast<std::uint32_t>(active_.size()));
+    gen_.push_back(0);
+    active_.push_back(&stored);
+    ++agg.open_connections;
+    push_key(stored);
+    ++live_results_->flow_touches;
   }
   scheduler_->on_coflow_release(coflow, now_);
 }
@@ -146,10 +173,6 @@ void Simulator::finish_coflow(SimCoflow& coflow) {
 
   SimJob& job = state_.jobs_[coflow.job.value()];
   --job.coflows_remaining;
-
-  // Maintain completed_stages: largest k with every coflow of stage <= k done.
-  // Recompute lazily from per-stage unfinished counts.
-  // (Counts are tracked in unfinished_per_stage_, engine-private.)
 
   // Release dependents whose dependencies are now all complete.
   const JobSpec& spec = job.spec;
@@ -184,9 +207,20 @@ void Simulator::finish_coflow(SimCoflow& coflow) {
 }
 
 void Simulator::finish_flow(SimFlow& flow) {
-  flow.finish_time = now_;
+  settle(flow);
+  set_rate(flow, 0.0);
+  SimState::CoflowAggregate& agg = aggregate_of(flow);
+  // The negligible residual (completion predicate) counts as delivered, so
+  // a finished flow reports bytes_sent() == size, as before.
+  agg.base_bytes += flow.remaining;
   flow.remaining = 0;
-  flow.rate = 0;
+  agg.ell_max_settled = std::max(agg.ell_max_settled, flow.size);
+  --agg.open_connections;
+  ++gen_[flow.id.value()];  // invalidate any pending calendar entry
+  remove_from_active(flow);
+  flow.finish_time = now_;
+  ++live_results_->flow_touches;
+
   SimCoflow& coflow =
       state_.coflows_[state_.jobs_[flow.job.value()].coflows[flow.coflow_index].value()];
   --coflow.flows_remaining;
@@ -207,6 +241,15 @@ SimResults Simulator::run() {
   ran_ = true;
   scheduler_->attach(state_);
 
+  // active_ holds raw pointers into flows_; reserve the backing store up
+  // front so it never reallocates mid-run.
+  std::size_t total_flows = 0;
+  for (const SimJob& j : state_.jobs_)
+    for (const CoflowSpec& c : j.spec.coflows) total_flows += c.flows.size();
+  state_.flows_.reserve(total_flows);
+  pos_in_active_.reserve(total_flows);
+  gen_.reserve(total_flows);
+
   std::vector<JobId> arrival_order;
   arrival_order.reserve(state_.jobs_.size());
   for (const SimJob& j : state_.jobs_) arrival_order.push_back(j.id);
@@ -224,6 +267,7 @@ SimResults Simulator::run() {
   Time next_tick = std::numeric_limits<Time>::infinity();
   bool dirty = true;
   SimResults results;
+  live_results_ = &results;
   if (config_.collect_link_stats)
     results.link_bytes.assign(fabric_->topology().link_count(), 0.0);
 
@@ -243,22 +287,24 @@ SimResults Simulator::run() {
     }
   };
 
-  std::vector<SimFlow*> active_ptrs;
+  std::vector<FlowId> done;
   std::uint64_t iterations = 0;
 
-  while (next_arrival < arrival_order.size() || !active_flows_.empty()) {
+  while (next_arrival < arrival_order.size() || !active_.empty()) {
     if (++iterations > config_.max_iterations) {
       std::ostringstream os;
       os << "simulation live-lock guard tripped: now=" << now_
-         << " active_flows=" << active_flows_.size()
+         << " active_flows=" << active_.size()
          << " pending_arrivals=" << (arrival_order.size() - next_arrival)
          << " recomputations=" << results.rate_recomputations;
       throw std::logic_error(os.str());
     }
-    if (active_flows_.empty()) {
+    ++results.events;
+    if (active_.empty()) {
       // Idle network: jump straight to the next arrival.
       SimJob& job = state_.jobs_[arrival_order[next_arrival].value()];
       now_ = std::max(now_, job.arrival_time);
+      state_.now_ = now_;
       ++next_arrival;
       arrive_job(job);
       // Coalesce simultaneous arrivals.
@@ -274,37 +320,51 @@ SimResults Simulator::run() {
       continue;
     }
 
+    const bool was_dirty = dirty;
     bool any_ramp_capped = false;
     if (dirty) {
-      active_ptrs.clear();
-      for (FlowId id : active_flows_)
-        active_ptrs.push_back(&state_.flows_[id.value()]);
-      scheduler_->assign(now_, active_ptrs);
-      allocate_rates(fabric_->topology(), capacities_, active_ptrs);
+      scheduler_->assign(now_, active_);
+      allocate_rates(fabric_->topology(), capacities_, active_, &rate_changes_);
       ++results.rate_recomputations;
+      // Only flows whose rate actually moved need settling and a new
+      // calendar entry; everything else keeps draining on its old line.
+      for (const RateChange& rc : rate_changes_) {
+        SimFlow& f = *rc.flow;
+        Rate target = f.rate;  // the allocator's output
+        f.rate = rc.old_rate;  // restore: the flow drained at the old rate
+        settle(f);
+        // TCP slow-start ramp: cap the flow at its window-growth rate. A
+        // capped flow's allowance grows as it sends, so while any flow is
+        // capped the engine refreshes rates at ramp-time granularity. A
+        // flow whose allocation did not change cannot become newly capped:
+        // the cap is non-decreasing in bytes sent, and its current rate
+        // already satisfied the older, smaller cap.
+        if (config_.tcp_ramp_time > 0) {
+          const Rate cap = (config_.tcp_initial_window + f.bytes_sent()) /
+                           config_.tcp_ramp_time;
+          if (target > cap) {
+            target = cap;
+            any_ramp_capped = true;
+          }
+        }
+        set_rate(f, target);
+        push_key(f);
+        ++results.flow_touches;
+      }
       dirty = false;
     }
-    // TCP slow-start ramp: cap each flow at its window-growth rate. A
-    // capped flow's allowance grows as it sends, so while any flow is
-    // capped the engine refreshes rates at ramp-time granularity.
-    if (config_.tcp_ramp_time > 0) {
-      for (FlowId id : active_flows_) {
-        SimFlow& f = state_.flows_[id.value()];
-        const Rate cap =
-            (config_.tcp_initial_window + f.bytes_sent()) / config_.tcp_ramp_time;
-        if (f.rate > cap) {
-          f.rate = cap;
-          any_ramp_capped = true;
-        }
-      }
-    }
 
-    Time t_complete = std::numeric_limits<Time>::infinity();
-    for (FlowId id : active_flows_) {
-      const SimFlow& f = state_.flows_[id.value()];
-      if (f.rate > 0)
-        t_complete = std::min(t_complete, now_ + f.remaining / f.rate);
+    // Next completion: discard stale calendar tops (their flow's rate
+    // changed since the entry was pushed, or the flow already finished),
+    // then the top key is the earliest projected finish.
+    while (!calendar_.empty() &&
+           calendar_.top().gen != gen_[calendar_.top().flow.value()]) {
+      calendar_.pop();
+      ++results.flow_touches;
     }
+    const Time t_complete = calendar_.empty()
+                                ? std::numeric_limits<Time>::infinity()
+                                : calendar_.top().key;
     const Time t_arrival =
         next_arrival < arrival_order.size()
             ? state_.jobs_[arrival_order[next_arrival].value()].arrival_time
@@ -325,38 +385,49 @@ SimResults Simulator::run() {
     GURITA_CHECK_MSG(t_next <= config_.max_time, "simulation exceeded max_time");
     t_next = std::max(t_next, now_);
 
-    const Time dt = t_next - now_;
-    if (dt > 0) {
-      for (FlowId id : active_flows_) {
-        SimFlow& f = state_.flows_[id.value()];
-        f.remaining = std::max(0.0, f.remaining - f.rate * dt);
-        if (config_.collect_link_stats && f.rate > 0) {
-          for (LinkId l : f.path)
-            results.link_bytes[l.value()] += f.rate * dt;
-        }
-      }
-    }
+    // What the pre-calendar engine would have scanned on this event: the
+    // completion-time min search and the completion check always, the byte
+    // drain when time advances, the ramp pass when enabled, and the
+    // rebuild/assign pass when dirty — each a full active-set walk.
+    std::uint64_t legacy_scans = 2;
+    if (was_dirty) ++legacy_scans;
+    if (config_.tcp_ramp_time > 0) ++legacy_scans;
+    if (t_next > now_) ++legacy_scans;
+    results.legacy_flow_touches += legacy_scans * active_.size();
+
+    // No per-flow drain sweep: every flow keeps draining linearly from its
+    // (last_touched, rate) settle point; advancing the clock is O(1).
     now_ = t_next;
+    state_.now_ = now_;
     apply_due_disruptions();
 
     // Completions (deterministic order: ascending flow id). A flow is done
     // when its residual bytes are negligible OR its residual transfer time
     // falls below the clock's floating-point resolution at `now_` — without
     // the second clause a nearly-drained flow whose remaining/rate is
-    // smaller than one ulp of now_ would stall the clock forever.
+    // smaller than one ulp of now_ would stall the clock forever. Calendar
+    // keys are projected zero-drain times, so due entries form a prefix of
+    // the heap order and the pop loop stops at the first entry still in the
+    // future.
     const Time quantum = std::max(1.0, now_) * 1e-12;
-    std::vector<FlowId> done;
-    for (FlowId id : active_flows_) {
-      const SimFlow& f = state_.flows_[id.value()];
-      if (f.remaining <= kByteEpsilon || f.remaining <= f.rate * quantum)
-        done.push_back(id);
+    done.clear();
+    while (!calendar_.empty()) {
+      const CalendarEntry top = calendar_.top();
+      if (top.gen != gen_[top.flow.value()]) {
+        calendar_.pop();
+        ++results.flow_touches;
+        continue;
+      }
+      const SimFlow& f = state_.flows_[top.flow.value()];
+      const Bytes rem = f.remaining_at(now_);
+      if (!(rem <= kByteEpsilon || rem <= f.rate * quantum)) break;
+      calendar_.pop();
+      ++results.flow_touches;
+      done.push_back(top.flow);
     }
     if (!done.empty()) {
       std::sort(done.begin(), done.end());
       for (FlowId id : done) finish_flow(state_.flows_[id.value()]);
-      std::erase_if(active_flows_, [this](FlowId id) {
-        return state_.flows_[id.value()].finished();
-      });
       dirty = true;
     }
 
@@ -390,6 +461,7 @@ SimResults Simulator::run() {
         c.id, c.job, c.stage, c.release_time, c.finish_time,
         state_.coflow_total_bytes(c.id)});
   }
+  live_results_ = nullptr;
   return results;
 }
 

@@ -10,14 +10,25 @@
 // arrivals, flow completions (computed analytically), DAG releases and
 // scheduler coordination ticks (δ). ECMP assigns each flow a stable path
 // through the fat-tree at release time.
+//
+// The engine is incremental: completions come from a lazily-invalidated
+// min-heap event calendar keyed on each flow's projected finish time, and
+// bytes drain lazily per flow from (last_touched, rate) instead of a
+// whole-active-set sweep per event. Per-event work is therefore
+// proportional to the flows whose rate actually changed, not to the number
+// of active flows. DESIGN.md ("Event-calendar engine") documents the
+// invariants.
 #pragma once
 
+#include <cstdint>
 #include <limits>
 #include <memory>
+#include <queue>
 #include <vector>
 
 #include "common/units.h"
 #include "coflow/job.h"
+#include "flowsim/allocator.h"
 #include "flowsim/scheduler.h"
 #include "flowsim/state.h"
 #include "topology/fabric.h"
@@ -59,6 +70,22 @@ struct SimResults {
   std::vector<CoflowResult> coflows;
   Time makespan = 0;
   std::uint64_t rate_recomputations = 0;
+
+  // --- engine-cost counters (speedup tracking across PRs) ---
+  /// Main-loop iterations, including idle jumps to the next arrival.
+  std::uint64_t events = 0;
+  /// Per-flow units of work the event-calendar engine performed: flow
+  /// releases, settles/re-keys after a rate change, calendar pops (valid
+  /// and stale) and finishes.
+  std::uint64_t flow_touches = 0;
+  /// Per-flow units of work the pre-calendar engine would have performed on
+  /// the same event sequence: one full active-set scan each for the
+  /// completion-time min search and the completion check every event, plus
+  /// the byte drain when time advances, the ramp-cap pass when the TCP ramp
+  /// is enabled, and the rebuild/assign pass on dirty events. Maintained so
+  /// bench_engine can report the touch ratio without running the old code.
+  std::uint64_t legacy_flow_touches = 0;
+
   /// Bytes carried per link over the run (indexed by LinkId value); only
   /// populated when Config::collect_link_stats is set.
   std::vector<Bytes> link_bytes;
@@ -82,7 +109,7 @@ class Simulator {
     /// Scheduled link-capacity changes (failure injection), any order.
     std::vector<CapacityChange> disruptions;
     /// Record per-link carried bytes (adds O(path length) work per flow per
-    /// event; off by default).
+    /// rate change; off by default).
     bool collect_link_stats = false;
     /// TCP slow-start approximation (§V: "we implement [a] rate limiter
     /// that behaves like TCP"): a flow's rate is additionally capped at
@@ -110,16 +137,57 @@ class Simulator {
   [[nodiscard]] const SimState& state() const { return state_; }
 
  private:
+  /// One entry of the completion calendar: flow `flow` is projected to
+  /// drain to zero at `key`. Entries are never updated in place; a rate
+  /// change bumps the flow's generation counter and pushes a fresh entry,
+  /// and stale entries (entry gen != current gen) are discarded on pop.
+  struct CalendarEntry {
+    Time key = 0;
+    std::uint32_t gen = 0;
+    FlowId flow;
+  };
+  struct CalendarLater {
+    bool operator()(const CalendarEntry& a, const CalendarEntry& b) const {
+      return a.key > b.key;
+    }
+  };
+
   const Fabric* fabric_;
   Scheduler* scheduler_;
   Config config_;
   SimState state_;
   bool ran_ = false;
 
-  std::vector<FlowId> active_flows_;
+  /// Persistent active set (raw pointers into state_.flows_, which is
+  /// reserved up front so it never reallocates mid-run). Removal is
+  /// swap-with-last via pos_in_active_, so the order is arrival order
+  /// modulo those swaps — schedulers and the allocator are order-blind.
+  std::vector<SimFlow*> active_;
+  /// Index of each flow in active_ (by flow id; stale once removed).
+  std::vector<std::uint32_t> pos_in_active_;
+  /// Calendar generation per flow (by flow id); see CalendarEntry.
+  std::vector<std::uint32_t> gen_;
+  std::priority_queue<CalendarEntry, std::vector<CalendarEntry>, CalendarLater>
+      calendar_;
+  /// Scratch for allocate_rates change reporting (reused across events).
+  std::vector<RateChange> rate_changes_;
+  /// Results of the in-progress run (settles accrue link stats/counters).
+  SimResults* live_results_ = nullptr;
+
   Time now_ = 0;
   /// Current link capacities (nominal, mutated by disruptions).
   std::vector<Rate> capacities_;
+
+  /// Aggregate of the coflow owning `flow`.
+  SimState::CoflowAggregate& aggregate_of(const SimFlow& flow);
+  /// Settles `flow`'s lazy drain at now_: `remaining` becomes exact,
+  /// drained bytes move into the coflow aggregate and per-link stats.
+  void settle(SimFlow& flow);
+  /// Applies a new rate to a settled flow, keeping aggregates consistent.
+  void set_rate(SimFlow& flow, Rate new_rate);
+  /// (Re-)registers a settled flow's projected finish in the calendar.
+  void push_key(SimFlow& flow);
+  void remove_from_active(SimFlow& flow);
 
   void release_coflow(SimCoflow& coflow);
   void finish_flow(SimFlow& flow);

@@ -1,0 +1,61 @@
+#include "flowsim/state.h"
+
+#include <algorithm>
+
+namespace gurita {
+
+Bytes SimState::coflow_bytes_sent(CoflowId id) const {
+  GURITA_CHECK_MSG(id.value() < aggregates_.size(), "coflow id out of range");
+  const CoflowAggregate& a = aggregates_[id.value()];
+  // Linear form of the incremental aggregate; exact at now_ because every
+  // flow's rate is constant between boundaries (see CoflowAggregate).
+  const Bytes sent = a.base_bytes + a.rate_sum * now_ - a.rate_time_sum;
+  return sent > 0 ? sent : 0.0;
+}
+
+Bytes SimState::coflow_total_bytes(CoflowId id) const {
+  const SimCoflow& c = coflow(id);
+  const SimJob& j = job(c.job);
+  return j.spec.coflows[c.index].total_bytes();
+}
+
+Bytes SimState::coflow_ell_max(CoflowId id) const {
+  const SimCoflow& c = coflow(id);
+  // Finished flows are covered by the settled running max; the upper
+  // envelope over still-draining flows is not decomposable into a running
+  // scalar, so those are extrapolated individually.
+  Bytes ell_max = aggregates_[id.value()].ell_max_settled;
+  for (FlowId fid : c.flows) {
+    const SimFlow& f = flows_[fid.value()];
+    if (!f.finished()) ell_max = std::max(ell_max, f.bytes_sent_at(now_));
+  }
+  return ell_max;
+}
+
+Bytes SimState::job_stage_bytes_sent(JobId id, int stage) const {
+  const SimJob& j = job(id);
+  Bytes sent = 0;
+  for (std::size_t i = 0; i < j.coflows.size(); ++i) {
+    if (j.stage_of[i] != stage) continue;
+    const SimCoflow& c = coflow(j.coflows[i]);
+    if (!c.released()) continue;
+    sent += coflow_bytes_sent(c.id);
+  }
+  return sent;
+}
+
+Bytes SimState::job_bytes_sent(JobId id) const {
+  const SimJob& j = job(id);
+  Bytes sent = 0;
+  for (CoflowId cid : j.coflows) {
+    if (coflow(cid).released()) sent += coflow_bytes_sent(cid);
+  }
+  return sent;
+}
+
+int SimState::coflow_open_connections(CoflowId id) const {
+  GURITA_CHECK_MSG(id.value() < aggregates_.size(), "coflow id out of range");
+  return aggregates_[id.value()].open_connections;
+}
+
+}  // namespace gurita

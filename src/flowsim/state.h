@@ -2,6 +2,13 @@
 // their progress, plus the scheduling attributes the active scheduler
 // assigns. Schedulers receive `const SimState&` and may only mutate the
 // (tier, weight) attributes through the engine's assignment pass.
+//
+// Lazy byte accounting: the engine does NOT sweep every flow on every
+// event. A flow's `remaining` is exact only as of `last_touched` (the last
+// time its rate changed); between rate changes it drains linearly at
+// `rate`. Use `remaining_at(now)` / `bytes_sent_at(now)` — or the O(1)
+// SimState aggregate getters, which fold the linear term in — for values
+// that are exact at the current simulation clock (`SimState::now()`).
 #pragma once
 
 #include <cstdint>
@@ -26,6 +33,8 @@ struct SimFlow {
   int src_host = 0;
   int dst_host = 0;
   Bytes size = 0;
+  /// Residual bytes as of `last_touched` (NOT necessarily as of the current
+  /// clock — see remaining_at()).
   Bytes remaining = 0;
   Time start_time = -1;
   Time finish_time = -1;
@@ -33,6 +42,10 @@ struct SimFlow {
 
   // --- set by the rate allocator each recomputation ---
   Rate rate = 0;
+  /// Settle point of the lazy drain: `remaining` is exact at this instant
+  /// and drains at `rate` afterwards. Maintained by the engine at every
+  /// rate change and at finish.
+  Time last_touched = 0;
 
   // --- set by the scheduler ---
   Tier tier = 0;
@@ -41,7 +54,20 @@ struct SimFlow {
   [[nodiscard]] bool started() const { return start_time >= 0; }
   [[nodiscard]] bool finished() const { return finish_time >= 0; }
   [[nodiscard]] bool active() const { return started() && !finished(); }
+  /// Residual bytes as of the settle point (use remaining_at(now) for a
+  /// value that is exact at the current clock).
   [[nodiscard]] Bytes bytes_sent() const { return size - remaining; }
+  /// Exact residual bytes at time `now` (>= last_touched): the settled
+  /// residue minus the linear drain since the last settle point.
+  [[nodiscard]] Bytes remaining_at(Time now) const {
+    if (rate <= 0 || now <= last_touched) return remaining;
+    const Bytes r = remaining - rate * (now - last_touched);
+    return r > 0 ? r : 0.0;
+  }
+  /// Exact bytes sent at time `now`.
+  [[nodiscard]] Bytes bytes_sent_at(Time now) const {
+    return size - remaining_at(now);
+  }
 };
 
 struct SimCoflow {
@@ -81,6 +107,12 @@ struct SimJob {
 };
 
 /// The complete simulation state; owned by the engine, read by schedulers.
+///
+/// Per-coflow aggregates (bytes sent, open connections, settled ℓ̈_max) are
+/// maintained incrementally at rate-change and finish boundaries, so the
+/// byte-count getters below are O(1) in the number of flows (exact at
+/// `now()`, folding in the linear drain term), and `coflow_ell_max` only
+/// scans the coflow's still-active flows.
 class SimState {
  public:
   [[nodiscard]] const SimFlow& flow(FlowId id) const {
@@ -100,24 +132,58 @@ class SimState {
   [[nodiscard]] std::size_t coflow_count() const { return coflows_.size(); }
   [[nodiscard]] std::size_t job_count() const { return jobs_.size(); }
 
-  /// Bytes sent so far by coflow `id` (sum over its flows).
+  /// Current simulation clock (mirrors the engine's event time; all byte
+  /// getters below are exact at this instant).
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Bytes sent so far by flow `id`, exact at now(). O(1).
+  [[nodiscard]] Bytes flow_bytes_sent(FlowId id) const {
+    return flow(id).bytes_sent_at(now_);
+  }
+  /// Bytes sent so far by coflow `id` (sum over its flows). O(1).
   [[nodiscard]] Bytes coflow_bytes_sent(CoflowId id) const;
   /// Total bytes of coflow `id`.
   [[nodiscard]] Bytes coflow_total_bytes(CoflowId id) const;
-  /// Bytes sent so far by job `id` in stage `stage`.
+  /// Largest per-flow bytes sent of coflow `id` (ℓ̈_max as receivers observe
+  /// it). O(active flows of the coflow): finished flows are covered by the
+  /// settled running max, active flows are extrapolated to now().
+  [[nodiscard]] Bytes coflow_ell_max(CoflowId id) const;
+  /// Bytes sent so far by job `id` in stage `stage`. O(coflows of the job).
   [[nodiscard]] Bytes job_stage_bytes_sent(JobId id, int stage) const;
   /// Bytes sent so far by job `id` across all stages (the TBS signal the
-  /// paper's baselines schedule on).
+  /// paper's baselines schedule on). O(coflows of the job).
   [[nodiscard]] Bytes job_bytes_sent(JobId id) const;
   /// Number of currently transmitting (active) flows of coflow `id` —
-  /// "open connections" as observed at receivers.
+  /// "open connections" as observed at receivers. O(1).
   [[nodiscard]] int coflow_open_connections(CoflowId id) const;
 
  private:
   friend class Simulator;
+
+  /// Incrementally maintained per-coflow aggregate. Invariant, for every
+  /// time t between the last boundary and the next rate change:
+  ///   bytes_sent(t) = base_bytes + rate_sum * t - rate_time_sum
+  /// where base_bytes = Σ_f bytes_sent(last_touched_f),
+  ///       rate_sum   = Σ_f rate_f              (active flows), and
+  ///       rate_time_sum = Σ_f rate_f * last_touched_f.
+  /// The engine updates all three whenever a flow's rate changes or the
+  /// flow finishes ("boundaries"); between boundaries the linear form is
+  /// exact because every rate is constant.
+  struct CoflowAggregate {
+    Bytes base_bytes = 0;
+    double rate_sum = 0;
+    double rate_time_sum = 0;
+    /// Running max of per-flow bytes sent over all settle points; covers
+    /// every finished flow exactly (they settle at finish with all bytes).
+    Bytes ell_max_settled = 0;
+    int open_connections = 0;
+  };
+
   std::vector<SimFlow> flows_;
   std::vector<SimCoflow> coflows_;
   std::vector<SimJob> jobs_;
+  std::vector<CoflowAggregate> aggregates_;  ///< parallel to coflows_
+  Time now_ = 0;
 };
 
 }  // namespace gurita

@@ -13,7 +13,7 @@ void AaloScheduler::on_coflow_release(const SimCoflow& coflow, Time now) {
   queue_of_.emplace(coflow.id, 0);
 }
 
-void AaloScheduler::assign(Time now, std::vector<SimFlow*>& active) {
+void AaloScheduler::assign(Time now, const std::vector<SimFlow*>& active) {
   (void)now;
   for (SimFlow* f : active) {
     const SimJob& job = state().job(f->job);

@@ -45,7 +45,7 @@ class AaloScheduler final : public Scheduler {
   [[nodiscard]] std::string name() const override { return "aalo"; }
 
   void on_coflow_release(const SimCoflow& coflow, Time now) override;
-  void assign(Time now, std::vector<SimFlow*>& active) override;
+  void assign(Time now, const std::vector<SimFlow*>& active) override;
 
  private:
   Config config_;

@@ -10,7 +10,7 @@ void BaraatScheduler::on_job_arrival(const SimJob& job, Time now) {
   serial_.emplace(job.id, next_serial_++);
 }
 
-void BaraatScheduler::assign(Time now, std::vector<SimFlow*>& active) {
+void BaraatScheduler::assign(Time now, const std::vector<SimFlow*>& active) {
   (void)now;
   // Jobs with at least one active flow, in FIFO (serial) order.
   std::vector<std::pair<std::uint64_t, JobId>> jobs;

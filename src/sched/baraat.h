@@ -38,7 +38,7 @@ class BaraatScheduler final : public Scheduler {
   [[nodiscard]] std::string name() const override { return "baraat"; }
 
   void on_job_arrival(const SimJob& job, Time now) override;
-  void assign(Time now, std::vector<SimFlow*>& active) override;
+  void assign(Time now, const std::vector<SimFlow*>& active) override;
 
  private:
   Config config_;

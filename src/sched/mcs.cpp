@@ -20,14 +20,9 @@ bool McsScheduler::on_tick(Time now) {
   for (auto& [cid, queue] : queue_of_) {
     const SimCoflow& coflow = state().coflow(cid);
     if (coflow.finished()) continue;
-    Bytes ell_max = 0;
-    int open = 0;
-    for (FlowId fid : coflow.flows) {
-      const SimFlow& f = state().flow(fid);
-      ell_max = std::max(ell_max, f.bytes_sent());
-      if (f.active()) ++open;
-    }
-    const double signal = ell_max * static_cast<double>(open);
+    const double signal =
+        state().coflow_ell_max(cid) *
+        static_cast<double>(state().coflow_open_connections(cid));
     const int level = thresholds_.level(signal);
     if (level > queue) {
       queue = level;
@@ -37,7 +32,7 @@ bool McsScheduler::on_tick(Time now) {
   return changed;
 }
 
-void McsScheduler::assign(Time now, std::vector<SimFlow*>& active) {
+void McsScheduler::assign(Time now, const std::vector<SimFlow*>& active) {
   (void)now;
   for (SimFlow* f : active) {
     const CoflowId cid = state().job(f->job).coflows[f->coflow_index];

@@ -44,7 +44,7 @@ class McsScheduler final : public Scheduler {
   bool on_tick(Time now) override;
   void on_coflow_release(const SimCoflow& coflow, Time now) override;
   void on_coflow_finish(const SimCoflow& coflow, Time now) override;
-  void assign(Time now, std::vector<SimFlow*>& active) override;
+  void assign(Time now, const std::vector<SimFlow*>& active) override;
 
  private:
   Config config_;

@@ -14,7 +14,7 @@ class PfsScheduler final : public Scheduler {
  public:
   [[nodiscard]] std::string name() const override { return "pfs"; }
 
-  void assign(Time now, std::vector<SimFlow*>& active) override {
+  void assign(Time now, const std::vector<SimFlow*>& active) override {
     (void)now;
     for (SimFlow* f : active) {
       f->tier = 0;

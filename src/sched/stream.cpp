@@ -22,7 +22,7 @@ bool StreamScheduler::on_tick(Time now) {
   return changed;
 }
 
-void StreamScheduler::assign(Time now, std::vector<SimFlow*>& active) {
+void StreamScheduler::assign(Time now, const std::vector<SimFlow*>& active) {
   (void)now;
   for (SimFlow* f : active) {
     const auto it = queue_of_.find(f->job);

@@ -43,7 +43,7 @@ class StreamScheduler final : public Scheduler {
   }
   bool on_tick(Time now) override;
   void on_job_arrival(const SimJob& job, Time now) override;
-  void assign(Time now, std::vector<SimFlow*>& active) override;
+  void assign(Time now, const std::vector<SimFlow*>& active) override;
 
  private:
   Config config_;

@@ -7,12 +7,15 @@
 namespace gurita {
 
 Bytes VarysScheduler::bottleneck_bytes(
-    const std::vector<const SimFlow*>& flows) {
+    const std::vector<const SimFlow*>& flows, Time now) {
   std::unordered_map<int, Bytes> out_port;  // per src host
   std::unordered_map<int, Bytes> in_port;   // per dst host
   for (const SimFlow* f : flows) {
-    out_port[f->src_host] += f->remaining;
-    in_port[f->dst_host] += f->remaining;
+    // Bytes drain lazily from each flow's last settle point, so the
+    // clairvoyant residual must be extrapolated to the query time.
+    const Bytes remaining = f->remaining_at(now);
+    out_port[f->src_host] += remaining;
+    in_port[f->dst_host] += remaining;
   }
   Bytes bottleneck = 0;
   for (const auto& [host, bytes] : out_port)
@@ -22,8 +25,7 @@ Bytes VarysScheduler::bottleneck_bytes(
   return bottleneck;
 }
 
-void VarysScheduler::assign(Time now, std::vector<SimFlow*>& active) {
-  (void)now;
+void VarysScheduler::assign(Time now, const std::vector<SimFlow*>& active) {
   // Group active flows by coflow and compute each coflow's remaining Γ.
   std::map<std::uint64_t, std::vector<const SimFlow*>> by_coflow;
   for (const SimFlow* f : active) {
@@ -35,7 +37,7 @@ void VarysScheduler::assign(Time now, std::vector<SimFlow*>& active) {
   std::vector<std::pair<double, std::uint64_t>> order;
   order.reserve(by_coflow.size());
   for (const auto& [cid, flows] : by_coflow)
-    order.emplace_back(bottleneck_bytes(flows) / config_.port_rate, cid);
+    order.emplace_back(bottleneck_bytes(flows, now) / config_.port_rate, cid);
   std::sort(order.begin(), order.end());
 
   std::unordered_map<std::uint64_t, Tier> tier_of;

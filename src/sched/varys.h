@@ -34,13 +34,14 @@ class VarysScheduler final : public Scheduler {
 
   [[nodiscard]] std::string name() const override { return "varys"; }
 
-  void assign(Time now, std::vector<SimFlow*>& active) override;
+  void assign(Time now, const std::vector<SimFlow*>& active) override;
 
   /// Γ for a set of remaining per-flow demands grouped by src/dst host:
-  /// max over ports of remaining bytes in/out, divided by the port rate.
-  /// Exposed for tests.
+  /// max over ports of remaining bytes in/out at time `now` (residuals are
+  /// extrapolated from each flow's lazy-drain settle point), divided by the
+  /// port rate. Exposed for tests.
   [[nodiscard]] static Bytes bottleneck_bytes(
-      const std::vector<const SimFlow*>& flows);
+      const std::vector<const SimFlow*>& flows, Time now);
 
  private:
   Config config_;

@@ -2,6 +2,8 @@
 // ω (final-stage weight), ε (flow-size skew) and the critical-path discount.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/blocking_effect.h"
 
 namespace gurita {
@@ -65,6 +67,23 @@ TEST(Epsilon, MonotoneInSkewRatio) {
 
 TEST(Epsilon, NothingObservedIsNeutral) {
   EXPECT_DOUBLE_EQ(epsilon_skew(0.0, 0.0, 0.25), 0.75);
+}
+
+TEST(Epsilon, FreshCoflowYieldsZeroPsi) {
+  // A freshly released coflow has ℓ̈_max = 0 and zero bytes observed: ε
+  // must stay finite (neutral branch, no 0/0) and Ψ̈ must be exactly 0 so
+  // the coflow is never demoted on an empty observation.
+  BlockingInputs in;
+  in.omega = omega_online(0);
+  in.epsilon = epsilon_skew(0.0, 0.0, 0.25);
+  in.ell_max = 0.0;
+  in.width = 0.0;
+  in.beta = 0.5;
+  EXPECT_TRUE(std::isfinite(in.epsilon));
+  EXPECT_DOUBLE_EQ(blocking_effect(in), 0.0);
+  // Same with connections open but nothing received yet.
+  in.width = 8.0;
+  EXPECT_DOUBLE_EQ(blocking_effect(in), 0.0);
 }
 
 TEST(Epsilon, PaperLiteralBranch) {

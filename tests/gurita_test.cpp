@@ -9,6 +9,7 @@
 #include "flowsim/simulator.h"
 #include "sched/pfs.h"
 #include "sched/stream.h"
+#include "topology/big_switch.h"
 #include "topology/fattree.h"
 
 namespace gurita {
@@ -186,7 +187,7 @@ TEST_F(GuritaFixture, HeadReceiverObservationFields) {
       }
       return false;
     }
-    void assign(Time now, std::vector<SimFlow*>& active) override {
+    void assign(Time now, const std::vector<SimFlow*>& active) override {
       (void)now;
       for (SimFlow* f : active) {
         f->tier = 0;
@@ -303,6 +304,64 @@ TEST_F(GuritaFixture, Figure4LeastBlockingFirstLowersAverageJct) {
 
   // LBEF should not be worse than fair sharing on the blocking example.
   EXPECT_LE(r_g.average_jct(), r_p.average_jct() * 1.05);
+}
+
+// ------------------------------------------------- self-demote regressions
+
+TEST_F(GuritaFixture, SelfDemoteChecksOncePerCoflowUnderInterleavedOrder) {
+  // The engine's active list is arrival order modulo swap-with-last
+  // removals, so one coflow's flows need not stay contiguous. The old
+  // previous-flow dedup re-checked a coflow for every contiguity break;
+  // self-demotion must run exactly once per released coflow per assignment
+  // regardless.
+  //
+  // Disjoint same-pod pairs: every flow always runs at the full 100 B/s,
+  // so event times are fixed. Job A = one coflow {a1: 300 B, a2: 100 B,
+  // a3: 300 B}, job B = {b1: 600 B}, all arriving at t=0.
+  //   t=0  arrival assign, active [a1,a2,a3,b1]   -> 2 released coflows
+  //   t=1  a2 finishes; swap-pop -> [a1,b1,a3]    -> 2 (A is split by b1;
+  //        the old dedup would have checked A twice here, 3 total)
+  //   t=3  a1,a3 finish, coflow A finishes        -> 1 (only B remains)
+  //   t=6  b1 finishes, run ends (no assignment follows the last event)
+  GuritaScheduler::Config config = small_scale_config();
+  config.delta = 1000.0;  // suppress HR ticks: isolate per-assign checks
+  GuritaScheduler gurita(config);
+  Simulator sim(fabric_, gurita);
+  JobSpec a;
+  CoflowSpec ca;
+  ca.flows = {FlowSpec{0, 1, 300.0}, FlowSpec{2, 3, 100.0},
+              FlowSpec{4, 5, 300.0}};
+  a.coflows.push_back(ca);
+  a.deps = {{}};
+  sim.submit(a);
+  sim.submit(one_flow_job(600.0, 6, 7));
+  const SimResults r = sim.run();
+  EXPECT_NEAR(r.jobs[0].jct(), 3.0, 1e-9);
+  EXPECT_NEAR(r.jobs[1].jct(), 6.0, 1e-9);
+  EXPECT_EQ(gurita.stats().self_demote_checks, 5u);
+  EXPECT_EQ(gurita.stats().hr_updates, 0u);
+}
+
+TEST_F(GuritaFixture, FreshCoflowWithZeroObservationIsNotDemoted) {
+  // A released coflow that has not moved a byte (ℓ̈_max = 0, zero bytes)
+  // must yield Ψ̈ = 0 at both the HR and the receiver-local check — never a
+  // demotion, never a NaN from the ε skew ratio. Hold the flow at rate 0
+  // for a full second of δ=0.1 ticks via a dead uplink, then restore; the
+  // flow is small enough that Ψ̈ stays below the first threshold afterwards
+  // too, so any demotion counted must have come from the zero window.
+  const BigSwitch fabric(BigSwitch::Config{4, 100.0});
+  GuritaScheduler gurita(small_scale_config());
+  Simulator::Config sim_config;
+  sim_config.disruptions.push_back(CapacityChange{0.0, fabric.uplink(0), 0.0});
+  sim_config.disruptions.push_back(
+      CapacityChange{1.0, fabric.uplink(0), 100.0});
+  Simulator sim(fabric, gurita, sim_config);
+  sim.submit(one_flow_job(50.0, 0, 1));
+  const SimResults r = sim.run();
+  EXPECT_NEAR(r.makespan, 1.5, 1e-9);
+  EXPECT_GE(gurita.stats().hr_updates, 10u);  // ticks saw the zero window
+  EXPECT_EQ(gurita.stats().demotions, 0u);
+  EXPECT_EQ(gurita.stats().self_demotions, 0u);
 }
 
 }  // namespace

@@ -287,7 +287,7 @@ class TickProbe final : public Scheduler {
     ++ticks_;
     return change_every_ > 0 && ticks_ % change_every_ == 0;
   }
-  void assign(Time now, std::vector<SimFlow*>& active) override {
+  void assign(Time now, const std::vector<SimFlow*>& active) override {
     (void)now;
     ++assigns_;
     for (SimFlow* f : active) {

@@ -3,6 +3,7 @@
 // pure SPQ causes (§IV.B "Starvation Mitigation").
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <numeric>
 
 #include "core/ava.h"
@@ -79,6 +80,26 @@ TEST(WrrFromDemand, ZeroDemandGivesEqualWeights) {
   for (double x : w) EXPECT_NEAR(x, 1.0 / 3.0, 1e-12);
 }
 
+TEST(WrrFromDemand, ZeroDemandQueuesAmongBusyOnesKeepFiniteWeights) {
+  // The Gurita WRR split always sees zero-demand queues (freshly released
+  // traffic concentrates in queue 0): those queues get zero load but must
+  // still receive a finite positive weight, the ladder must stay
+  // non-increasing, and the min-queue-ratio floor must hold.
+  const double ratio = 16.0;
+  const auto w = wrr_weights_from_demand({2.0, 0.0, 1.0, 0.0}, 0.97, ratio);
+  ASSERT_EQ(w.size(), 4u);
+  double sum = 0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(w[i]));
+    EXPECT_GT(w[i], 0.0);
+    if (i > 0) {
+      EXPECT_LE(w[i], w[i - 1] / ratio + 1e-12);
+    }
+    sum += w[i];
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
 TEST(WrrFromDemand, HeavierLowQueueStillDominates) {
   const auto w = wrr_weights_from_demand({10.0, 10.0, 10.0, 10.0});
   EXPECT_GT(w[0], w[3]);
@@ -132,7 +153,7 @@ class TwoTierScheduler final : public Scheduler {
  public:
   explicit TwoTierScheduler(bool wrr) : wrr_(wrr) {}
   std::string name() const override { return "two_tier"; }
-  void assign(Time now, std::vector<SimFlow*>& active) override {
+  void assign(Time now, const std::vector<SimFlow*>& active) override {
     (void)now;
     if (!wrr_) {
       for (SimFlow* f : active) {

@@ -20,26 +20,26 @@ SimFlow flow_between(std::uint64_t id, int src, int dst, Bytes remaining) {
 
 TEST(VarysBottleneck, SingleFlow) {
   const SimFlow f = flow_between(0, 0, 1, 100.0);
-  EXPECT_DOUBLE_EQ(VarysScheduler::bottleneck_bytes({&f}), 100.0);
+  EXPECT_DOUBLE_EQ(VarysScheduler::bottleneck_bytes({&f}, 0.0), 100.0);
 }
 
 TEST(VarysBottleneck, SharedSenderPortAggregates) {
   const SimFlow a = flow_between(0, 0, 1, 100.0);
   const SimFlow b = flow_between(1, 0, 2, 150.0);
   // Both leave host 0: its egress carries 250.
-  EXPECT_DOUBLE_EQ(VarysScheduler::bottleneck_bytes({&a, &b}), 250.0);
+  EXPECT_DOUBLE_EQ(VarysScheduler::bottleneck_bytes({&a, &b}, 0.0), 250.0);
 }
 
 TEST(VarysBottleneck, SharedReceiverPortAggregates) {
   const SimFlow a = flow_between(0, 1, 0, 100.0);
   const SimFlow b = flow_between(1, 2, 0, 150.0);
-  EXPECT_DOUBLE_EQ(VarysScheduler::bottleneck_bytes({&a, &b}), 250.0);
+  EXPECT_DOUBLE_EQ(VarysScheduler::bottleneck_bytes({&a, &b}, 0.0), 250.0);
 }
 
 TEST(VarysBottleneck, DisjointPortsTakeMax) {
   const SimFlow a = flow_between(0, 0, 1, 100.0);
   const SimFlow b = flow_between(1, 2, 3, 60.0);
-  EXPECT_DOUBLE_EQ(VarysScheduler::bottleneck_bytes({&a, &b}), 100.0);
+  EXPECT_DOUBLE_EQ(VarysScheduler::bottleneck_bytes({&a, &b}, 0.0), 100.0);
 }
 
 class VarysFixture : public ::testing::Test {
