@@ -6,32 +6,21 @@
 // Paper shape to reproduce: up to ~2x vs PFS, ~1.8x vs Baraat, ~1.5x vs
 // Stream, ~parity with Aalo (1.05x trace-driven, 0.99x bursty).
 //
-//   ./bench_fig5 [--jobs 300] [--bursty-jobs 400] [--seed 7] [--pods 8]
+//   ./bench_fig5 [--num-jobs 300] [--bursty-jobs 400] [--seed 7] [--pods 8]
+//                [--jobs N]   # worker threads; output identical at any N
 #include <iostream>
 
 #include "exp/args.h"
 #include "exp/experiment.h"
+#include "exp/runner.h"
 #include "metrics/report.h"
 
 namespace gurita {
 namespace {
 
-/// Returns (avg-JCT improvement, mean per-job speedup) per comparator.
-std::vector<std::pair<double, double>> run_scenario(
-    const ExperimentConfig& config, const std::vector<std::string>& others) {
-  std::vector<std::string> all = others;
-  all.push_back("gurita");
-  const ComparisonResult result = compare_schedulers(config, all);
-  std::vector<std::pair<double, double>> improvements;
-  improvements.reserve(others.size());
-  for (const std::string& other : others)
-    improvements.emplace_back(result.improvement("gurita", other),
-                              result.per_job_speedup("gurita", other));
-  return improvements;
-}
-
-std::string cell(const std::pair<double, double>& v) {
-  return TextTable::num(v.first) + " / " + TextTable::num(v.second);
+std::string cell(const ComparisonResult& result, const std::string& other) {
+  return TextTable::num(result.improvement("gurita", other)) + " / " +
+         TextTable::num(result.per_job_speedup("gurita", other));
 }
 
 }  // namespace
@@ -40,12 +29,31 @@ std::string cell(const std::pair<double, double>& v) {
 int main(int argc, char** argv) {
   using namespace gurita;
   const Args args(argc, argv);
-  const int jobs = args.get_int("jobs", 300);
+  const int num_jobs = args.get_int("num-jobs", 300);
   const int bursty_jobs = args.get_int("bursty-jobs", 200);
   const std::uint64_t seed = args.get_u64("seed", 7);
   const int bursty_pods = args.get_int("pods", 8);
+  const int jobs = resolve_jobs(args);
 
   const std::vector<std::string> others = {"baraat", "pfs", "stream", "aalo"};
+  std::vector<std::string> all = others;
+  all.push_back("gurita");
+
+  std::vector<ExperimentRun> runs;
+  runs.push_back({"FB-t (FB-Tao, trace)",
+                  trace_scenario(StructureKind::kFbTao, num_jobs, seed), all});
+  runs.push_back({"CD-t (TPC-DS, trace)",
+                  trace_scenario(StructureKind::kTpcDs, num_jobs, seed), all});
+  runs.push_back(
+      {"FB-b (FB-Tao, bursty)",
+       bursty_scenario(StructureKind::kFbTao, bursty_jobs, seed, bursty_pods),
+       all});
+  runs.push_back(
+      {"CD-b (TPC-DS, bursty)",
+       bursty_scenario(StructureKind::kTpcDs, bursty_jobs, seed, bursty_pods),
+       all});
+
+  const std::vector<ComparisonResult> results = run_matrix(runs, jobs);
 
   std::cout << "=== Figure 5: average improvement of Gurita per scenario ===\n"
                "Each cell: avg-JCT ratio / mean per-job speedup "
@@ -55,25 +63,11 @@ int main(int argc, char** argv) {
                "paper's headline magnitudes.\n\n";
   TextTable table(
       {"scenario", "vs baraat", "vs pfs", "vs stream", "vs aalo"});
-
-  struct Row {
-    const char* name;
-    ExperimentConfig config;
-  };
-  const Row rows[] = {
-      {"FB-t (FB-Tao, trace)",
-       trace_scenario(StructureKind::kFbTao, jobs, seed)},
-      {"CD-t (TPC-DS, trace)",
-       trace_scenario(StructureKind::kTpcDs, jobs, seed)},
-      {"FB-b (FB-Tao, bursty)",
-       bursty_scenario(StructureKind::kFbTao, bursty_jobs, seed, bursty_pods)},
-      {"CD-b (TPC-DS, bursty)",
-       bursty_scenario(StructureKind::kTpcDs, bursty_jobs, seed, bursty_pods)},
-  };
-  for (const Row& row : rows) {
-    const auto imp = run_scenario(row.config, others);
-    table.add_row(
-        {row.name, cell(imp[0]), cell(imp[1]), cell(imp[2]), cell(imp[3])});
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    std::vector<std::string> row = {runs[i].label};
+    for (const std::string& other : others)
+      row.push_back(cell(results[i], other));
+    table.add_row(row);
   }
   std::cout << table.to_string() << std::endl;
   return 0;

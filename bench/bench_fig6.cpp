@@ -6,25 +6,22 @@
 // gains for small jobs (categories I-II: up to 8.5x vs PFS, 5x vs Baraat,
 // 4x vs Stream) and parity with centralized Aalo.
 //
-//   ./bench_fig6 [--jobs 300] [--seed 7] [--schedulers pfs,baraat,...]
+//   ./bench_fig6 [--num-jobs 300] [--seed 7] [--jobs N]
 #include <iostream>
 
 #include "exp/args.h"
 #include "exp/experiment.h"
+#include "exp/runner.h"
 #include "metrics/report.h"
 
 namespace gurita {
 namespace {
 
-void run_panel(const char* title, StructureKind structure, int jobs,
-               std::uint64_t seed) {
-  ExperimentConfig config = trace_scenario(structure, jobs, seed);
-  const std::vector<std::string> others = {"baraat", "pfs", "stream", "aalo"};
-  std::vector<std::string> all = others;
-  all.push_back("gurita");
-  const ComparisonResult result = compare_schedulers(config, all);
+const std::vector<std::string> kOthers = {"baraat", "pfs", "stream", "aalo"};
 
-  std::cout << title << "  (jobs=" << jobs << ", seed=" << seed << ")\n";
+void print_panel(const std::string& title, const ComparisonResult& result,
+                 int num_jobs, std::uint64_t seed) {
+  std::cout << title << "  (jobs=" << num_jobs << ", seed=" << seed << ")\n";
   TextTable table({"category", "jobs", "gurita JCT(s)", "vs baraat", "vs pfs",
                    "vs stream", "vs aalo"});
   for (int cat = 0; cat < kNumCategories; ++cat) {
@@ -33,14 +30,14 @@ void run_panel(const char* title, StructureKind structure, int jobs,
     std::vector<std::string> row = {category_name(cat),
                                     std::to_string(g.jobs(cat)),
                                     TextTable::num(g.average_jct(cat))};
-    for (const std::string& other : others)
+    for (const std::string& other : kOthers)
       row.push_back(TextTable::num(result.improvement("gurita", other, cat)));
     table.add_row(row);
   }
   std::vector<std::string> overall = {"all",
                                       std::to_string(result.collectors.at("gurita").total_jobs()),
                                       TextTable::num(result.collectors.at("gurita").average_jct())};
-  for (const std::string& other : others)
+  for (const std::string& other : kOthers)
     overall.push_back(TextTable::num(result.improvement("gurita", other)));
   table.add_row(overall);
   std::cout << table.to_string() << "\n";
@@ -52,12 +49,22 @@ void run_panel(const char* title, StructureKind structure, int jobs,
 int main(int argc, char** argv) {
   using namespace gurita;
   const Args args(argc, argv);
-  const int jobs = args.get_int("jobs", 300);
+  const int num_jobs = args.get_int("num-jobs", 300);
   const std::uint64_t seed = args.get_u64("seed", 7);
+  const int jobs = resolve_jobs(args);
+
+  std::vector<std::string> all = kOthers;
+  all.push_back("gurita");
+  std::vector<ExperimentRun> runs;
+  runs.push_back({"Fig 6(a): FB-Tao structure",
+                  trace_scenario(StructureKind::kFbTao, num_jobs, seed), all});
+  runs.push_back({"Fig 6(b): TPC-DS structure",
+                  trace_scenario(StructureKind::kTpcDs, num_jobs, seed), all});
+  const std::vector<ComparisonResult> results = run_matrix(runs, jobs);
 
   std::cout << "=== Figure 6: per-category improvement, trace-driven "
                "(improvement > 1 means Gurita faster) ===\n\n";
-  run_panel("Fig 6(a): FB-Tao structure", StructureKind::kFbTao, jobs, seed);
-  run_panel("Fig 6(b): TPC-DS structure", StructureKind::kTpcDs, jobs, seed);
+  for (std::size_t i = 0; i < runs.size(); ++i)
+    print_panel(runs[i].label, results[i], num_jobs, seed);
   return 0;
 }

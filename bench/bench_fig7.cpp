@@ -4,29 +4,28 @@
 //
 // The paper runs 10,000 jobs on a 48-pod fat-tree (27,648 servers); the
 // default here is scaled down so the suite completes quickly. Reproduce at
-// paper scale with:  ./bench_fig7 --pods 48 --jobs 10000
+// paper scale with:  ./bench_fig7 --pods 48 --num-jobs 10000
 //
 // Paper shape: up to 2x vs PFS, 1.8x vs Baraat, 1.9x vs Stream across
 // categories — EXCEPT category I where Stream's pure SPQ lets it beat
 // Gurita, which reserves a trickle of bandwidth for starving elephants.
+//
+//   ./bench_fig7 [--num-jobs 300] [--pods 8] [--seed 7] [--jobs N]
 #include <iostream>
 
 #include "exp/args.h"
 #include "exp/experiment.h"
+#include "exp/runner.h"
 #include "metrics/report.h"
 
 namespace gurita {
 namespace {
 
-void run_panel(const char* title, StructureKind structure, int jobs,
-               std::uint64_t seed, int pods) {
-  ExperimentConfig config = bursty_scenario(structure, jobs, seed, pods);
-  const std::vector<std::string> others = {"baraat", "pfs", "stream", "aalo"};
-  std::vector<std::string> all = others;
-  all.push_back("gurita");
-  const ComparisonResult result = compare_schedulers(config, all);
+const std::vector<std::string> kOthers = {"baraat", "pfs", "stream", "aalo"};
 
-  std::cout << title << "  (jobs=" << jobs << ", pods=" << pods
+void print_panel(const std::string& title, const ComparisonResult& result,
+                 int num_jobs, std::uint64_t seed, int pods) {
+  std::cout << title << "  (jobs=" << num_jobs << ", pods=" << pods
             << ", seed=" << seed << ")\n";
   TextTable table({"category", "jobs", "gurita JCT(s)", "vs baraat", "vs pfs",
                    "vs stream", "vs aalo"});
@@ -36,7 +35,7 @@ void run_panel(const char* title, StructureKind structure, int jobs,
     std::vector<std::string> row = {category_name(cat),
                                     std::to_string(g.jobs(cat)),
                                     TextTable::num(g.average_jct(cat))};
-    for (const std::string& other : others)
+    for (const std::string& other : kOthers)
       row.push_back(TextTable::num(result.improvement("gurita", other, cat)));
     table.add_row(row);
   }
@@ -49,15 +48,25 @@ void run_panel(const char* title, StructureKind structure, int jobs,
 int main(int argc, char** argv) {
   using namespace gurita;
   const Args args(argc, argv);
-  const int jobs = args.get_int("jobs", 300);
+  const int num_jobs = args.get_int("num-jobs", 300);
   const int pods = args.get_int("pods", 8);
   const std::uint64_t seed = args.get_u64("seed", 7);
+  const int jobs = resolve_jobs(args);
+
+  std::vector<std::string> all = kOthers;
+  all.push_back("gurita");
+  std::vector<ExperimentRun> runs;
+  runs.push_back(
+      {"Fig 7(a): FB-Tao structure",
+       bursty_scenario(StructureKind::kFbTao, num_jobs, seed, pods), all});
+  runs.push_back(
+      {"Fig 7(b): TPC-DS structure",
+       bursty_scenario(StructureKind::kTpcDs, num_jobs, seed, pods), all});
+  const std::vector<ComparisonResult> results = run_matrix(runs, jobs);
 
   std::cout << "=== Figure 7: per-category improvement, bursty arrivals "
                "(2 us spacing; improvement > 1 means Gurita faster) ===\n\n";
-  run_panel("Fig 7(a): FB-Tao structure", StructureKind::kFbTao, jobs, seed,
-            pods);
-  run_panel("Fig 7(b): TPC-DS structure", StructureKind::kTpcDs, jobs, seed,
-            pods);
+  for (std::size_t i = 0; i < runs.size(); ++i)
+    print_panel(runs[i].label, results[i], num_jobs, seed, pods);
   return 0;
 }

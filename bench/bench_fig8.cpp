@@ -6,23 +6,20 @@
 // 0.15% of GuritaPlus' performance" — i.e. the ratio hovers at ~1.0 and
 // never collapses. Receiver-side observation suffices.
 //
-//   ./bench_fig8 [--jobs 300] [--seed 7]
+//   ./bench_fig8 [--num-jobs 300] [--seed 7] [--jobs N]
 #include <iostream>
 
 #include "exp/args.h"
 #include "exp/experiment.h"
+#include "exp/runner.h"
 #include "metrics/report.h"
 
 namespace gurita {
 namespace {
 
-void run_panel(const char* title, StructureKind structure, int jobs,
-               std::uint64_t seed) {
-  ExperimentConfig config = trace_scenario(structure, jobs, seed);
-  const ComparisonResult result =
-      compare_schedulers(config, {"gurita", "gurita_plus"});
-
-  std::cout << title << "  (jobs=" << jobs << ", seed=" << seed << ")\n";
+void print_panel(const std::string& title, const ComparisonResult& result,
+                 int num_jobs, std::uint64_t seed) {
+  std::cout << title << "  (jobs=" << num_jobs << ", seed=" << seed << ")\n";
   TextTable table({"category", "jobs", "gurita JCT(s)", "gurita+ JCT(s)",
                    "gurita/gurita+ ratio"});
   const auto& g = result.collectors.at("gurita");
@@ -49,12 +46,22 @@ void run_panel(const char* title, StructureKind structure, int jobs,
 int main(int argc, char** argv) {
   using namespace gurita;
   const Args args(argc, argv);
-  const int jobs = args.get_int("jobs", 300);
+  const int num_jobs = args.get_int("num-jobs", 300);
   const std::uint64_t seed = args.get_u64("seed", 7);
+  const int jobs = resolve_jobs(args);
+
+  std::vector<ExperimentRun> runs;
+  runs.push_back({"Fig 8(a): FB-Tao structure",
+                  trace_scenario(StructureKind::kFbTao, num_jobs, seed),
+                  {"gurita", "gurita_plus"}});
+  runs.push_back({"Fig 8(b): TPC-DS structure",
+                  trace_scenario(StructureKind::kTpcDs, num_jobs, seed),
+                  {"gurita", "gurita_plus"}});
+  const std::vector<ComparisonResult> results = run_matrix(runs, jobs);
 
   std::cout << "=== Figure 8: Gurita vs the clairvoyant GuritaPlus "
                "(ratio ~ 1.0 = receiver-side estimation suffices) ===\n\n";
-  run_panel("Fig 8(a): FB-Tao structure", StructureKind::kFbTao, jobs, seed);
-  run_panel("Fig 8(b): TPC-DS structure", StructureKind::kTpcDs, jobs, seed);
+  for (std::size_t i = 0; i < runs.size(); ++i)
+    print_panel(runs[i].label, results[i], num_jobs, seed);
   return 0;
 }

@@ -16,7 +16,7 @@
 // collapse (TBS is optimal there); it comes from network parallelism and
 // online arrivals — which is exactly what bench_fig5..7 exercise.
 //
-//   ./bench_optimality [--trials 200] [--jobs 5] [--seed 11]
+//   ./bench_optimality [--trials 200] [--num-jobs 5] [--seed 11]
 #include <iostream>
 
 #include "common/rng.h"
@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
   using namespace gurita;
   const Args args(argc, argv);
   const int trials = args.get_int("trials", 200);
-  const int jobs_n = args.get_int("jobs", 5);
+  const int jobs_n = args.get_int("num-jobs", 5);
   const std::uint64_t seed = args.get_u64("seed", 11);
 
   Rng rng(seed);

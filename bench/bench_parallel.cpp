@@ -1,0 +1,157 @@
+// Parallel-runner bench: wall-clock of one replicated experiment sweep at
+// several worker counts, with a bit-identity check across all of them.
+//
+// The sweep is the evaluation's common shape — one scenario × several
+// schedulers × many trace seeds — executed by exp/runner.h. For every
+// entry of --jobs-list the identical sweep runs again and its pooled
+// result is fingerprinted (every per-job finish time bit-exact, plus the
+// merged engine counters); the bench FAILS if any fingerprint differs from
+// the serial one, so the speedup numbers it reports are certified to come
+// from the same results. Writes BENCH_parallel.json for cross-PR tracking.
+//
+//   ./bench_parallel [--num-jobs 120] [--replicates 16] [--seed 7]
+//                    [--jobs-list 1,2,4,8] [--out BENCH_parallel.json]
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "exp/args.h"
+#include "exp/runner.h"
+
+namespace gurita {
+namespace {
+
+/// FNV-1a fingerprint of a pooled comparison: bit-exact on every job's
+/// (id, arrival, finish) per scheduler plus the merged cost counters.
+std::uint64_t fingerprint(const ComparisonResult& result) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  const auto mix_double = [&](double d) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d));
+    std::memcpy(&bits, &d, sizeof(bits));
+    mix(bits);
+  };
+  for (const auto& [name, results] : result.results) {
+    for (const char c : name) mix(static_cast<unsigned char>(c));
+    for (const SimResults::JobResult& j : results.jobs) {
+      mix(j.id.value());
+      mix_double(j.arrival);
+      mix_double(j.finish);
+    }
+    mix(results.events);
+    mix(results.flow_touches);
+    mix(results.rate_recomputations);
+    mix_double(results.makespan);
+  }
+  return h;
+}
+
+struct BenchRow {
+  int jobs = 0;
+  double wall_ms = 0;
+  double speedup = 1.0;
+  std::uint64_t fingerprint = 0;
+};
+
+std::vector<int> parse_jobs_list(const std::string& csv) {
+  std::vector<int> counts;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    try {
+      counts.push_back(std::stoi(item));
+    } catch (const std::exception&) {
+      counts.clear();
+    }
+    if (counts.empty() || counts.back() <= 0) {
+      std::cerr << "--jobs-list expects comma-separated positive counts, "
+                   "got \""
+                << csv << "\"\n";
+      std::exit(1);
+    }
+  }
+  return counts;
+}
+
+bool write_json(const std::string& path, const std::vector<BenchRow>& rows,
+                int replicates, int num_jobs) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"parallel\",\n  \"replicates\": " << replicates
+      << ",\n  \"num_jobs\": " << num_jobs << ",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const BenchRow& r = rows[i];
+    out << "    {\"jobs\": " << r.jobs << ", \"wall_ms\": " << r.wall_ms
+        << ", \"speedup\": " << r.speedup << ", \"fingerprint\": \""
+        << std::hex << r.fingerprint << std::dec << "\", \"identical\": "
+        << (r.fingerprint == rows[0].fingerprint ? "true" : "false") << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.good();
+}
+
+}  // namespace
+}  // namespace gurita
+
+int main(int argc, char** argv) {
+  using namespace gurita;
+  const Args args(argc, argv);
+  const int num_jobs = args.get_int("num-jobs", 120);
+  const int replicates = args.get_int("replicates", 16);
+  const std::uint64_t seed = args.get_u64("seed", 7);
+  const std::vector<int> jobs_list =
+      parse_jobs_list(args.get_string("jobs-list", "1,2,4,8"));
+  const std::string out_path = args.get_string("out", "BENCH_parallel.json");
+
+  SweepSpec sweep;
+  sweep.experiment = "bench_parallel";
+  sweep.configs = {trace_scenario(StructureKind::kTpcDs, num_jobs, seed)};
+  sweep.schedulers = {"gurita", "aalo", "pfs", "baraat"};
+  sweep.replicates = replicates;
+
+  std::cout << "=== Parallel sweep: " << replicates << " seeds x "
+            << sweep.schedulers.size() << " schedulers, " << num_jobs
+            << " jobs each ===\n"
+               "Identical fingerprints certify bit-identical pooled results "
+               "at every worker count.\n\n"
+               "jobs    wall_ms     speedup   fingerprint\n";
+
+  std::vector<BenchRow> rows;
+  for (const int jobs : jobs_list) {
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<ComparisonResult> pooled = run_sweep(sweep, jobs);
+    const auto stop = std::chrono::steady_clock::now();
+    BenchRow row;
+    row.jobs = jobs;
+    row.wall_ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    row.speedup = rows.empty() ? 1.0 : rows[0].wall_ms / row.wall_ms;
+    row.fingerprint = fingerprint(pooled[0]);
+    rows.push_back(row);
+    std::printf("%-7d %9.1f %9.2fx   %016" PRIx64 "\n", row.jobs, row.wall_ms,
+                row.speedup, row.fingerprint);
+    if (row.fingerprint != rows[0].fingerprint) {
+      std::cerr << "\nFATAL: results at --jobs " << jobs
+                << " differ from --jobs " << rows[0].jobs << "\n";
+      return 1;
+    }
+  }
+
+  if (!write_json(out_path, rows, replicates, num_jobs)) {
+    std::cerr << "\nfailed to write " << out_path << "\n";
+    return 1;
+  }
+  std::cout << "\nwrote " << out_path << "\n";
+  return 0;
+}

@@ -3,7 +3,7 @@
 // pure-SPQ Gurita against the default WRR-emulating Gurita to show the
 // starvation mitigation working, and against Stream.
 //
-//   ./bursty_datacenter [--jobs 200] [--seed 3] [--pods 8]
+//   ./bursty_datacenter [--num-jobs 200] [--seed 3] [--pods 8]
 #include <iostream>
 
 #include "core/gurita.h"
@@ -15,7 +15,7 @@
 int main(int argc, char** argv) {
   using namespace gurita;
   const Args args(argc, argv);
-  const int jobs_n = args.get_int("jobs", 200);
+  const int jobs_n = args.get_int("num-jobs", 200);
   const std::uint64_t seed = args.get_u64("seed", 3);
   const int pods = args.get_int("pods", 8);
 

@@ -2,7 +2,7 @@
 // load) a workload, run it under any scheduler on any fat-tree size, and
 // print (or export) the results.
 //
-//   ./gurita_sim --scheduler gurita --structure tpcds --jobs 200 --seed 7
+//   ./gurita_sim --scheduler gurita --structure tpcds --num-jobs 200 --seed 7
 //   ./gurita_sim --scheduler pfs --arrivals bursty --pods 16
 //   ./gurita_sim --save-trace /tmp/w.trace            # generate + archive
 //   ./gurita_sim --load-trace /tmp/w.trace --scheduler aalo
@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
 
   ExperimentConfig config;
   config.fat_tree_k = pods;
-  config.trace.num_jobs = args.get_int("jobs", 200);
+  config.trace.num_jobs = args.get_int("num-jobs", 200);
   config.trace.seed = args.get_u64("seed", 7);
   config.trace.structure =
       structure_from_string(args.get_string("structure", "mixed"));

@@ -2,7 +2,7 @@
 // dump its statistics — category mix, width and depth distributions, byte
 // skew — so users can sanity-check a workload before running experiments.
 //
-//   ./trace_explorer [--jobs 1000] [--seed 42] [--structure mixed|tpcds|fbtao]
+//   ./trace_explorer [--num-jobs 1000] [--seed 42] [--structure mixed|tpcds|fbtao]
 #include <iostream>
 
 #include "common/stats.h"
@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
   const Args args(argc, argv);
 
   TraceConfig config;
-  config.num_jobs = args.get_int("jobs", 1000);
+  config.num_jobs = args.get_int("num-jobs", 1000);
   config.seed = args.get_u64("seed", 42);
   config.structure = structure_from_string(args.get_string("structure", "mixed"));
 

@@ -43,6 +43,11 @@ void RunningStats::merge(const RunningStats& other) {
   max_ = std::max(max_, other.max_);
 }
 
+void Samples::merge(const Samples& other) {
+  xs_.insert(xs_.end(), other.xs_.begin(), other.xs_.end());
+  sorted_ = false;
+}
+
 double Samples::mean() const {
   if (xs_.empty()) return 0.0;
   double s = 0;

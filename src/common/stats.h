@@ -47,6 +47,11 @@ class Samples {
   [[nodiscard]] double percentile(double p) const;
   [[nodiscard]] const std::vector<double>& values() const { return xs_; }
 
+  /// Appends `other`'s samples in their insertion order, so merging shard
+  /// collectors in shard order reproduces the serial insertion sequence
+  /// exactly (the parallel runner's determinism contract).
+  void merge(const Samples& other);
+
  private:
   mutable std::vector<double> xs_;
   mutable bool sorted_ = false;

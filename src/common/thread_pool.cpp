@@ -1,0 +1,161 @@
+#include "common/thread_pool.h"
+
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "common/check.h"
+
+namespace gurita {
+
+namespace {
+/// Index of the worker the current thread runs as, or npos on foreign
+/// threads. Lets submit() route nested submissions to the submitter's own
+/// deque and lets waiting threads start stealing from a distinct victim.
+thread_local std::size_t t_worker_index = static_cast<std::size_t>(-1);
+}  // namespace
+
+int ThreadPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = threads > 0 ? threads : hardware_threads();
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) workers_.push_back(std::make_unique<Worker>());
+  threads_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    threads_.emplace_back(
+        [this, i] { worker_loop(static_cast<std::size_t>(i)); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(idle_mutex_);
+    stop_ = true;
+  }
+  idle_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  GURITA_CHECK_MSG(task != nullptr, "submitted an empty task");
+  const std::size_t self = t_worker_index;
+  std::size_t target;
+  {
+    std::lock_guard<std::mutex> lock(idle_mutex_);
+    GURITA_CHECK_MSG(!stop_, "submit on a stopping pool");
+    target = self < workers_.size() ? self : next_queue_++ % workers_.size();
+    ++queued_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(workers_[target]->mutex);
+    workers_[target]->tasks.push_back(std::move(task));
+  }
+  idle_cv_.notify_one();
+}
+
+std::function<void()> ThreadPool::take_task(std::size_t self) {
+  const std::size_t n = workers_.size();
+  // Own deque first (back = newest), then steal round the ring (front =
+  // oldest, the biggest pending piece of someone else's backlog).
+  if (self < n) {
+    Worker& own = *workers_[self];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.tasks.empty()) {
+      auto task = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      return task;
+    }
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t victim = (self + 1 + k) % n;
+    if (victim == self) continue;
+    Worker& w = *workers_[victim];
+    std::lock_guard<std::mutex> lock(w.mutex);
+    if (!w.tasks.empty()) {
+      auto task = std::move(w.tasks.front());
+      w.tasks.pop_front();
+      return task;
+    }
+  }
+  return {};
+}
+
+bool ThreadPool::try_help(std::size_t self) {
+  std::function<void()> task = take_task(self);
+  if (!task) return false;
+  {
+    std::lock_guard<std::mutex> lock(idle_mutex_);
+    --queued_;
+  }
+  task();
+  return true;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  t_worker_index = self;
+  for (;;) {
+    if (try_help(self)) continue;
+    std::unique_lock<std::mutex> lock(idle_mutex_);
+    // Drain-before-stop: exit only once no task remains anywhere, so the
+    // destructor's contract (every submitted task runs) holds.
+    if (stop_ && queued_ == 0) return;
+    if (queued_ == 0 && !stop_) idle_cv_.wait(lock);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+
+  struct Join {
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t remaining;
+    std::vector<std::exception_ptr> errors;  ///< slot i written only by task i
+  };
+  auto join = std::make_shared<Join>();
+  join->remaining = n;
+  join->errors.resize(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    submit([join, &fn, i] {
+      try {
+        fn(i);
+      } catch (...) {
+        join->errors[i] = std::current_exception();
+      }
+      std::size_t left;
+      {
+        std::lock_guard<std::mutex> lock(join->mutex);
+        left = --join->remaining;
+      }
+      if (left == 0) join->done.notify_all();
+    });
+  }
+
+  // Help while waiting: run queued tasks (this loop's or anyone's) instead
+  // of sleeping, so a worker blocked in a nested parallel_for still makes
+  // progress. The timed wait covers the window where the remaining tasks
+  // are all mid-execution on other threads.
+  const std::size_t self = t_worker_index;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(join->mutex);
+      if (join->remaining == 0) break;
+    }
+    if (try_help(self)) continue;
+    std::unique_lock<std::mutex> lock(join->mutex);
+    join->done.wait_for(lock, std::chrono::milliseconds(1),
+                        [&] { return join->remaining == 0; });
+    if (join->remaining == 0) break;
+  }
+
+  // First failure by index, not by completion time: deterministic.
+  for (std::size_t i = 0; i < n; ++i)
+    if (join->errors[i]) std::rethrow_exception(join->errors[i]);
+}
+
+}  // namespace gurita

@@ -1,0 +1,88 @@
+// Work-stealing thread pool for embarrassingly parallel experiment sweeps.
+//
+// Each worker owns a deque guarded by its own mutex: it pops its newest task
+// from the back (LIFO keeps caches warm for recursively submitted work) and
+// steals the oldest task from the front of a sibling's deque when its own is
+// empty (FIFO stealing takes the largest pending subtrees first). External
+// submissions are distributed round-robin; submissions from inside a worker
+// go to that worker's own deque.
+//
+// Determinism contract: the pool guarantees nothing about execution order —
+// callers that need reproducible results must make every task independent
+// (own RNG, own output slot) and merge outputs in task-index order.
+// parallel_for() below is the canonical shape: results land in caller-owned
+// slots indexed by loop index, and the first exception *by index* (not by
+// completion time) is rethrown, so failures are as deterministic as
+// successes. exp/runner.h builds the experiment matrix on top of this.
+//
+// Blocking waits help: a thread waiting inside parallel_for() (including a
+// worker running a nested parallel_for) executes queued tasks instead of
+// sleeping, so nested parallelism cannot deadlock the pool.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gurita {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means one per hardware thread. A pool of
+  /// size 1 still runs tasks on its single worker thread (not inline), so
+  /// the concurrency machinery is exercised at every size.
+  explicit ThreadPool(int threads = 0);
+
+  /// Drains every queued task, then joins the workers. Tasks submitted
+  /// during destruction are rejected.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a fire-and-forget task. Exceptions escaping `task` terminate
+  /// (wrap work that can throw via parallel_for, which captures them).
+  void submit(std::function<void()> task);
+
+  /// Runs fn(0) ... fn(n-1) across the pool and blocks until all complete.
+  /// The calling thread helps execute tasks while waiting. If any
+  /// invocations throw, the exception of the smallest failing index is
+  /// rethrown (deterministic regardless of completion order); the remaining
+  /// invocations still run to completion first.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Number of hardware threads, at least 1.
+  [[nodiscard]] static int hardware_threads();
+
+ private:
+  struct Worker {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex idle_mutex_;
+  std::condition_variable idle_cv_;
+  std::size_t queued_ = 0;  ///< tasks sitting in some deque (guarded by idle_mutex_)
+  bool stop_ = false;       ///< destructor has begun (guarded by idle_mutex_)
+
+  std::size_t next_queue_ = 0;  ///< round-robin cursor (guarded by idle_mutex_)
+
+  void worker_loop(std::size_t self);
+  /// Pops one task (own deque back first, then steals front-of-sibling
+  /// starting after `self`). Returns an empty function if none found.
+  std::function<void()> take_task(std::size_t self);
+  /// Runs one queued task if any is available; returns whether it did.
+  bool try_help(std::size_t self);
+};
+
+}  // namespace gurita

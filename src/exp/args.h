@@ -1,6 +1,12 @@
 // Tiny command-line flag parser for bench binaries:
-//   ./bench_fig6 --jobs 300 --seed 7 --pods 8
+//   ./bench_fig6 --num-jobs 300 --seed 7 --pods 8 --jobs 4
 // Unknown flags throw, so typos fail loudly.
+//
+// Conventions shared by every driver: `--num-jobs` sizes the workload,
+// `--seed` picks the trace seed, and `--jobs N` sets the worker-thread
+// count of the parallel experiment runner (resolve_jobs() in exp/runner.h;
+// the GURITA_JOBS environment variable is the flagless default, N = 0
+// means all hardware threads). Results are bit-identical at any N.
 #pragma once
 
 #include <cstdint>

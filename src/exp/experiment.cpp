@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "exp/registry.h"
+#include "exp/runner.h"
 
 namespace gurita {
 
@@ -55,28 +56,45 @@ ComparisonResult compare_schedulers(const ExperimentConfig& config,
   return out;
 }
 
+void ComparisonResult::absorb(const ComparisonResult& other) {
+  for (const auto& [name, collector] : other.collectors)
+    collectors[name].merge(collector);
+  for (const auto& [name, src] : other.results) {
+    SimResults& dst = results[name];
+    // Re-id jobs/coflows so pooled populations stay aligned across
+    // schedulers (per-job speedups match jobs up by id).
+    const std::uint64_t job_base = dst.jobs.size();
+    for (SimResults::JobResult j : src.jobs) {
+      j.id = JobId{job_base + j.id.value()};
+      dst.jobs.push_back(j);
+    }
+    const std::uint64_t coflow_base = dst.coflows.size();
+    for (SimResults::CoflowResult c : src.coflows) {
+      c.id = CoflowId{coflow_base + c.id.value()};
+      c.job = JobId{job_base + c.job.value()};
+      dst.coflows.push_back(c);
+    }
+    dst.merge_counters(src);
+  }
+}
+
 ComparisonResult compare_schedulers_seeds(ExperimentConfig config,
                                           const std::vector<std::string>& names,
-                                          int num_seeds) {
+                                          int num_seeds, int jobs) {
   GURITA_CHECK_MSG(num_seeds >= 1, "need at least one seed");
-  ComparisonResult pooled;
+  // Legacy seed schedule (seed, seed+1, ...): every replicate's workload is
+  // fixed up front, so the replicates are independent runs that can execute
+  // on any worker in any order.
+  std::vector<ExperimentRun> runs(static_cast<std::size_t>(num_seeds));
   for (int s = 0; s < num_seeds; ++s) {
-    ComparisonResult one = compare_schedulers(config, names);
-    for (const std::string& name : names) {
-      pooled.collectors[name].add(one.results.at(name));
-      SimResults& dst = pooled.results[name];
-      SimResults& src = one.results.at(name);
-      // Re-id jobs so pooled populations stay aligned across schedulers.
-      const std::uint64_t base = dst.jobs.size();
-      for (SimResults::JobResult& j : src.jobs) {
-        j.id = JobId{base + j.id.value()};
-        dst.jobs.push_back(j);
-      }
-      dst.makespan = std::max(dst.makespan, src.makespan);
-      dst.rate_recomputations += src.rate_recomputations;
-    }
+    runs[static_cast<std::size_t>(s)].config = config;
+    runs[static_cast<std::size_t>(s)].schedulers = names;
     ++config.trace.seed;
   }
+  const std::vector<ComparisonResult> one = run_matrix(runs, jobs);
+  // Ordered merge: replicate order, regardless of completion order.
+  ComparisonResult pooled;
+  for (const ComparisonResult& r : one) pooled.absorb(r);
   return pooled;
 }
 

@@ -27,6 +27,15 @@ struct ComparisonResult {
   std::map<std::string, JctCollector> collectors;
   std::map<std::string, SimResults> results;
 
+  /// Pools another comparison (same scheduler names) into this one:
+  /// collectors merge sample-order-preserving, job populations concatenate
+  /// with re-assigned ids (so per-job speedups stay aligned across
+  /// schedulers), coflow populations likewise, and engine-cost counters
+  /// merge explicitly (SimResults::merge_counters). Absorbing replicates in
+  /// replicate order reproduces a serial multi-seed run exactly — the
+  /// ordered-merge half of the parallel runner's determinism contract.
+  void absorb(const ComparisonResult& other);
+
   /// The paper's improvement factor of Gurita over `other`
   /// (category = -1 → overall average).
   [[nodiscard]] double improvement(const std::string& reference,
@@ -51,11 +60,16 @@ struct ComparisonResult {
     const ExperimentConfig& config, const std::vector<std::string>& names);
 
 /// Statistical variant: repeats compare_schedulers over `num_seeds`
-/// workloads (seed, seed+1, ...) and pools the per-job results, so
-/// improvement factors and speedups average across trace randomness.
+/// workloads (seed, seed+1, ... — the legacy schedule, kept so recorded
+/// results stay reproducible) and pools the per-job results, so improvement
+/// factors and speedups average across trace randomness. The replicates
+/// run sharded over `jobs` workers (exp/runner.h); the pooled result is
+/// bit-identical at any `jobs` value, including the serial default.
+/// New sweeps should prefer run_sweep (runner.h), whose replicate seeds
+/// derive from the full (experiment, config, replicate) key.
 [[nodiscard]] ComparisonResult compare_schedulers_seeds(
     ExperimentConfig config, const std::vector<std::string>& names,
-    int num_seeds);
+    int num_seeds, int jobs = 1);
 
 /// Canonical configurations for the paper's scenarios.
 /// Trace-driven (§V, Figs. 5/6/8): 8-pod fat-tree, Poisson arrivals.

@@ -1,0 +1,111 @@
+#include "exp/runner.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+
+namespace gurita {
+
+namespace {
+
+/// SplitMix64 finalizer (the Rng's output scrambler): a 64-bit bijection
+/// with full avalanche, so nearby keys land on unrelated seeds.
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// FNV-1a over the experiment name: stable across platforms and runs.
+std::uint64_t hash_name(const std::string& name) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t derive_run_seed(std::uint64_t base_seed,
+                              const std::string& experiment,
+                              std::uint64_t config_index,
+                              std::uint64_t replicate) {
+  std::uint64_t h = mix64(base_seed);
+  h = mix64(h ^ hash_name(experiment));
+  h = mix64(h ^ config_index);
+  h = mix64(h ^ replicate);
+  return h;
+}
+
+int resolve_jobs(const Args& args) {
+  int jobs = 1;
+  if (const char* env = std::getenv("GURITA_JOBS")) {
+    try {
+      jobs = std::stoi(env);
+    } catch (const std::exception&) {
+      GURITA_CHECK_MSG(false,
+                       std::string("GURITA_JOBS is not an integer: ") + env);
+    }
+  }
+  jobs = args.get_int("jobs", jobs);
+  GURITA_CHECK_MSG(jobs >= 0, "--jobs must be >= 0 (0 = all hardware threads)");
+  return jobs == 0 ? ThreadPool::hardware_threads() : jobs;
+}
+
+void run_sharded(std::size_t n, int jobs,
+                 const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // No reason to spawn more workers than runs; the pool dies with the call
+  // (sweeps are long, pool startup is microseconds).
+  ThreadPool pool(static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(jobs), n)));
+  pool.parallel_for(n, fn);
+}
+
+std::vector<ComparisonResult> run_matrix(const std::vector<ExperimentRun>& runs,
+                                         int jobs) {
+  std::vector<ComparisonResult> results(runs.size());
+  run_sharded(runs.size(), jobs, [&](std::size_t i) {
+    results[i] = compare_schedulers(runs[i].config, runs[i].schedulers);
+  });
+  return results;
+}
+
+std::vector<ComparisonResult> run_sweep(const SweepSpec& sweep, int jobs) {
+  GURITA_CHECK_MSG(sweep.replicates >= 1, "need at least one replicate");
+  GURITA_CHECK_MSG(!sweep.configs.empty(), "sweep has no configs");
+
+  const std::size_t reps = static_cast<std::size_t>(sweep.replicates);
+  std::vector<ExperimentRun> cells;
+  cells.reserve(sweep.configs.size() * reps);
+  for (std::size_t c = 0; c < sweep.configs.size(); ++c) {
+    for (std::size_t r = 0; r < reps; ++r) {
+      ExperimentRun run;
+      run.label = sweep.experiment;
+      run.config = sweep.configs[c];
+      run.config.trace.seed =
+          derive_run_seed(sweep.configs[c].trace.seed, sweep.experiment, c, r);
+      run.schedulers = sweep.schedulers;
+      cells.push_back(std::move(run));
+    }
+  }
+
+  std::vector<ComparisonResult> flat = run_matrix(cells, jobs);
+
+  std::vector<ComparisonResult> pooled(sweep.configs.size());
+  for (std::size_t c = 0; c < sweep.configs.size(); ++c)
+    for (std::size_t r = 0; r < reps; ++r)
+      pooled[c].absorb(flat[c * reps + r]);
+  return pooled;
+}
+
+}  // namespace gurita

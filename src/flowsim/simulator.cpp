@@ -22,6 +22,14 @@ double SimResults::average_cct() const {
   return s / static_cast<double>(coflows.size());
 }
 
+void SimResults::merge_counters(const SimResults& other) {
+  makespan = std::max(makespan, other.makespan);
+  rate_recomputations += other.rate_recomputations;
+  events += other.events;
+  flow_touches += other.flow_touches;
+  legacy_flow_touches += other.legacy_flow_touches;
+}
+
 double SimResults::link_utilization(LinkId id, Rate capacity) const {
   GURITA_CHECK_MSG(id.value() < link_bytes.size(),
                    "link stats not collected or id out of range");

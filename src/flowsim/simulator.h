@@ -94,6 +94,15 @@ struct SimResults {
   /// capacity × makespan. Requires link stats collection.
   [[nodiscard]] double link_utilization(LinkId id, Rate capacity) const;
 
+  /// Folds another run's cost counters (events, flow_touches,
+  /// legacy_flow_touches, rate_recomputations) and makespan into this
+  /// result. Counters are strictly per-run — the engine only ever writes
+  /// the SimResults of its own run() — and pooling across runs happens
+  /// through this explicit merge, so parallel sweeps aggregate them
+  /// deterministically in merge order instead of interleaving updates.
+  /// Does not touch jobs/coflows (population pooling re-ids those).
+  void merge_counters(const SimResults& other);
+
   [[nodiscard]] double average_jct() const;
   [[nodiscard]] double average_cct() const;
 };

@@ -159,6 +159,12 @@ class SimState {
 
  private:
   friend class Simulator;
+  /// The differential-oracle reference engine (tests/oracle_sim.h): a
+  /// deliberately simple O(active-flows) re-implementation of the
+  /// allocation/drain loop that must maintain this state with bit-identical
+  /// arithmetic so real schedulers drive both engines to the same
+  /// trajectory. Test-only; never linked into the library.
+  friend class OracleSimulator;
 
   /// Incrementally maintained per-coflow aggregate. Invariant, for every
   /// time t between the last boundary and the next rate change:

@@ -12,6 +12,12 @@ void JctCollector::add(const SimResults& results) {
   }
 }
 
+void JctCollector::merge(const JctCollector& other) {
+  all_.merge(other.all_);
+  for (std::size_t c = 0; c < by_category_.size(); ++c)
+    by_category_[c].merge(other.by_category_[c]);
+}
+
 double JctCollector::average_jct(int category) const {
   GURITA_CHECK_MSG(category >= 0 && category < kNumCategories,
                    "category out of range");

@@ -21,6 +21,13 @@ class JctCollector {
   /// Ingests every job of a run.
   void add(const SimResults& results);
 
+  /// Folds another collector's samples into this one, preserving the
+  /// other's insertion order. Merging per-shard collectors in shard order
+  /// therefore reproduces the sample sequence of a serial run exactly —
+  /// the ordered-merge half of the parallel runner's determinism contract
+  /// (exp/runner.h).
+  void merge(const JctCollector& other);
+
   [[nodiscard]] double average_jct() const { return all_.mean(); }
   [[nodiscard]] double average_jct(int category) const;
   [[nodiscard]] std::size_t jobs(int category) const;

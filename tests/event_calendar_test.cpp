@@ -221,5 +221,41 @@ TEST(EventCalendar, CountersAreDeterministic) {
     EXPECT_DOUBLE_EQ(a.jobs[i].finish, b.jobs[i].finish);
 }
 
+TEST(EventCalendar, CountersArePerRunAndMergeExplicitly) {
+  // Cost counters are strictly per-run: the engine only ever writes the
+  // SimResults of its own run(), so each run's counters are unaffected by
+  // other runs, and pooling them is the explicit merge_counters() fold —
+  // sum of counters, max of makespans — in whatever order the caller
+  // merges (the parallel runner merges in matrix order).
+  auto run_once = [](int flows) {
+    const BigSwitch fabric(BigSwitch::Config{16, 100.0});
+    PfsScheduler pfs;
+    Simulator sim(fabric, pfs);
+    sim.submit(disjoint_pairs_job(flows, 2));
+    return sim.run();
+  };
+  const SimResults a = run_once(3);
+  const SimResults b = run_once(6);
+
+  // Re-running a does not observe b: per-run isolation.
+  const SimResults a2 = run_once(3);
+  EXPECT_EQ(a.events, a2.events);
+  EXPECT_EQ(a.flow_touches, a2.flow_touches);
+  EXPECT_EQ(a.rate_recomputations, a2.rate_recomputations);
+
+  SimResults pooled = a;
+  pooled.merge_counters(b);
+  EXPECT_EQ(pooled.events, a.events + b.events);
+  EXPECT_EQ(pooled.flow_touches, a.flow_touches + b.flow_touches);
+  EXPECT_EQ(pooled.legacy_flow_touches,
+            a.legacy_flow_touches + b.legacy_flow_touches);
+  EXPECT_EQ(pooled.rate_recomputations,
+            a.rate_recomputations + b.rate_recomputations);
+  EXPECT_DOUBLE_EQ(pooled.makespan, std::max(a.makespan, b.makespan));
+  // merge_counters leaves populations alone (absorb() re-ids those).
+  EXPECT_EQ(pooled.jobs.size(), a.jobs.size());
+  EXPECT_EQ(pooled.coflows.size(), a.coflows.size());
+}
+
 }  // namespace
 }  // namespace gurita

@@ -1,0 +1,150 @@
+// Property tests for the work-stealing pool behind the parallel runner:
+// no lost tasks under submission contention, results independent of worker
+// count (the determinism contract's foundation), deterministic exception
+// propagation (smallest failing index), nested parallelism without
+// deadlock, and destructor drain.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+
+namespace gurita {
+namespace {
+
+TEST(ThreadPoolTest, SizeResolvesHardwareAndExplicitCounts) {
+  EXPECT_EQ(ThreadPool(3).size(), 3);
+  EXPECT_EQ(ThreadPool(0).size(), ThreadPool::hardware_threads());
+  EXPECT_GE(ThreadPool::hardware_threads(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i)
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+// Submission contention: several foreign threads hammer submit()
+// concurrently; the destructor's drain guarantee means every task must
+// have run by the time the pool is gone.
+TEST(ThreadPoolTest, NoTasksLostUnderContendedSubmission) {
+  constexpr int kSubmitters = 8;
+  constexpr int kTasksEach = 500;
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(4);
+    std::vector<std::thread> submitters;
+    submitters.reserve(kSubmitters);
+    for (int s = 0; s < kSubmitters; ++s)
+      submitters.emplace_back([&pool, &ran] {
+        for (int t = 0; t < kTasksEach; ++t)
+          pool.submit([&ran] { ran.fetch_add(1); });
+      });
+    for (std::thread& t : submitters) t.join();
+  }  // ~ThreadPool drains before joining workers
+  EXPECT_EQ(ran.load(), kSubmitters * kTasksEach);
+}
+
+// The determinism contract's foundation: a computation keyed only on its
+// index produces identical output at every pool size, because slots are
+// index-addressed and no task reads another's state.
+TEST(ThreadPoolTest, ResultsIndependentOfWorkerCount) {
+  constexpr std::size_t kN = 200;
+  const auto run_at = [](int workers) {
+    ThreadPool pool(workers);
+    std::vector<std::uint64_t> out(kN, 0);
+    pool.parallel_for(kN, [&](std::size_t i) {
+      Rng rng(static_cast<std::uint64_t>(i) * 0x9e3779b9ULL + 1);
+      std::uint64_t acc = 0;
+      for (int k = 0; k < 100; ++k) acc ^= rng.next_u64();
+      out[i] = acc;
+    });
+    return out;
+  };
+  const std::vector<std::uint64_t> serial = run_at(1);
+  EXPECT_EQ(run_at(2), serial);
+  EXPECT_EQ(run_at(8), serial);
+}
+
+// If several invocations throw, the exception of the SMALLEST index is
+// rethrown — regardless of which failing task finished first — and the
+// non-throwing invocations still all run.
+TEST(ThreadPoolTest, SmallestFailingIndexWinsExceptionPropagation) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 64;
+  std::vector<std::atomic<int>> ran(kN);
+  const auto body = [&](std::size_t i) {
+    ran[i].fetch_add(1);
+    if (i == 5 || i == 11 || i == 40)
+      throw std::runtime_error("boom " + std::to_string(i));
+  };
+  try {
+    pool.parallel_for(kN, body);
+    FAIL() << "parallel_for swallowed the exceptions";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom 5");
+  }
+  for (std::size_t i = 0; i < kN; ++i)
+    ASSERT_EQ(ran[i].load(), 1) << "index " << i;
+}
+
+// A worker blocked in a nested parallel_for must help execute queued tasks
+// rather than sleep, or a pool smaller than the nesting depth deadlocks.
+TEST(ThreadPoolTest, NestedParallelForCompletesAtEveryPoolSize) {
+  for (const int workers : {1, 2, 4}) {
+    SCOPED_TRACE("pool size " + std::to_string(workers));
+    ThreadPool pool(workers);
+    constexpr std::size_t kOuter = 6;
+    constexpr std::size_t kInner = 10;
+    std::vector<std::atomic<int>> cells(kOuter * kInner);
+    pool.parallel_for(kOuter, [&](std::size_t o) {
+      pool.parallel_for(
+          kInner, [&](std::size_t i) { cells[o * kInner + i].fetch_add(1); });
+    });
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      ASSERT_EQ(cells[c].load(), 1) << "cell " << c;
+  }
+}
+
+// Tasks may spawn further tasks from inside a worker (routed to the
+// worker's own deque); children queued when the destructor begins still
+// run before the pool joins.
+TEST(ThreadPoolTest, NestedSubmissionsFromWorkersAllRun) {
+  constexpr std::size_t kParents = 100;
+  std::atomic<int> children_ran{0};
+  {
+    ThreadPool pool(4);
+    pool.parallel_for(kParents, [&](std::size_t) {
+      pool.submit([&children_ran] { children_ran.fetch_add(1); });
+    });
+  }
+  EXPECT_EQ(children_ran.load(), static_cast<int>(kParents));
+}
+
+// Even a single-worker pool runs submitted tasks on its worker thread, not
+// inline on the submitting thread.
+TEST(ThreadPoolTest, SubmittedTasksRunOffTheSubmittingThread) {
+  const std::thread::id main_id = std::this_thread::get_id();
+  std::thread::id task_id;
+  {
+    ThreadPool pool(1);
+    pool.submit([&task_id] { task_id = std::this_thread::get_id(); });
+  }
+  EXPECT_NE(task_id, main_id);
+}
+
+TEST(ThreadPoolTest, ParallelForOfZeroIsANoOp) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "fn called for n=0"; });
+}
+
+}  // namespace
+}  // namespace gurita
