@@ -34,6 +34,7 @@ struct Variant {
 int main(int argc, char** argv) {
   using namespace gurita;
   const Args args(argc, argv);
+  apply_log_level(args);
   const int num_jobs = args.get_int("num-jobs", 250);
   const std::uint64_t seed = args.get_u64("seed", 7);
   const int jobs = resolve_jobs(args);

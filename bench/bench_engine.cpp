@@ -12,11 +12,22 @@
 //
 // Reports, per configuration: events, engine flow touches, the equivalent
 // legacy full-scan touches (both counted by the engine itself — see
-// SimResults), their ratio, and wall time. Writes BENCH_engine.json for
-// cross-PR tracking.
+// SimResults), their ratio, wall time, and the engine phase profile
+// (obs/profiler.h). Writes BENCH_engine.json for cross-PR tracking.
+//
+// Telemetry overhead guard: with --overhead-guard (default on), the first
+// configured flow count is re-run twice — without any obs wiring, and with
+// a TraceRecorder attached whose kind mask is empty (the disabled-tracing
+// hot path: one null check + one bit test per emission site). Min-of-5
+// trials each; the run breaches if the disabled path is > 2% slower AND
+// more than 0.5 ms absolute — both recorded in BENCH_engine.json, nonzero
+// exit on breach.
 //
 //   ./bench_engine [--flows 1000,10000,100000] [--groups 32]
 //                  [--tick 0.1] [--out BENCH_engine.json]
+//                  [--profile true] [--overhead-guard true]
+//                  [--log-level warn]
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -25,6 +36,8 @@
 
 #include "exp/args.h"
 #include "flowsim/simulator.h"
+#include "obs/profiler.h"
+#include "obs/trace.h"
 #include "sched/pfs.h"
 #include "topology/big_switch.h"
 
@@ -62,6 +75,8 @@ struct BenchRow {
   std::uint64_t events = 0;
   std::uint64_t flow_touches = 0;
   std::uint64_t legacy_flow_touches = 0;
+  obs::PhaseProfile profile;
+  bool profiled = false;
 
   [[nodiscard]] double touch_ratio() const {
     return flow_touches == 0
@@ -87,13 +102,27 @@ JobSpec disjoint_pairs_job(int flows, int groups) {
   return job;
 }
 
-BenchRow run_one(int flows, int groups, Time tick, bool ticking) {
+/// How the run is wired to the obs/ subsystem.
+enum class ObsWiring {
+  kNone,             ///< no recorder, no profiler (the pre-obs hot path)
+  kDisabledRecorder, ///< recorder attached with an empty kind mask
+  kProfile,          ///< phase profiler attached
+};
+
+BenchRow run_one(int flows, int groups, Time tick, bool ticking,
+                 ObsWiring wiring) {
   const BigSwitch fabric(BigSwitch::Config{2 * flows, 100.0});
   PfsScheduler pfs;
   TickingPfsScheduler ticking_pfs(tick);
   Scheduler& scheduler =
       ticking ? static_cast<Scheduler&>(ticking_pfs) : pfs;
-  Simulator sim(fabric, scheduler);
+  obs::TraceRecorder disabled_recorder(/*mask=*/0);
+  obs::PhaseProfiler profiler;
+  Simulator::Config config;
+  if (wiring == ObsWiring::kDisabledRecorder)
+    config.trace = &disabled_recorder;
+  if (wiring == ObsWiring::kProfile) config.profiler = &profiler;
+  Simulator sim(fabric, scheduler, config);
   sim.submit(disjoint_pairs_job(flows, groups));
 
   const auto start = std::chrono::steady_clock::now();
@@ -109,6 +138,10 @@ BenchRow run_one(int flows, int groups, Time tick, bool ticking) {
   row.events = results.events;
   row.flow_touches = results.flow_touches;
   row.legacy_flow_touches = results.legacy_flow_touches;
+  if (wiring == ObsWiring::kProfile) {
+    row.profile = profiler.snapshot();
+    row.profiled = true;
+  }
   return row;
 }
 
@@ -132,7 +165,56 @@ std::vector<int> parse_flow_counts(const std::string& csv) {
   return counts;
 }
 
-bool write_json(const std::string& path, const std::vector<BenchRow>& rows) {
+struct OverheadGuard {
+  bool ran = false;
+  double baseline_ms = 0;   ///< min-of-trials, no obs wiring
+  double disabled_ms = 0;   ///< min-of-trials, empty-mask recorder attached
+  bool breached = false;
+
+  [[nodiscard]] double ratio() const {
+    return baseline_ms <= 0 ? 0.0 : disabled_ms / baseline_ms;
+  }
+};
+
+/// Disabled-tracing hot-path cost: min-of-`trials` wall time with no obs
+/// wiring vs with an empty-mask recorder attached. A breach requires both a
+/// > 2% ratio AND > 0.5 ms absolute regression, so sub-millisecond timing
+/// noise on tiny configs cannot trip it.
+OverheadGuard run_overhead_guard(int flows, int groups, Time tick,
+                                 int trials) {
+  OverheadGuard guard;
+  guard.ran = true;
+  double base = std::numeric_limits<double>::infinity();
+  double disabled = std::numeric_limits<double>::infinity();
+  for (int t = 0; t < trials; ++t) {
+    base = std::min(
+        base,
+        run_one(flows, groups, tick, false, ObsWiring::kNone).wall_ms);
+    disabled = std::min(
+        disabled,
+        run_one(flows, groups, tick, false, ObsWiring::kDisabledRecorder)
+            .wall_ms);
+  }
+  guard.baseline_ms = base;
+  guard.disabled_ms = disabled;
+  guard.breached =
+      disabled > base * 1.02 && disabled - base > 0.5;
+  return guard;
+}
+
+void write_profile_json(std::ostream& out, const obs::PhaseProfile& profile) {
+  out << "\"phases\": {";
+  for (int p = 0; p < obs::kNumPhases; ++p) {
+    const obs::PhaseProfile::Entry& e =
+        profile.phases[static_cast<std::size_t>(p)];
+    out << (p == 0 ? "" : ", ") << "\""
+        << obs::phase_name(static_cast<obs::Phase>(p)) << "\": " << e.ns;
+  }
+  out << "}, \"phase_coverage\": " << profile.coverage();
+}
+
+bool write_json(const std::string& path, const std::vector<BenchRow>& rows,
+                const OverheadGuard& guard) {
   std::ofstream out(path);
   out << "{\n  \"bench\": \"engine\",\n  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -142,10 +224,21 @@ bool write_json(const std::string& path, const std::vector<BenchRow>& rows) {
         << ", \"flow_touches\": " << r.flow_touches
         << ", \"legacy_flow_touches\": " << r.legacy_flow_touches
         << ", \"touch_ratio\": " << r.touch_ratio()
-        << ", \"wall_ms\": " << r.wall_ms << ", \"makespan\": " << r.makespan
-        << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+        << ", \"wall_ms\": " << r.wall_ms << ", \"makespan\": " << r.makespan;
+    if (r.profiled) {
+      out << ", ";
+      write_profile_json(out, r.profile);
+    }
+    out << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
   }
-  out << "  ]\n}\n";
+  out << "  ]";
+  if (guard.ran) {
+    out << ",\n  \"overhead_guard\": {\"baseline_ms\": " << guard.baseline_ms
+        << ", \"disabled_tracing_ms\": " << guard.disabled_ms
+        << ", \"ratio\": " << guard.ratio()
+        << ", \"breached\": " << (guard.breached ? "true" : "false") << "}";
+  }
+  out << "\n}\n";
   return out.good();
 }
 
@@ -155,11 +248,15 @@ bool write_json(const std::string& path, const std::vector<BenchRow>& rows) {
 int main(int argc, char** argv) {
   using namespace gurita;
   const Args args(argc, argv);
+  apply_log_level(args);
   const std::vector<int> flow_counts =
       parse_flow_counts(args.get_string("flows", "1000,10000,100000"));
   const int groups = args.get_int("groups", 32);
   const Time tick = args.get_double("tick", 0.1);
   const std::string out_path = args.get_string("out", "BENCH_engine.json");
+  const bool profile = args.get_bool("profile", true);
+  const bool overhead = args.get_bool("overhead-guard", true);
+  const int guard_trials = args.get_int("overhead-trials", 5);
 
   std::cout << "=== Engine microbenchmark: per-event flow touches ===\n"
                "touch_ratio = legacy full-scan touches / calendar-engine "
@@ -168,22 +265,43 @@ int main(int argc, char** argv) {
                "ratio    wall_ms\n";
 
   std::vector<BenchRow> rows;
+  obs::PhaseProfile total;
   for (const int flows : flow_counts) {
     for (const bool ticking : {false, true}) {
-      const BenchRow row = run_one(flows, groups, tick, ticking);
+      const BenchRow row =
+          run_one(flows, groups, tick, ticking,
+                  profile ? ObsWiring::kProfile : ObsWiring::kNone);
       std::printf("%-10d %-12s %8llu %10llu %10llu %9.1fx %9.2f\n", row.flows,
                   row.scenario.c_str(),
                   static_cast<unsigned long long>(row.events),
                   static_cast<unsigned long long>(row.flow_touches),
                   static_cast<unsigned long long>(row.legacy_flow_touches),
                   row.touch_ratio(), row.wall_ms);
+      if (row.profiled) total.merge(row.profile);
       rows.push_back(row);
     }
   }
-  if (!write_json(out_path, rows)) {
+
+  if (profile)
+    std::cout << "\n=== Engine phase profile (summed over the matrix) ===\n"
+              << total.to_table();
+
+  OverheadGuard guard;
+  if (overhead) {
+    guard = run_overhead_guard(flow_counts.front(), groups, tick,
+                               guard_trials);
+    std::printf(
+        "\noverhead guard (flows=%d, min of %d): baseline %.2f ms, "
+        "disabled-tracing %.2f ms, ratio %.4f -> %s\n",
+        flow_counts.front(), guard_trials, guard.baseline_ms,
+        guard.disabled_ms, guard.ratio(),
+        guard.breached ? "BREACH" : "ok");
+  }
+
+  if (!write_json(out_path, rows, guard)) {
     std::cerr << "\nfailed to write " << out_path << "\n";
     return 1;
   }
   std::cout << "\nwrote " << out_path << "\n";
-  return 0;
+  return guard.breached ? 1 : 0;
 }

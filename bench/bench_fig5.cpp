@@ -8,12 +8,26 @@
 //
 //   ./bench_fig5 [--num-jobs 300] [--bursty-jobs 400] [--seed 7] [--pods 8]
 //                [--jobs N]   # worker threads; output identical at any N
+//
+// Telemetry (obs/):
+//   --trace FILE        export a structured trace of every run (JSONL; one
+//                       section per run×scheduler, labeled "run/scheduler").
+//                       Also writes FILE.summary.json with per-kind record
+//                       counts and the engine cost counters.
+//   --trace-filter CSV  record kinds ("all", "default", or a comma list of
+//                       kind names — see obs/trace.h)
+//   --trace-binary      write the compact binary format instead of JSONL
+//   --profile           print the engine phase profile summed over all runs
+//   --log-level LVL     debug|info|warn|error|off
+#include <fstream>
 #include <iostream>
 
 #include "exp/args.h"
 #include "exp/experiment.h"
 #include "exp/runner.h"
 #include "metrics/report.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace gurita {
 namespace {
@@ -29,11 +43,21 @@ std::string cell(const ComparisonResult& result, const std::string& other) {
 int main(int argc, char** argv) {
   using namespace gurita;
   const Args args(argc, argv);
+  apply_log_level(args);
   const int num_jobs = args.get_int("num-jobs", 300);
   const int bursty_jobs = args.get_int("bursty-jobs", 200);
   const std::uint64_t seed = args.get_u64("seed", 7);
   const int bursty_pods = args.get_int("pods", 8);
   const int jobs = resolve_jobs(args);
+  const std::string trace_path = args.get_string("trace", "");
+  const bool trace_binary = args.get_bool("trace-binary", false);
+  const bool profile = args.get_bool("profile", false);
+
+  ExperimentConfig::ObsOptions obs_options;
+  obs_options.trace = !trace_path.empty();
+  obs_options.trace_mask =
+      obs::parse_trace_filter(args.get_string("trace-filter", "default"));
+  obs_options.profile = profile;
 
   const std::vector<std::string> others = {"baraat", "pfs", "stream", "aalo"};
   std::vector<std::string> all = others;
@@ -52,6 +76,7 @@ int main(int argc, char** argv) {
       {"CD-b (TPC-DS, bursty)",
        bursty_scenario(StructureKind::kTpcDs, bursty_jobs, seed, bursty_pods),
        all});
+  for (ExperimentRun& run : runs) run.config.obs = obs_options;
 
   const std::vector<ComparisonResult> results = run_matrix(runs, jobs);
 
@@ -70,5 +95,48 @@ int main(int argc, char** argv) {
     table.add_row(row);
   }
   std::cout << table.to_string() << std::endl;
+
+  // Trace export: sections in run-matrix slot order, schedulers in map
+  // (name) order within a run — the same walk at any --jobs, so the file is
+  // byte-identical at any worker count.
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path, trace_binary
+                                      ? std::ios::out | std::ios::binary
+                                      : std::ios::out);
+    GURITA_CHECK_MSG(out.is_open(), "cannot open trace file " + trace_path);
+    if (trace_binary) obs::write_binary_header(out);
+    obs::Registry registry;
+    std::size_t total_records = 0;
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      for (const auto& [name, res] : results[i].results) {
+        const std::string label = runs[i].label + "/" + name;
+        if (trace_binary) {
+          obs::write_binary_section(out, label, res.trace);
+        } else {
+          obs::write_jsonl(out, res.trace, label);
+        }
+        obs::export_trace_counters(res.trace, 0, registry);
+        res.export_counters(registry);
+        total_records += res.trace.size();
+      }
+    }
+    out.close();
+    const std::string summary_path = trace_path + ".summary.json";
+    std::ofstream summary(summary_path);
+    GURITA_CHECK_MSG(summary.is_open(),
+                     "cannot open summary file " + summary_path);
+    summary << registry.to_json() << "\n";
+    std::cout << "trace: " << total_records << " records -> " << trace_path
+              << " (summary: " << summary_path << ")\n";
+  }
+
+  if (profile) {
+    obs::PhaseProfile total;
+    for (const ComparisonResult& result : results)
+      for (const auto& [name, res] : result.results) total.merge(res.profile);
+    std::cout << "\n=== Engine phase profile (summed over "
+              << total.runs << " runs) ===\n"
+              << total.to_table();
+  }
   return 0;
 }

@@ -28,6 +28,7 @@
 int main(int argc, char** argv) {
   using namespace gurita;
   const Args args(argc, argv);
+  apply_log_level(args);
   const int trials = args.get_int("trials", 200);
   const int jobs_n = args.get_int("num-jobs", 5);
   const std::uint64_t seed = args.get_u64("seed", 11);

@@ -107,6 +107,7 @@ bool write_json(const std::string& path, const std::vector<BenchRow>& rows,
 int main(int argc, char** argv) {
   using namespace gurita;
   const Args args(argc, argv);
+  apply_log_level(args);
   const int num_jobs = args.get_int("num-jobs", 120);
   const int replicates = args.get_int("replicates", 16);
   const std::uint64_t seed = args.get_u64("seed", 7);

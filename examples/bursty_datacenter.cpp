@@ -15,6 +15,7 @@
 int main(int argc, char** argv) {
   using namespace gurita;
   const Args args(argc, argv);
+  apply_log_level(args);
   const int jobs_n = args.get_int("num-jobs", 200);
   const std::uint64_t seed = args.get_u64("seed", 3);
   const int pods = args.get_int("pods", 8);

@@ -20,6 +20,7 @@
 int main(int argc, char** argv) {
   using namespace gurita;
   const Args args(argc, argv);
+  apply_log_level(args);
 
   const std::string scheduler_name = args.get_string("scheduler", "gurita");
   const int pods = args.get_int("pods", 8);

@@ -1,24 +1,141 @@
-// Trace explorer: generate a synthetic Facebook-like multi-stage trace and
-// dump its statistics — category mix, width and depth distributions, byte
-// skew — so users can sanity-check a workload before running experiments.
+// Trace explorer. Two modes:
 //
-//   ./trace_explorer [--num-jobs 1000] [--seed 42] [--structure mixed|tpcds|fbtao]
+// Workload mode (default): generate a synthetic Facebook-like multi-stage
+// trace and dump its statistics — category mix, width and depth
+// distributions, byte skew — so users can sanity-check a workload before
+// running experiments.
+//
+//   ./trace_explorer [--num-jobs 1000] [--seed 42]
+//                    [--structure mixed|tpcds|fbtao]
+//
+// Telemetry mode (--trace FILE): read a structured simulation trace
+// exported by a bench driver (JSONL, or the compact binary format when the
+// file ends in .bin — see obs/trace.h) and summarize the scheduler's
+// behavior: per-kind record counts, the coflow queue-transition matrix with
+// transition causes, Ψ̈ decision-value statistics, and per-queue residency.
+//
+//   ./trace_explorer --trace trace.jsonl [--section LABEL-SUBSTRING]
+#include <algorithm>
+#include <fstream>
 #include <iostream>
+#include <map>
+#include <vector>
 
 #include "common/stats.h"
 #include "exp/args.h"
 #include "metrics/category.h"
 #include "metrics/report.h"
+#include "obs/trace.h"
 #include "workload/trace_gen.h"
 
-int main(int argc, char** argv) {
-  using namespace gurita;
-  const Args args(argc, argv);
+namespace gurita {
+namespace {
 
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+const char* cause_name(int cause) {
+  switch (static_cast<obs::QueueChangeCause>(cause)) {
+    case obs::QueueChangeCause::kRelease: return "release";
+    case obs::QueueChangeCause::kHrDecision: return "hr_decision";
+    case obs::QueueChangeCause::kSelfDemote: return "self_demote";
+    case obs::QueueChangeCause::kBytesSent: return "bytes_sent";
+    case obs::QueueChangeCause::kRecompute: return "recompute";
+  }
+  return "?";
+}
+
+int explore_trace(const std::string& path, const std::string& section_filter) {
+  std::ifstream in(path, ends_with(path, ".bin")
+                             ? std::ios::in | std::ios::binary
+                             : std::ios::in);
+  if (!in.is_open()) {
+    std::cerr << "cannot open trace file " << path << "\n";
+    return 1;
+  }
+  std::vector<obs::TraceSection> sections = ends_with(path, ".bin")
+                                                ? obs::read_binary(in)
+                                                : obs::read_jsonl(in);
+  if (!section_filter.empty()) {
+    sections.erase(std::remove_if(sections.begin(), sections.end(),
+                                  [&](const obs::TraceSection& s) {
+                                    return s.label.find(section_filter) ==
+                                           std::string::npos;
+                                  }),
+                   sections.end());
+  }
+
+  std::size_t total = 0;
+  std::uint64_t kind_count[obs::kNumTraceEventKinds] = {};
+  // Queue transitions: (old, new) -> count, plus per-cause counts. old = -1
+  // is the release-time assignment into the top queue.
+  std::map<std::pair<int, int>, std::uint64_t> transitions;
+  std::map<int, std::uint64_t> cause_count;
+  RunningStats psi;
+  // Residency: records seen per new-queue value (a cheap occupancy proxy).
+  std::map<int, std::uint64_t> entered_queue;
+  for (const obs::TraceSection& section : sections) {
+    total += section.records.size();
+    for (const obs::TraceRecord& r : section.records) {
+      ++kind_count[static_cast<int>(r.kind)];
+      if (r.kind != obs::TraceEventKind::kQueueChange) continue;
+      ++transitions[{r.i0, r.i1}];
+      ++cause_count[r.i2];
+      ++entered_queue[r.i1];
+      if (r.v5 > 0) psi.add(r.v5);
+    }
+  }
+
+  std::cout << "Trace " << path << ": " << sections.size() << " section(s), "
+            << total << " records";
+  if (!section_filter.empty())
+    std::cout << " (filtered by \"" << section_filter << "\")";
+  std::cout << "\n\n";
+
+  TextTable kinds({"kind", "records"});
+  for (int k = 0; k < obs::kNumTraceEventKinds; ++k) {
+    if (kind_count[k] == 0) continue;
+    kinds.add_row({obs::kind_name(static_cast<obs::TraceEventKind>(k)),
+                   std::to_string(kind_count[k])});
+  }
+  std::cout << kinds.to_string() << "\n";
+
+  if (!transitions.empty()) {
+    TextTable trans({"old queue", "new queue", "count"});
+    for (const auto& [key, count] : transitions)
+      trans.add_row({key.first < 0 ? std::string("(release)")
+                                   : std::to_string(key.first),
+                     std::to_string(key.second), std::to_string(count)});
+    std::cout << "Coflow queue transitions:\n" << trans.to_string() << "\n";
+
+    TextTable causes({"cause", "count"});
+    for (const auto& [cause, count] : cause_count)
+      causes.add_row({cause_name(cause), std::to_string(count)});
+    std::cout << "Transition causes:\n" << causes.to_string() << "\n";
+
+    TextTable entered({"new queue", "transitions in"});
+    for (const auto& [queue, count] : entered_queue)
+      entered.add_row({std::to_string(queue), std::to_string(count)});
+    std::cout << "Queue entries (residency proxy):\n"
+              << entered.to_string() << "\n";
+  }
+  if (psi.count() > 0) {
+    std::cout << "Psi decision values (demotions with a factor breakdown): "
+              << psi.count() << " samples, mean " << TextTable::num(psi.mean())
+              << ", min " << TextTable::num(psi.min()) << ", max "
+              << TextTable::num(psi.max()) << "\n";
+  }
+  return 0;
+}
+
+int explore_workload(const Args& args) {
   TraceConfig config;
   config.num_jobs = args.get_int("num-jobs", 1000);
   config.seed = args.get_u64("seed", 42);
-  config.structure = structure_from_string(args.get_string("structure", "mixed"));
+  config.structure =
+      structure_from_string(args.get_string("structure", "mixed"));
 
   const std::vector<JobSpec> jobs = generate_trace(config);
 
@@ -69,4 +186,17 @@ int main(int argc, char** argv) {
                "most bytes belong to VI-VII."
             << std::endl;
   return 0;
+}
+
+}  // namespace
+}  // namespace gurita
+
+int main(int argc, char** argv) {
+  using namespace gurita;
+  const Args args(argc, argv);
+  apply_log_level(args);
+  const std::string trace_path = args.get_string("trace", "");
+  if (!trace_path.empty())
+    return explore_trace(trace_path, args.get_string("section", ""));
+  return explore_workload(args);
 }

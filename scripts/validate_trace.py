@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Validate a structured simulation trace exported by a bench driver.
+
+Usage: validate_trace.py TRACE.jsonl [TRACE.jsonl.summary.json]
+
+Checks, in order:
+  1. every line parses as JSON and carries "t" (a number) and a known "kind";
+  2. kQueueChange records carry the queue transition (old/new/cause) and, for
+     Gurita HR decisions, the full Psi factor breakdown (omega, epsilon,
+     ell_max, n, cp_discount, psi);
+  3. the event stream pairs up: job_arrival == job_finish,
+     coflow_release == coflow_finish, flow_release == flow_finish;
+  4. when the summary is given, per-kind line counts equal the registry's
+     "trace.<kind>" counters exactly.
+
+Exit code 0 on success, 1 with a diagnostic on the first failure.
+"""
+import collections
+import json
+import sys
+
+KNOWN_KINDS = {
+    "job_arrival", "coflow_release", "flow_release", "flow_rate_change",
+    "flow_finish", "coflow_finish", "stage_complete", "job_finish",
+    "queue_change", "starvation_weights", "capacity_change", "heavy_mark",
+}
+# QueueChangeCause::kHrDecision — the cause whose records must carry the
+# full Psi breakdown (obs/trace.h).
+CAUSE_HR_DECISION = 1
+PSI_FIELDS = ("omega", "epsilon", "ell_max", "n", "cp_discount", "psi")
+
+
+def fail(msg):
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_line(lineno, line, counts):
+    try:
+        rec = json.loads(line)
+    except json.JSONDecodeError as e:
+        fail(f"line {lineno} is not valid JSON ({e}): {line[:120]}")
+    if not isinstance(rec.get("t"), (int, float)):
+        fail(f"line {lineno} has no numeric 't': {line[:120]}")
+    kind = rec.get("kind")
+    if kind not in KNOWN_KINDS:
+        fail(f"line {lineno} has unknown kind {kind!r}: {line[:120]}")
+    counts[kind] += 1
+    if kind == "queue_change":
+        for field in ("old", "new", "cause"):
+            if not isinstance(rec.get(field), int):
+                fail(f"line {lineno} queue_change lacks integer "
+                     f"'{field}': {line[:120]}")
+        if rec["cause"] == CAUSE_HR_DECISION:
+            for field in PSI_FIELDS:
+                if not isinstance(rec.get(field), (int, float)):
+                    fail(f"line {lineno} HR-decision queue_change lacks Psi "
+                         f"factor '{field}': {line[:120]}")
+
+
+def main():
+    if len(sys.argv) not in (2, 3):
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    trace_path = sys.argv[1]
+    counts = collections.Counter()
+    lines = 0
+    with open(trace_path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            lines += 1
+            validate_line(lineno, line, counts)
+    if lines == 0:
+        fail(f"{trace_path} contains no records")
+
+    for released, finished in (("job_arrival", "job_finish"),
+                               ("coflow_release", "coflow_finish"),
+                               ("flow_release", "flow_finish")):
+        if counts[released] != counts[finished]:
+            fail(f"unpaired events: {released}={counts[released]} but "
+                 f"{finished}={counts[finished]}")
+
+    if len(sys.argv) == 3:
+        with open(sys.argv[2], encoding="utf-8") as f:
+            summary = json.load(f)
+        registry = summary.get("counters", {})
+        for kind in sorted(KNOWN_KINDS):
+            expected = registry.get(f"trace.{kind}", 0)
+            if counts[kind] != expected:
+                fail(f"count mismatch for {kind}: trace has {counts[kind]} "
+                     f"records, summary counter says {expected}")
+        if registry.get("trace.dropped", 0):
+            fail(f"trace dropped {registry['trace.dropped']} records "
+                 f"(recorder cap hit); raise the cap for CI smoke runs")
+
+    by_kind = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+    print(f"validate_trace: OK: {lines} records ({by_kind})")
+
+
+if __name__ == "__main__":
+    main()

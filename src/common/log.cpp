@@ -1,11 +1,17 @@
 #include "common/log.h"
 
+#include <atomic>
 #include <iostream>
+#include <mutex>
+#include <stdexcept>
 
 namespace gurita::log {
 
 namespace {
-Level g_level = Level::kWarn;
+std::atomic<Level> g_level{Level::kWarn};
+/// Serializes writes so lines from the parallel runner's workers never
+/// interleave mid-line.
+std::mutex g_write_mutex;
 
 const char* level_name(Level lvl) {
   switch (lvl) {
@@ -24,12 +30,34 @@ const char* level_name(Level lvl) {
 }
 }  // namespace
 
-void set_level(Level level) { g_level = level; }
-Level level() { return g_level; }
+void set_level(Level level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+Level level_from_string(const std::string& name) {
+  if (name == "debug") return Level::kDebug;
+  if (name == "info") return Level::kInfo;
+  if (name == "warn") return Level::kWarn;
+  if (name == "error") return Level::kError;
+  if (name == "off") return Level::kOff;
+  throw std::logic_error("unknown log level: " + name +
+                         " (want debug|info|warn|error|off)");
+}
 
 void write(Level lvl, const std::string& msg) {
-  if (lvl < g_level) return;
-  std::cerr << "[" << level_name(lvl) << "] " << msg << "\n";
+  if (lvl < level()) return;
+  // Compose the full line first, then emit it under the lock with a single
+  // stream insertion, so concurrent writers produce whole lines.
+  std::string line;
+  line.reserve(msg.size() + 10);
+  line += "[";
+  line += level_name(lvl);
+  line += "] ";
+  line += msg;
+  line += "\n";
+  const std::lock_guard<std::mutex> lock(g_write_mutex);
+  std::cerr << line;
 }
 
 }  // namespace gurita::log

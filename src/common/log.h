@@ -1,9 +1,10 @@
 // Minimal leveled logging to stderr.
 //
 // The simulator is mostly silent; logging exists for debugging experiment
-// runs (`Level::kDebug` traces every scheduling decision). The level is a
-// process-wide setting deliberately kept simple — it is configuration, not
-// mutable program state.
+// runs (`Level::kDebug` traces every scheduling decision). Thread-safe: the
+// level is an atomic read on the fast path, and write() serializes fully
+// composed lines under a mutex, so messages from the parallel runner's
+// workers never interleave mid-line.
 #pragma once
 
 #include <sstream>
@@ -17,7 +18,11 @@ enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_level(Level level);
 [[nodiscard]] Level level();
 
-/// Emits `msg` at `lvl` if enabled. Thread-compatible (single writer).
+/// Parses "debug" | "info" | "warn" | "error" | "off" (the --log-level flag
+/// values); throws std::logic_error on anything else.
+[[nodiscard]] Level level_from_string(const std::string& name);
+
+/// Emits `msg` at `lvl` if enabled. Thread-safe; whole lines only.
 void write(Level lvl, const std::string& msg);
 
 namespace detail {

@@ -30,11 +30,22 @@ void GuritaScheduler::on_job_arrival(const SimJob& job, Time now) {
 }
 
 void GuritaScheduler::on_coflow_release(const SimCoflow& coflow, Time now) {
-  (void)now;
   // "Newly-arriving flows of a coflow are automatically assigned the
   // highest priority ... until a threshold is exceeded or an update is
   // received from HR." Both demotion causes fire at the next tick.
   coflow_queue_.emplace(coflow.id, 0);
+  obs::TraceRecorder* tr = trace_recorder();
+  if (tr && tr->wants(obs::TraceEventKind::kQueueChange)) {
+    obs::TraceRecord r;
+    r.kind = obs::TraceEventKind::kQueueChange;
+    r.time = now;
+    r.job = coflow.job.value();
+    r.coflow = coflow.id.value();
+    r.i0 = -1;
+    r.i1 = 0;
+    r.i2 = static_cast<std::int32_t>(obs::QueueChangeCause::kRelease);
+    tr->emit(r);
+  }
 }
 
 void GuritaScheduler::on_coflow_finish(const SimCoflow& coflow, Time now) {
@@ -70,8 +81,12 @@ bool GuritaScheduler::decide_priorities(HeadReceiver& hr, Time now) {
   const SimJob& job = state().job(hr.job());
   const double slack = slack_factor(job, now);
   const double omega = omega_online(hr.completed_stages());
+  obs::TraceRecorder* tr = trace_recorder();
+  const bool trace_queues =
+      tr != nullptr && tr->wants(obs::TraceEventKind::kQueueChange);
   std::map<int, double> psi_stage;
   std::unordered_map<CoflowId, int> stage_of;
+  std::unordered_map<CoflowId, BlockingInputs> inputs_of;
   for (const auto& [cid, obs] : hr.observations()) {
     BlockingInputs in;
     in.omega = omega;
@@ -85,6 +100,7 @@ bool GuritaScheduler::decide_priorities(HeadReceiver& hr, Time now) {
     if (in.on_critical_path) ++stats_.critical_path_hits;
     psi_stage[obs.stage] += blocking_effect(in) * slack;
     stage_of[cid] = obs.stage;
+    if (trace_queues) inputs_of.emplace(cid, in);
   }
   // LBEF demotion: coflows inherit their stage's queue; existing flows may
   // only be demoted (promotions would reorder in-flight TCP segments).
@@ -98,6 +114,24 @@ bool GuritaScheduler::decide_priorities(HeadReceiver& hr, Time now) {
     auto it = coflow_queue_.find(cid);
     GURITA_CHECK_MSG(it != coflow_queue_.end(), "observed unknown coflow");
     if (queue > it->second) {
+      if (trace_queues) {
+        const BlockingInputs& in = inputs_of.at(cid);
+        obs::TraceRecord r;
+        r.kind = obs::TraceEventKind::kQueueChange;
+        r.time = now;
+        r.job = job.id.value();
+        r.coflow = cid.value();
+        r.v0 = in.omega;
+        r.v1 = in.epsilon;
+        r.v2 = in.ell_max;
+        r.v3 = in.width;
+        r.v4 = in.on_critical_path ? 1.0 - in.beta : 1.0;
+        r.v5 = psi_stage.at(stage);
+        r.i0 = it->second;
+        r.i1 = queue;
+        r.i2 = static_cast<std::int32_t>(obs::QueueChangeCause::kHrDecision);
+        tr->emit(r);
+      }
       it->second = queue;
       ++stats_.demotions;
       changed = true;
@@ -148,9 +182,27 @@ void GuritaScheduler::self_demote(CoflowId cid, int& queue, Time now) {
       config_.use_critical_path && ava_.likely_critical(ell_max);
   // The job knows its own deadline, so rule 4's slack boost applies to the
   // receiver-local check as well.
-  const int level =
-      psi_level(blocking_effect(in) * slack_factor(job, now));
+  const double psi = blocking_effect(in) * slack_factor(job, now);
+  const int level = psi_level(psi);
   if (level > queue) {
+    obs::TraceRecorder* tr = trace_recorder();
+    if (tr && tr->wants(obs::TraceEventKind::kQueueChange)) {
+      obs::TraceRecord r;
+      r.kind = obs::TraceEventKind::kQueueChange;
+      r.time = now;
+      r.job = coflow.job.value();
+      r.coflow = cid.value();
+      r.v0 = in.omega;
+      r.v1 = in.epsilon;
+      r.v2 = in.ell_max;
+      r.v3 = in.width;
+      r.v4 = in.on_critical_path ? 1.0 - in.beta : 1.0;
+      r.v5 = psi;
+      r.i0 = queue;
+      r.i1 = level;
+      r.i2 = static_cast<std::int32_t>(obs::QueueChangeCause::kSelfDemote);
+      tr->emit(r);
+    }
     queue = level;
     ++stats_.self_demotions;
   }
@@ -187,6 +239,18 @@ void GuritaScheduler::assign(Time now, const std::vector<SimFlow*>& active) {
   }
   const std::vector<double> weights = wrr_weights_from_demand(
       demand, config_.wrr_total_utilization, config_.wrr_min_queue_ratio);
+  obs::TraceRecorder* tr = trace_recorder();
+  if (tr && tr->wants(obs::TraceEventKind::kStarvationWeights)) {
+    obs::TraceRecord r;
+    r.kind = obs::TraceEventKind::kStarvationWeights;
+    r.time = now;
+    r.i0 = config_.queues;
+    if (!weights.empty()) r.v0 = weights[0];
+    if (weights.size() > 1) r.v1 = weights[1];
+    if (weights.size() > 2) r.v2 = weights[2];
+    if (weights.size() > 3) r.v3 = weights[3];
+    tr->emit(r);
+  }
   for (std::size_t i = 0; i < active.size(); ++i) {
     const int q = queue_of_flow[i];
     const double flows_in_q = demand[static_cast<std::size_t>(q)];

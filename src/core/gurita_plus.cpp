@@ -20,6 +20,11 @@ void GuritaPlusScheduler::on_job_arrival(const SimJob& job, Time now) {
   on_critical_.emplace(job.id, info.on_critical);
 }
 
+void GuritaPlusScheduler::on_coflow_finish(const SimCoflow& coflow, Time now) {
+  (void)now;
+  last_queue_.erase(coflow.id);
+}
+
 void GuritaPlusScheduler::assign(Time now, const std::vector<SimFlow*>& active) {
   // Exact per-stage blocking effect from in-flight (remaining) bytes.
   // Key: (job, stage) -> Ψ_J(k).
@@ -30,6 +35,7 @@ void GuritaPlusScheduler::assign(Time now, const std::vector<SimFlow*>& active) 
     int stage = 1;
     JobId job;
     int index = 0;
+    BlockingInputs in;  ///< filled by the Ψ pass; read back when tracing
   };
   std::map<std::uint64_t, CoflowAgg> agg;  // by coflow id value
   for (const SimFlow* f : active) {
@@ -46,7 +52,7 @@ void GuritaPlusScheduler::assign(Time now, const std::vector<SimFlow*>& active) 
   }
 
   std::map<std::pair<std::uint64_t, int>, double> psi_stage;
-  for (const auto& [cid, a] : agg) {
+  for (auto& [cid, a] : agg) {
     (void)cid;
     const SimJob& job = state().job(a.job);
     BlockingInputs in;
@@ -60,18 +66,51 @@ void GuritaPlusScheduler::assign(Time now, const std::vector<SimFlow*>& active) 
         config_.use_critical_path &&
         on_critical_.at(a.job)[static_cast<std::size_t>(a.index)];
     psi_stage[{a.job.value(), a.stage}] += blocking_effect(in);
+    a.in = in;
   }
 
-  // Queue per coflow = thresholded per-stage Ψ (freely adjustable).
+  // Queue per coflow = thresholded per-stage Ψ (freely adjustable). agg is
+  // an ordered map, so trace records come out in ascending coflow id.
+  obs::TraceRecorder* tr = trace_recorder();
+  const bool trace_queues =
+      tr != nullptr && tr->wants(obs::TraceEventKind::kQueueChange);
+  std::map<std::uint64_t, int> queue_of_coflow;
+  for (const auto& [cid, a] : agg) {
+    const double psi = psi_stage.at({a.job.value(), a.stage});
+    const int q = thresholds_.level(psi);
+    queue_of_coflow[cid] = q;
+    if (trace_queues) {
+      auto [it, first_sight] = last_queue_.emplace(CoflowId{cid}, -1);
+      if (it->second != q) {
+        obs::TraceRecord r;
+        r.kind = obs::TraceEventKind::kQueueChange;
+        r.time = now;
+        r.job = a.job.value();
+        r.coflow = cid;
+        r.v0 = a.in.omega;
+        r.v1 = a.in.epsilon;
+        r.v2 = a.in.ell_max;
+        r.v3 = a.in.width;
+        r.v4 = a.in.on_critical_path ? 1.0 - a.in.beta : 1.0;
+        r.v5 = psi;
+        r.i0 = it->second;
+        r.i1 = q;
+        r.i2 = static_cast<std::int32_t>(first_sight
+                                             ? obs::QueueChangeCause::kRelease
+                                             : obs::QueueChangeCause::kRecompute);
+        tr->emit(r);
+        it->second = q;
+      }
+    }
+  }
+
   std::vector<int> queue_of_flow(active.size(), 0);
   std::vector<double> demand(static_cast<std::size_t>(config_.queues), 0.0);
   for (std::size_t i = 0; i < active.size(); ++i) {
     const SimFlow* f = active[i];
     const SimJob& job = state().job(f->job);
     const CoflowId cid = job.coflows[f->coflow_index];
-    const int stage = state().coflow(cid).stage;
-    const double psi = psi_stage.at({f->job.value(), stage});
-    const int q = thresholds_.level(psi);
+    const int q = queue_of_coflow.at(cid.value());
     queue_of_flow[i] = q;
     demand[static_cast<std::size_t>(q)] += 1.0;
   }

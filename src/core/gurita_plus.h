@@ -44,6 +44,7 @@ class GuritaPlusScheduler final : public Scheduler {
   [[nodiscard]] std::string name() const override { return "gurita_plus"; }
 
   void on_job_arrival(const SimJob& job, Time now) override;
+  void on_coflow_finish(const SimCoflow& coflow, Time now) override;
   void assign(Time now, const std::vector<SimFlow*>& active) override;
 
  private:
@@ -51,6 +52,11 @@ class GuritaPlusScheduler final : public Scheduler {
   ExpThresholds thresholds_;
   /// Critical-path membership per job (indexed by local coflow index).
   std::unordered_map<JobId, std::vector<bool>> on_critical_;
+  /// Last traced queue per live coflow (tracing only). Unlike Gurita's
+  /// demote-only coflow_queue_, the clairvoyant policy re-derives queues
+  /// from scratch each recomputation, so this map exists purely to emit
+  /// kQueueChange records in both directions on actual transitions.
+  std::unordered_map<CoflowId, int> last_queue_;
 };
 
 }  // namespace gurita

@@ -1,6 +1,7 @@
 #include "exp/args.h"
 
 #include "common/check.h"
+#include "common/log.h"
 
 namespace gurita {
 
@@ -8,8 +9,12 @@ Args::Args(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     GURITA_CHECK_MSG(arg.rfind("--", 0) == 0, "expected --flag, got " + arg);
-    GURITA_CHECK_MSG(i + 1 < argc, "flag " + arg + " needs a value");
-    values_[arg.substr(2)] = argv[++i];
+    // A flag followed by another flag (or by nothing) is a bare boolean.
+    if (i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0) {
+      values_[arg.substr(2)] = "";
+    } else {
+      values_[arg.substr(2)] = argv[++i];
+    }
   }
 }
 
@@ -36,6 +41,20 @@ std::string Args::get_string(const std::string& key,
                              const std::string& fallback) const {
   const auto it = values_.find(key);
   return it == values_.end() ? fallback : it->second;
+}
+
+bool Args::get_bool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v.empty() || v == "true" || v == "1") return true;
+  if (v == "false" || v == "0") return false;
+  throw std::logic_error("flag --" + key + " wants a boolean, got " + v);
+}
+
+void apply_log_level(const Args& args) {
+  if (args.has("log-level"))
+    log::set_level(log::level_from_string(args.get_string("log-level", "")));
 }
 
 }  // namespace gurita

@@ -17,7 +17,9 @@ namespace gurita {
 
 class Args {
  public:
-  /// Parses "--key value" pairs; throws std::logic_error on malformed input.
+  /// Parses "--key value" pairs and bare "--flag" booleans (a flag followed
+  /// by another flag, or by nothing, stores the empty string — read it back
+  /// with get_bool/has). Throws std::logic_error on malformed input.
   Args(int argc, char** argv);
 
   [[nodiscard]] int get_int(const std::string& key, int fallback) const;
@@ -27,10 +29,18 @@ class Args {
                                   double fallback) const;
   [[nodiscard]] std::string get_string(const std::string& key,
                                        const std::string& fallback) const;
+  /// Boolean flag: absent → fallback; bare "--flag" → true; otherwise the
+  /// value must be "true"/"1" or "false"/"0".
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
   [[nodiscard]] bool has(const std::string& key) const;
 
  private:
   std::map<std::string, std::string> values_;
 };
+
+/// Applies the shared --log-level flag (debug|info|warn|error|off) to the
+/// process-wide log level; a no-op when the flag is absent. Every bench
+/// driver calls this right after parsing.
+void apply_log_level(const Args& args);
 
 }  // namespace gurita

@@ -31,9 +31,20 @@ SimResults run_one(const ExperimentConfig& config,
   const FatTree fabric(FatTree::Config{config.fat_tree_k,
                                        config.link_capacity,
                                        config.ecmp_salt});
-  Simulator sim(fabric, scheduler);
+  // Per-run recorder/profiler on the stack: each run owns its telemetry and
+  // the parallel runner pools the snapshots in slot order (absorb), so the
+  // exported trace is byte-identical at any worker count.
+  obs::TraceRecorder recorder(config.obs.trace_mask);
+  obs::PhaseProfiler profiler;
+  Simulator::Config sim_config;
+  if (config.obs.trace) sim_config.trace = &recorder;
+  if (config.obs.profile) sim_config.profiler = &profiler;
+  Simulator sim(fabric, scheduler, sim_config);
   for (const JobSpec& job : jobs) sim.submit(job);
-  return sim.run();
+  SimResults results = sim.run();
+  if (config.obs.trace) results.trace = recorder.take();
+  if (config.obs.profile) results.profile = profiler.snapshot();
+  return results;
 }
 
 ComparisonResult compare_schedulers(const ExperimentConfig& config,
@@ -74,6 +85,16 @@ void ComparisonResult::absorb(const ComparisonResult& other) {
       c.job = JobId{job_base + c.job.value()};
       dst.coflows.push_back(c);
     }
+    // Trace records pool alongside the populations: append in replicate
+    // order with job/coflow ids re-based the same way (flow ids and
+    // timestamps stay run-local — a trace reader groups by job).
+    dst.trace.reserve(dst.trace.size() + src.trace.size());
+    for (obs::TraceRecord r : src.trace) {
+      if (r.job != obs::kNoTraceId) r.job += job_base;
+      if (r.coflow != obs::kNoTraceId) r.coflow += coflow_base;
+      dst.trace.push_back(r);
+    }
+    dst.profile.merge(src.profile);
     dst.merge_counters(src);
   }
 }

@@ -20,6 +20,15 @@ struct ExperimentConfig {
   Rate link_capacity = gbps(10.0); ///< 10G switches
   TraceConfig trace;
   std::uint64_t ecmp_salt = 0;
+
+  /// Telemetry switches (obs/). Both default off, so the hot path keeps its
+  /// zero-cost contract; bench drivers flip them from --trace / --profile.
+  struct ObsOptions {
+    bool trace = false;  ///< record a structured trace into SimResults::trace
+    std::uint32_t trace_mask = obs::TraceRecorder::kDefaultKinds;
+    bool profile = false;  ///< fill SimResults::profile with phase timings
+  };
+  ObsOptions obs;
 };
 
 /// Outcome per scheduler, keyed by scheduler name.

@@ -16,6 +16,7 @@
 
 #include "common/units.h"
 #include "flowsim/state.h"
+#include "obs/trace.h"
 
 namespace gurita {
 
@@ -68,14 +69,26 @@ class Scheduler {
   /// schedulers must not rely on its order and cannot reorder it.
   virtual void assign(Time now, const std::vector<SimFlow*>& active) = 0;
 
+  /// Attaches a structured trace sink (obs/trace.h) for decision records —
+  /// queue transitions with their Ψ̈ factor breakdown, WRR weight snapshots,
+  /// heavy-job marks. The engine wires this automatically when its own
+  /// Config::trace is set; tests driving a scheduler through another engine
+  /// (the differential oracle) call it directly. nullptr detaches.
+  void set_trace_recorder(obs::TraceRecorder* recorder) { trace_ = recorder; }
+
  protected:
   [[nodiscard]] const SimState& state() const {
     GURITA_CHECK_MSG(state_ != nullptr, "scheduler used before attach()");
     return *state_;
   }
 
+  /// The attached trace sink, or nullptr. Emission sites follow the engine's
+  /// pattern: null-check, then the inlined wants() bit test, then build.
+  [[nodiscard]] obs::TraceRecorder* trace_recorder() const { return trace_; }
+
  private:
   const SimState* state_ = nullptr;
+  obs::TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace gurita

@@ -30,6 +30,14 @@ void SimResults::merge_counters(const SimResults& other) {
   legacy_flow_touches += other.legacy_flow_touches;
 }
 
+void SimResults::export_counters(obs::Registry& registry) const {
+  registry.add("engine.events", events);
+  registry.add("engine.flow_touches", flow_touches);
+  registry.add("engine.legacy_flow_touches", legacy_flow_touches);
+  registry.add("engine.rate_recomputations", rate_recomputations);
+  registry.set_gauge("engine.makespan", makespan);
+}
+
 double SimResults::link_utilization(LinkId id, Rate capacity) const {
   GURITA_CHECK_MSG(id.value() < link_bytes.size(),
                    "link stats not collected or id out of range");
@@ -139,12 +147,24 @@ void Simulator::remove_from_active(SimFlow& flow) {
 }
 
 void Simulator::release_coflow(SimCoflow& coflow) {
+  obs::ScopedPhase phase(config_.profiler, obs::Phase::kDagRelease);
   GURITA_CHECK_MSG(!coflow.released(), "double release");
   const SimJob& job = state_.jobs_[coflow.job.value()];
   const CoflowSpec& spec = job.spec.coflows[coflow.index];
 
   coflow.release_time = now_;
   coflow.flows_remaining = static_cast<int>(spec.flows.size());
+  obs::TraceRecorder* tr = config_.trace;
+  if (tr && tr->wants(obs::TraceEventKind::kCoflowRelease)) {
+    obs::TraceRecord r;
+    r.kind = obs::TraceEventKind::kCoflowRelease;
+    r.time = now_;
+    r.job = coflow.job.value();
+    r.coflow = coflow.id.value();
+    r.i0 = coflow.stage;
+    r.i1 = static_cast<std::int32_t>(spec.flows.size());
+    tr->emit(r);
+  }
   SimState::CoflowAggregate& agg = state_.aggregates_[coflow.id.value()];
   for (const FlowSpec& fs : spec.flows) {
     GURITA_CHECK_MSG(state_.flows_.size() < state_.flows_.capacity(),
@@ -171,16 +191,40 @@ void Simulator::release_coflow(SimCoflow& coflow) {
     ++agg.open_connections;
     push_key(stored);
     ++live_results_->flow_touches;
+    if (tr && tr->wants(obs::TraceEventKind::kFlowRelease)) {
+      obs::TraceRecord r;
+      r.kind = obs::TraceEventKind::kFlowRelease;
+      r.time = now_;
+      r.job = coflow.job.value();
+      r.coflow = coflow.id.value();
+      r.flow = fid.value();
+      r.i0 = fs.src_host;
+      r.i1 = fs.dst_host;
+      r.v0 = fs.size;
+      tr->emit(r);
+    }
   }
   scheduler_->on_coflow_release(coflow, now_);
 }
 
 void Simulator::finish_coflow(SimCoflow& coflow) {
   coflow.finish_time = now_;
+  obs::TraceRecorder* tr = config_.trace;
+  if (tr && tr->wants(obs::TraceEventKind::kCoflowFinish)) {
+    obs::TraceRecord r;
+    r.kind = obs::TraceEventKind::kCoflowFinish;
+    r.time = now_;
+    r.job = coflow.job.value();
+    r.coflow = coflow.id.value();
+    r.i0 = coflow.stage;
+    r.v0 = coflow.release_time;
+    tr->emit(r);
+  }
   scheduler_->on_coflow_finish(coflow, now_);
 
   SimJob& job = state_.jobs_[coflow.job.value()];
   --job.coflows_remaining;
+  const int prev_stages = job.completed_stages;
 
   // Release dependents whose dependencies are now all complete.
   const JobSpec& spec = job.spec;
@@ -212,6 +256,25 @@ void Simulator::finish_coflow(SimCoflow& coflow) {
     }
     job.completed_stages = k;
   }
+  if (tr != nullptr) {
+    if (job.completed_stages > prev_stages &&
+        tr->wants(obs::TraceEventKind::kStageComplete)) {
+      obs::TraceRecord r;
+      r.kind = obs::TraceEventKind::kStageComplete;
+      r.time = now_;
+      r.job = job.id.value();
+      r.i0 = job.completed_stages;
+      tr->emit(r);
+    }
+    if (job.finished() && tr->wants(obs::TraceEventKind::kJobFinish)) {
+      obs::TraceRecord r;
+      r.kind = obs::TraceEventKind::kJobFinish;
+      r.time = now_;
+      r.job = job.id.value();
+      r.v0 = job.arrival_time;
+      tr->emit(r);
+    }
+  }
 }
 
 void Simulator::finish_flow(SimFlow& flow) {
@@ -228,6 +291,18 @@ void Simulator::finish_flow(SimFlow& flow) {
   remove_from_active(flow);
   flow.finish_time = now_;
   ++live_results_->flow_touches;
+  obs::TraceRecorder* tr = config_.trace;
+  if (tr && tr->wants(obs::TraceEventKind::kFlowFinish)) {
+    obs::TraceRecord r;
+    r.kind = obs::TraceEventKind::kFlowFinish;
+    r.time = now_;
+    r.job = flow.job.value();
+    r.coflow =
+        state_.jobs_[flow.job.value()].coflows[flow.coflow_index].value();
+    r.flow = flow.id.value();
+    r.v0 = flow.size;
+    tr->emit(r);
+  }
 
   SimCoflow& coflow =
       state_.coflows_[state_.jobs_[flow.job.value()].coflows[flow.coflow_index].value()];
@@ -237,6 +312,15 @@ void Simulator::finish_flow(SimFlow& flow) {
 }
 
 void Simulator::arrive_job(SimJob& job) {
+  if (config_.trace &&
+      config_.trace->wants(obs::TraceEventKind::kJobArrival)) {
+    obs::TraceRecord r;
+    r.kind = obs::TraceEventKind::kJobArrival;
+    r.time = now_;
+    r.job = job.id.value();
+    r.i0 = job.num_stages;
+    config_.trace->emit(r);
+  }
   scheduler_->on_job_arrival(job, now_);
   for (std::size_t i = 0; i < job.coflows.size(); ++i) {
     SimCoflow& c = state_.coflows_[job.coflows[i].value()];
@@ -247,6 +331,16 @@ void Simulator::arrive_job(SimJob& job) {
 SimResults Simulator::run() {
   GURITA_CHECK_MSG(!ran_, "run() called twice");
   ran_ = true;
+  obs::PhaseProfiler* prof = config_.profiler;
+  if (prof != nullptr) prof->begin_run();
+  const int setup_prev =
+      prof != nullptr ? prof->enter(obs::Phase::kSetup) : -1;
+  // Hand the recorder to the scheduler so its decision records (queue
+  // transitions, WRR weights) interleave with engine records in emission
+  // order. Only wired when tracing is on, so a scheduler driven by another
+  // engine (the differential oracle) can be given a recorder directly.
+  if (config_.trace != nullptr)
+    scheduler_->set_trace_recorder(config_.trace);
   scheduler_->attach(state_);
 
   // active_ holds raw pointers into flows_; reserve the backing store up
@@ -291,12 +385,22 @@ SimResults Simulator::run() {
            disruptions[next_disruption].time <= now_ + kTimeEpsilon) {
       const CapacityChange& change = disruptions[next_disruption++];
       capacities_[change.link.value()] = change.new_capacity;
+      if (config_.trace &&
+          config_.trace->wants(obs::TraceEventKind::kCapacityChange)) {
+        obs::TraceRecord r;
+        r.kind = obs::TraceEventKind::kCapacityChange;
+        r.time = now_;
+        r.i0 = static_cast<std::int32_t>(change.link.value());
+        r.v0 = change.new_capacity;
+        config_.trace->emit(r);
+      }
       dirty = true;
     }
   };
 
   std::vector<FlowId> done;
   std::uint64_t iterations = 0;
+  if (prof != nullptr) prof->leave(setup_prev);
 
   while (next_arrival < arrival_order.size() || !active_.empty()) {
     if (++iterations > config_.max_iterations) {
@@ -309,6 +413,7 @@ SimResults Simulator::run() {
     }
     ++results.events;
     if (active_.empty()) {
+      obs::ScopedPhase arrival_phase(prof, obs::Phase::kArrival);
       // Idle network: jump straight to the next arrival.
       SimJob& job = state_.jobs_[arrival_order[next_arrival].value()];
       now_ = std::max(now_, job.arrival_time);
@@ -331,7 +436,11 @@ SimResults Simulator::run() {
     const bool was_dirty = dirty;
     bool any_ramp_capped = false;
     if (dirty) {
-      scheduler_->assign(now_, active_);
+      {
+        obs::ScopedPhase assign_phase(prof, obs::Phase::kSchedulerAssign);
+        scheduler_->assign(now_, active_);
+      }
+      obs::ScopedPhase alloc_phase(prof, obs::Phase::kAllocator);
       allocate_rates(fabric_->topology(), capacities_, active_, &rate_changes_);
       ++results.rate_recomputations;
       // Only flows whose rate actually moved need settling and a new
@@ -358,10 +467,25 @@ SimResults Simulator::run() {
         set_rate(f, target);
         push_key(f);
         ++results.flow_touches;
+        if (config_.trace &&
+            config_.trace->wants(obs::TraceEventKind::kFlowRateChange)) {
+          obs::TraceRecord r;
+          r.kind = obs::TraceEventKind::kFlowRateChange;
+          r.time = now_;
+          r.job = f.job.value();
+          r.coflow =
+              state_.jobs_[f.job.value()].coflows[f.coflow_index].value();
+          r.flow = f.id.value();
+          r.v0 = rc.old_rate;
+          r.v1 = target;
+          config_.trace->emit(r);
+        }
       }
       dirty = false;
     }
 
+    const int drain_prev =
+        prof != nullptr ? prof->enter(obs::Phase::kCalendarDrain) : -1;
     // Next completion: discard stale calendar tops (their flow's rate
     // changed since the entry was pushed, or the flow already finished),
     // then the top key is the earliest projected finish.
@@ -433,28 +557,36 @@ SimResults Simulator::run() {
       ++results.flow_touches;
       done.push_back(top.flow);
     }
+    if (prof != nullptr) prof->leave(drain_prev);
     if (!done.empty()) {
+      obs::ScopedPhase completion_phase(prof, obs::Phase::kCompletion);
       std::sort(done.begin(), done.end());
       for (FlowId id : done) finish_flow(state_.flows_[id.value()]);
       dirty = true;
     }
 
     // Arrivals due now.
-    while (next_arrival < arrival_order.size()) {
-      SimJob& j = state_.jobs_[arrival_order[next_arrival].value()];
-      if (j.arrival_time > now_ + kTimeEpsilon) break;
-      ++next_arrival;
-      arrive_job(j);
-      dirty = true;
+    if (next_arrival < arrival_order.size()) {
+      obs::ScopedPhase arrival_phase(prof, obs::Phase::kArrival);
+      while (next_arrival < arrival_order.size()) {
+        SimJob& j = state_.jobs_[arrival_order[next_arrival].value()];
+        if (j.arrival_time > now_ + kTimeEpsilon) break;
+        ++next_arrival;
+        arrive_job(j);
+        dirty = true;
+      }
     }
 
     // Coordination tick; only a changed priority forces a rate recompute.
     if (tick > 0 && now_ + kTimeEpsilon >= next_tick) {
+      obs::ScopedPhase tick_phase(prof, obs::Phase::kTick);
       if (scheduler_->on_tick(now_)) dirty = true;
       next_tick += tick;
     }
   }
 
+  const int results_prev =
+      prof != nullptr ? prof->enter(obs::Phase::kResults) : -1;
   results.makespan = now_;
   results.jobs.reserve(state_.jobs_.size());
   for (const SimJob& j : state_.jobs_) {
@@ -470,6 +602,10 @@ SimResults Simulator::run() {
         state_.coflow_total_bytes(c.id)});
   }
   live_results_ = nullptr;
+  if (prof != nullptr) {
+    prof->leave(results_prev);
+    prof->end_run();
+  }
   return results;
 }
 

@@ -31,6 +31,9 @@
 #include "flowsim/allocator.h"
 #include "flowsim/scheduler.h"
 #include "flowsim/state.h"
+#include "obs/profiler.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "topology/fabric.h"
 
 namespace gurita {
@@ -90,6 +93,16 @@ struct SimResults {
   /// populated when Config::collect_link_stats is set.
   std::vector<Bytes> link_bytes;
 
+  // --- telemetry (populated by the experiment harness when enabled) ---
+  /// Structured trace of the run (obs/trace.h); empty unless a recorder was
+  /// attached. ComparisonResult::absorb appends traces in replicate order
+  /// with job/coflow ids re-based alongside the pooled populations (flow
+  /// ids and timestamps stay run-local).
+  std::vector<obs::TraceRecord> trace;
+  /// Phase-time breakdown of the run (obs/profiler.h); all-zero unless a
+  /// profiler was attached. absorb() sums profiles across runs.
+  obs::PhaseProfile profile;
+
   /// Utilization of link `id` given its capacity: carried bytes divided by
   /// capacity × makespan. Requires link stats collection.
   [[nodiscard]] double link_utilization(LinkId id, Rate capacity) const;
@@ -100,8 +113,17 @@ struct SimResults {
   /// the SimResults of its own run() — and pooling across runs happens
   /// through this explicit merge, so parallel sweeps aggregate them
   /// deterministically in merge order instead of interleaving updates.
-  /// Does not touch jobs/coflows (population pooling re-ids those).
+  /// Does not touch jobs/coflows (population pooling re-ids those), nor
+  /// the trace/profile telemetry (absorb() pools those).
   void merge_counters(const SimResults& other);
+
+  /// Projects the engine-cost counters into a registry ("engine.events",
+  /// "engine.flow_touches", "engine.legacy_flow_touches",
+  /// "engine.rate_recomputations") plus the "engine.makespan" gauge.
+  /// Registry::merge over per-run exports agrees with merge_counters
+  /// (counters sum, makespan maxes) — the regression tests hold the two
+  /// pooling paths to identical totals at any worker count.
+  void export_counters(obs::Registry& registry) const;
 
   [[nodiscard]] double average_jct() const;
   [[nodiscard]] double average_cct() const;
@@ -127,6 +149,15 @@ class Simulator {
     /// ramp (pure max-min steady state, the default).
     Time tcp_ramp_time = 0;
     Bytes tcp_initial_window = 64 * kKB;
+    /// Structured trace sink (obs/trace.h), or nullptr for no tracing. The
+    /// engine emits event records and hands the recorder to the scheduler
+    /// (Scheduler::set_trace_recorder) so decision records interleave in
+    /// emission order. Must outlive run(). Disabled-path cost: one pointer
+    /// null-check per emission site.
+    obs::TraceRecorder* trace = nullptr;
+    /// Engine phase profiler (obs/profiler.h), or nullptr. Timing only —
+    /// attaching a profiler never changes simulation results.
+    obs::PhaseProfiler* profiler = nullptr;
   };
 
   /// `fabric` and `scheduler` must outlive the simulator. Any Fabric

@@ -1,0 +1,40 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace gurita::obs {
+
+void Registry::merge(const Registry& other) {
+  for (const auto& [name, value] : other.counters_) counters_[name] += value;
+  for (const auto& [name, value] : other.gauges_) {
+    auto [it, inserted] = gauges_.emplace(name, value);
+    if (!inserted) it->second = std::max(it->second, value);
+  }
+}
+
+std::string Registry::to_json() const {
+  std::string out = "{\n  \"counters\": {";
+  char buf[64];
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+    out += first ? "\n" : ",\n";
+    out += "    \"" + name + "\": " + buf;
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    out += first ? "\n" : ",\n";
+    out += "    \"" + name + "\": " + buf;
+    first = false;
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+}  // namespace gurita::obs

@@ -1,0 +1,68 @@
+// Counter / gauge registry.
+//
+// A named, ordered collection of monotone counters (std::uint64_t, merged
+// by summing) and gauges (double, merged by max — the semantics of
+// makespan, the registry's canonical gauge). The engine's per-run cost
+// counters (SimResults) are the first client: SimResults::export_counters
+// projects them into a registry, and merging per-shard registries in shard
+// order is guaranteed to agree with SimResults::merge_counters — the
+// ordered-merge half of the parallel runner's determinism contract
+// (DESIGN.md §9/§10; the equivalence is enforced by tests/obs_test.cpp
+// across 1/2/8 workers).
+//
+// Names are dot-scoped by convention ("engine.events", "trace.queue_change",
+// "profile.allocator.ns"); storage is a std::map so every iteration,
+// export and merge is deterministic in name order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace gurita::obs {
+
+class Registry {
+ public:
+  /// Adds `delta` to counter `name` (creating it at zero).
+  void add(const std::string& name, std::uint64_t delta = 1) {
+    counters_[name] += delta;
+  }
+  /// Sets gauge `name` (overwrites; merge() takes the max across shards).
+  void set_gauge(const std::string& name, double value) {
+    gauges_[name] = value;
+  }
+
+  /// Counter value, 0 if absent.
+  [[nodiscard]] std::uint64_t counter(const std::string& name) const {
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+  /// Gauge value, 0 if absent.
+  [[nodiscard]] double gauge(const std::string& name) const {
+    const auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0.0 : it->second;
+  }
+
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, double>& gauges() const {
+    return gauges_;
+  }
+
+  /// Folds another registry in: counters sum, gauges take the max. Both
+  /// operations are commutative and associative, so any merge order over
+  /// the same shard set yields the same registry; pooling in shard order
+  /// additionally matches SimResults::merge_counters byte for byte.
+  void merge(const Registry& other);
+
+  /// Deterministic JSON object: {"counters": {...}, "gauges": {...}},
+  /// keys in name order, doubles at full round-trip precision.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+};
+
+}  // namespace gurita::obs

@@ -1,0 +1,192 @@
+// Structured simulation trace recorder.
+//
+// The paper's evaluation (Figs. 5–8) rests on *why* LBEF ranks one job's Ψ̈
+// below another's and on which priority queue each coflow occupies over
+// time. This module records exactly those decisions as typed records — flow
+// release / rate-change / finish, coflow queue transitions with the Ψ̈
+// factor breakdown (ω̈, ε̈, ℓ̈_max, n̈ and the critical-path discount) that
+// produced them, DAG stage releases, WRR starvation weights, capacity
+// changes — into a preallocated append buffer, exportable as JSONL or a
+// compact binary stream (examples/trace_explorer reads both).
+//
+// Cost contract (DESIGN.md §10): when no recorder is attached the engine's
+// only overhead is one pointer null-check per emission site; when a
+// recorder is attached but the record's kind is filtered out, the overhead
+// is the header-inlined `wants()` bit test — no record is built and nothing
+// allocates. Enabled emission appends to a vector reserved in chunks, so
+// the amortized hot-path cost is a bounds check and a memcpy.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/ids.h"
+#include "common/units.h"
+
+namespace gurita::obs {
+
+/// Kind of one trace record. The underlying values are part of the binary
+/// export format — append new kinds, never renumber.
+enum class TraceEventKind : std::uint8_t {
+  kJobArrival = 0,        ///< job submitted its first coflows
+  kCoflowRelease = 1,     ///< DAG dependencies met; the coflow's flows start
+  kFlowRelease = 2,       ///< one flow entered the active set
+  kFlowRateChange = 3,    ///< the allocator moved a flow's rate
+  kFlowFinish = 4,        ///< a flow drained
+  kCoflowFinish = 5,      ///< all flows of a coflow drained
+  kStageComplete = 6,     ///< a job's completed-stage count advanced
+  kJobFinish = 7,         ///< all coflows of a job drained
+  kQueueChange = 8,       ///< scheduler moved a coflow between priority queues
+  kStarvationWeights = 9, ///< WRR weights emulating SPQ (starvation mitigation)
+  kCapacityChange = 10,   ///< failure injection changed a link capacity
+  kHeavyMark = 11,        ///< FIFO-LM (Baraat) reclassified a job as heavy
+};
+
+inline constexpr int kNumTraceEventKinds = 12;
+
+/// Why a scheduler changed a coflow's queue (TraceRecord::i2 of
+/// kQueueChange records).
+enum class QueueChangeCause : std::int32_t {
+  kRelease = 0,     ///< initial highest-priority assignment at release
+  kHrDecision = 1,  ///< Gurita head-receiver δ-round demotion (LBEF)
+  kSelfDemote = 2,  ///< Gurita receiver-local threshold demotion
+  kBytesSent = 3,   ///< Aalo D-CLAS bytes-sent demotion
+  kRecompute = 4,   ///< GuritaPlus clairvoyant re-evaluation (both ways)
+};
+
+/// Sentinel for "no entity" in a record's id fields.
+inline constexpr std::uint64_t kNoTraceId = ~0ULL;
+
+/// One typed trace record. Fixed-size POD so the recorder buffer is a flat
+/// array and the binary export is a plain field dump. Field meaning is
+/// kind-specific (see the JSONL field table in trace.cpp); unused fields
+/// keep their defaults so serialization is deterministic.
+struct TraceRecord {
+  Time time = 0;
+  std::uint64_t job = kNoTraceId;
+  std::uint64_t coflow = kNoTraceId;
+  std::uint64_t flow = kNoTraceId;
+  /// Kind-specific scalars. For kQueueChange: v0 = ω̈, v1 = ε̈,
+  /// v2 = ℓ̈_max (bytes), v3 = n̈ (width), v4 = applied critical-path
+  /// discount (1 − β·α; 1.0 off the critical path), v5 = the Ψ̈ decision
+  /// value that was thresholded.
+  double v0 = 0, v1 = 0, v2 = 0, v3 = 0, v4 = 0, v5 = 0;
+  /// Kind-specific small integers. For kQueueChange: i0 = old queue
+  /// (-1 at release), i1 = new queue, i2 = QueueChangeCause.
+  std::int32_t i0 = -1, i1 = -1, i2 = -1;
+  TraceEventKind kind = TraceEventKind::kJobArrival;
+
+  friend bool operator==(const TraceRecord&, const TraceRecord&) = default;
+};
+
+/// Printable name of a record kind ("queue_change", "flow_finish", ...).
+[[nodiscard]] const char* kind_name(TraceEventKind kind);
+/// Inverse of kind_name; throws std::logic_error on an unknown name.
+[[nodiscard]] TraceEventKind kind_from_name(const std::string& name);
+
+/// Bitmask helpers for kind filtering.
+[[nodiscard]] constexpr std::uint32_t mask_of(TraceEventKind kind) {
+  return 1u << static_cast<unsigned>(kind);
+}
+
+/// Parses a --trace-filter value: a comma-separated list of kind names, or
+/// "all" / "default". Throws std::logic_error on an unknown kind name.
+[[nodiscard]] std::uint32_t parse_trace_filter(const std::string& csv);
+
+/// Append-buffer of trace records with a kind filter.
+class TraceRecorder {
+ public:
+  /// Every kind.
+  static constexpr std::uint32_t kAllKinds =
+      (1u << kNumTraceEventKinds) - 1u;
+  /// Every kind except the two per-recomputation firehoses (flow rate
+  /// changes and WRR weight snapshots), which dominate trace volume without
+  /// carrying scheduling decisions. Opt in via --trace-filter.
+  static constexpr std::uint32_t kDefaultKinds =
+      kAllKinds & ~mask_of(TraceEventKind::kFlowRateChange) &
+      ~mask_of(TraceEventKind::kStarvationWeights);
+
+  explicit TraceRecorder(std::uint32_t mask = kDefaultKinds,
+                         std::size_t max_records = 0)
+      : mask_(mask), max_records_(max_records) {
+    records_.reserve(kInitialReserve);
+  }
+
+  /// True when records of `kind` are being kept. Inline so emission sites
+  /// compile to a bit test.
+  [[nodiscard]] bool wants(TraceEventKind kind) const {
+    return (mask_ & mask_of(kind)) != 0;
+  }
+
+  /// Appends `record` if its kind passes the filter. When a record cap is
+  /// configured and reached, further records are counted as dropped
+  /// instead of appended (the kept prefix stays contiguous in time).
+  void emit(const TraceRecord& record) {
+    if (!wants(record.kind)) return;
+    if (max_records_ != 0 && records_.size() >= max_records_) {
+      ++dropped_;
+      return;
+    }
+    records_.push_back(record);
+  }
+
+  [[nodiscard]] const std::vector<TraceRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] std::uint32_t mask() const { return mask_; }
+
+  /// Moves the buffer out (the recorder is empty afterwards).
+  [[nodiscard]] std::vector<TraceRecord> take() {
+    std::vector<TraceRecord> out = std::move(records_);
+    records_.clear();
+    return out;
+  }
+
+ private:
+  static constexpr std::size_t kInitialReserve = 1 << 12;
+  std::uint32_t mask_;
+  std::size_t max_records_;
+  std::uint64_t dropped_ = 0;
+  std::vector<TraceRecord> records_;
+};
+
+/// A labeled run of records, as read back from an exported trace.
+struct TraceSection {
+  std::string label;
+  std::vector<TraceRecord> records;
+};
+
+/// Writes one JSON object per record, one per line, with kind-specific
+/// field names (the same table read_jsonl parses). `source`, when
+/// non-empty, is emitted as a "section" field on every line so multi-run
+/// exports stay attributable ("src" is taken: it is flow_release's source
+/// host). Doubles use max_digits10, so equal records serialize to
+/// byte-identical lines.
+void write_jsonl(std::ostream& out, const std::vector<TraceRecord>& records,
+                 const std::string& source = "");
+
+/// Reads a JSONL trace written by write_jsonl, grouping consecutive lines
+/// by their "section" field. Throws std::logic_error on a malformed line.
+[[nodiscard]] std::vector<TraceSection> read_jsonl(std::istream& in);
+
+/// Compact binary export: call write_binary_header once, then one
+/// write_binary_section per labeled record run. Fields are dumped in fixed
+/// order (no struct padding), native endianness.
+void write_binary_header(std::ostream& out);
+void write_binary_section(std::ostream& out, const std::string& label,
+                          const std::vector<TraceRecord>& records);
+/// Reads a stream produced by the two writers above. Throws
+/// std::logic_error on a bad magic/version or a truncated section.
+[[nodiscard]] std::vector<TraceSection> read_binary(std::istream& in);
+
+class Registry;
+/// Folds per-kind record counts ("trace.<kind>") and the dropped-record
+/// count ("trace.dropped") into `registry`.
+void export_trace_counters(const std::vector<TraceRecord>& records,
+                           std::uint64_t dropped, Registry& registry);
+
+}  // namespace gurita::obs

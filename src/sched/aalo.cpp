@@ -8,21 +8,51 @@ constexpr Tier kQueueStride = 1LL << 40;
 }  // namespace
 
 void AaloScheduler::on_coflow_release(const SimCoflow& coflow, Time now) {
-  (void)now;
   fifo_rank_.emplace(coflow.id, next_rank_++);
   queue_of_.emplace(coflow.id, 0);
+  obs::TraceRecorder* tr = trace_recorder();
+  if (tr && tr->wants(obs::TraceEventKind::kQueueChange)) {
+    obs::TraceRecord r;
+    r.kind = obs::TraceEventKind::kQueueChange;
+    r.time = now;
+    r.job = coflow.job.value();
+    r.coflow = coflow.id.value();
+    r.i0 = -1;
+    r.i1 = 0;
+    r.i2 = static_cast<std::int32_t>(obs::QueueChangeCause::kRelease);
+    tr->emit(r);
+  }
 }
 
 void AaloScheduler::assign(Time now, const std::vector<SimFlow*>& active) {
-  (void)now;
+  obs::TraceRecorder* tr = trace_recorder();
+  const bool trace_queues =
+      tr != nullptr && tr->wants(obs::TraceEventKind::kQueueChange);
   for (SimFlow* f : active) {
     const SimJob& job = state().job(f->job);
     const CoflowId cid = job.coflows[f->coflow_index];
     auto qit = queue_of_.find(cid);
     GURITA_CHECK_MSG(qit != queue_of_.end(), "flow of an unknown coflow");
     // Global instantaneous signal: bytes this coflow has sent so far.
-    qit->second =
-        std::max(qit->second, thresholds_.level(state().coflow_bytes_sent(cid)));
+    const Bytes sent = state().coflow_bytes_sent(cid);
+    const Tier level = thresholds_.level(sent);
+    if (level > qit->second) {
+      if (trace_queues) {
+        // D-CLAS demotion: the decision signal is bytes sent, carried in
+        // v5 (no Ψ̈ factor breakdown for non-LBEF schedulers).
+        obs::TraceRecord r;
+        r.kind = obs::TraceEventKind::kQueueChange;
+        r.time = now;
+        r.job = job.id.value();
+        r.coflow = cid.value();
+        r.v5 = sent;
+        r.i0 = static_cast<std::int32_t>(qit->second);
+        r.i1 = static_cast<std::int32_t>(level);
+        r.i2 = static_cast<std::int32_t>(obs::QueueChangeCause::kBytesSent);
+        tr->emit(r);
+      }
+      qit->second = level;
+    }
     const Tier queue = qit->second;
     if (config_.intra_queue_fifo) {
       const Tier rank = static_cast<Tier>(fifo_rank_.at(cid));

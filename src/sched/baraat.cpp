@@ -8,10 +8,10 @@ namespace gurita {
 void BaraatScheduler::on_job_arrival(const SimJob& job, Time now) {
   (void)now;
   serial_.emplace(job.id, next_serial_++);
+  heavy_.emplace(job.id, false);
 }
 
 void BaraatScheduler::assign(Time now, const std::vector<SimFlow*>& active) {
-  (void)now;
   // Jobs with at least one active flow, in FIFO (serial) order.
   std::vector<std::pair<std::uint64_t, JobId>> jobs;
   for (const SimFlow* f : active) {
@@ -32,7 +32,23 @@ void BaraatScheduler::assign(Time now, const std::vector<SimFlow*>& active) {
   int light_in_group = 0;
   for (const auto& [serial, id] : jobs) {
     (void)serial;
-    const bool heavy = state().job_bytes_sent(id) > config_.heavy_threshold;
+    const Bytes sent = state().job_bytes_sent(id);
+    const bool heavy = sent > config_.heavy_threshold;
+    if (heavy) {
+      bool& marked = heavy_.at(id);
+      if (!marked) {
+        marked = true;
+        obs::TraceRecorder* tr = trace_recorder();
+        if (tr && tr->wants(obs::TraceEventKind::kHeavyMark)) {
+          obs::TraceRecord r;
+          r.kind = obs::TraceEventKind::kHeavyMark;
+          r.time = now;
+          r.job = id.value();
+          r.v0 = sent;
+          tr->emit(r);
+        }
+      }
+    }
     tier_of[id] = tier;
     if (!heavy && ++light_in_group >= config_.base_multiplexing) {
       ++tier;

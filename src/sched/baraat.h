@@ -44,6 +44,9 @@ class BaraatScheduler final : public Scheduler {
   Config config_;
   std::unordered_map<JobId, std::uint64_t> serial_;
   std::uint64_t next_serial_ = 0;
+  /// Jobs already reclassified as heavy; the light→heavy transition fires
+  /// exactly one kHeavyMark trace record per job.
+  std::unordered_map<JobId, bool> heavy_;
 };
 
 }  // namespace gurita

@@ -3,12 +3,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
 #include <unordered_set>
 
 #include "common/check.h"
 #include "common/ids.h"
+#include "common/log.h"
 #include "common/rng.h"
 #include "common/stats.h"
+#include "common/thread_pool.h"
 #include "common/units.h"
 
 namespace gurita {
@@ -325,6 +328,70 @@ TEST(LogHistogram, ToStringListsBuckets) {
   h.add(5.0);
   const std::string s = h.to_string();
   EXPECT_NE(s.find("1"), std::string::npos);
+}
+
+// -------------------------------------------------------------------- log
+
+TEST(Log, LevelFromString) {
+  EXPECT_EQ(log::level_from_string("debug"), log::Level::kDebug);
+  EXPECT_EQ(log::level_from_string("info"), log::Level::kInfo);
+  EXPECT_EQ(log::level_from_string("warn"), log::Level::kWarn);
+  EXPECT_EQ(log::level_from_string("error"), log::Level::kError);
+  EXPECT_EQ(log::level_from_string("off"), log::Level::kOff);
+  EXPECT_THROW(log::level_from_string("loud"), std::logic_error);
+  EXPECT_THROW(log::level_from_string(""), std::logic_error);
+}
+
+TEST(Log, SetLevelFiltersBelow) {
+  const log::Level saved = log::level();
+  log::set_level(log::Level::kError);
+  EXPECT_EQ(log::level(), log::Level::kError);
+  ::testing::internal::CaptureStderr();
+  log::warn("suppressed");
+  log::error("emitted");
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out.find("suppressed"), std::string::npos);
+  EXPECT_NE(out.find("emitted"), std::string::npos);
+  log::set_level(saved);
+}
+
+// Hammers write() from every pool worker and asserts whole lines: each line
+// must be exactly one writer's composed message — the mutex in write() is
+// what keeps concurrent workers from interleaving mid-line.
+TEST(Log, ConcurrentWritesStayWholeLines) {
+  const log::Level saved = log::level();
+  log::set_level(log::Level::kInfo);
+  constexpr std::size_t kWriters = 8;
+  constexpr int kLinesPerWriter = 200;
+  ::testing::internal::CaptureStderr();
+  {
+    ThreadPool pool(static_cast<int>(kWriters));
+    pool.parallel_for(kWriters, [&](std::size_t w) {
+      const std::string payload(20 + w, static_cast<char>('a' + w));
+      for (int i = 0; i < kLinesPerWriter; ++i) log::info("w", w, " ", payload);
+    });
+  }
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  log::set_level(saved);
+
+  std::size_t lines = 0;
+  std::istringstream in(out);
+  std::string line;
+  while (std::getline(in, line)) {
+    ++lines;
+    ASSERT_EQ(line.rfind("[INFO ] w", 0), 0u) << "interleaved line: " << line;
+    // "wN <payload>": the payload is one run of a single repeated letter
+    // whose length identifies the writer — any mid-line interleaving breaks
+    // the run or the length.
+    const std::size_t space = line.find(' ', sizeof("[INFO ] ") - 1);
+    ASSERT_NE(space, std::string::npos);
+    const std::string payload = line.substr(space + 1);
+    ASSERT_FALSE(payload.empty());
+    const char c = payload[0];
+    EXPECT_EQ(payload, std::string(payload.size(), c)) << line;
+    EXPECT_EQ(payload.size(), 20 + static_cast<std::size_t>(c - 'a')) << line;
+  }
+  EXPECT_EQ(lines, kWriters * static_cast<std::size_t>(kLinesPerWriter));
 }
 
 }  // namespace

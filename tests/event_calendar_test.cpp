@@ -9,6 +9,7 @@
 
 #include "core/gurita.h"
 #include "flowsim/simulator.h"
+#include "obs/registry.h"
 #include "sched/pfs.h"
 #include "topology/big_switch.h"
 #include "topology/fattree.h"
@@ -255,6 +256,18 @@ TEST(EventCalendar, CountersArePerRunAndMergeExplicitly) {
   // merge_counters leaves populations alone (absorb() re-ids those).
   EXPECT_EQ(pooled.jobs.size(), a.jobs.size());
   EXPECT_EQ(pooled.coflows.size(), a.coflows.size());
+
+  // The registry projection (obs/registry.h) is the other pooling path for
+  // the same counters; merging per-run registries must agree with
+  // merge_counters exactly (tests/obs_test.cpp covers 1/2/8 workers).
+  obs::Registry via_merge_counters;
+  pooled.export_counters(via_merge_counters);
+  obs::Registry via_registry_merge, shard_a, shard_b;
+  a.export_counters(shard_a);
+  b.export_counters(shard_b);
+  via_registry_merge.merge(shard_a);
+  via_registry_merge.merge(shard_b);
+  EXPECT_EQ(via_merge_counters.to_json(), via_registry_merge.to_json());
 }
 
 }  // namespace

@@ -41,8 +41,27 @@ TEST(Args, ParsesDoubles) {
   EXPECT_DOUBLE_EQ(args.get_double("rate", 0), 2.75);
 }
 
-TEST(Args, RejectsBareFlag) {
-  EXPECT_THROW(parse({"--jobs"}), std::logic_error);
+TEST(Args, BareFlagIsBoolean) {
+  const Args args = parse({"--profile", "--trace", "out.jsonl"});
+  EXPECT_TRUE(args.has("profile"));
+  EXPECT_TRUE(args.get_bool("profile", false));
+  EXPECT_EQ(args.get_string("trace", ""), "out.jsonl");
+}
+
+TEST(Args, TrailingBareFlagIsBoolean) {
+  const Args args = parse({"--trace", "out.jsonl", "--profile"});
+  EXPECT_TRUE(args.get_bool("profile", false));
+}
+
+TEST(Args, GetBoolParsesExplicitValues) {
+  EXPECT_TRUE(parse({"--profile", "true"}).get_bool("profile", false));
+  EXPECT_TRUE(parse({"--profile", "1"}).get_bool("profile", false));
+  EXPECT_FALSE(parse({"--profile", "false"}).get_bool("profile", true));
+  EXPECT_FALSE(parse({"--profile", "0"}).get_bool("profile", true));
+  EXPECT_TRUE(parse({}).get_bool("profile", true));
+  EXPECT_FALSE(parse({}).get_bool("profile", false));
+  EXPECT_THROW(parse({"--profile", "yep"}).get_bool("profile", false),
+               std::logic_error);
 }
 
 TEST(Args, RejectsPositionalArgument) {

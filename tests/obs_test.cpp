@@ -1,0 +1,558 @@
+// Tests for the obs/ telemetry subsystem (ISSUE: structured simulation
+// telemetry) and its determinism contracts:
+//
+//  * recorder filtering, caps and export round-trips (JSONL and binary);
+//  * registry merge == SimResults::merge_counters, and counter pooling is
+//    identical at 1/2/8 workers (the ordered-merge half of DESIGN.md §9
+//    applied to telemetry);
+//  * same seed + same workload ⇒ byte-identical exported trace at any
+//    worker count;
+//  * differential check: the event-calendar engine and the reference oracle
+//    (tests/oracle_sim.h) drive a scheduler through the *same ordered
+//    sequence* of coflow queue-transition records;
+//  * the phase profiler accounts for the run without perturbing it.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.h"
+#include "exp/registry.h"
+#include "flowsim/simulator.h"
+#include "obs/profiler.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+#include "oracle_sim.h"
+#include "topology/big_switch.h"
+#include "workload/trace_gen.h"
+
+namespace gurita {
+namespace {
+
+using obs::TraceEventKind;
+using obs::TraceRecord;
+using obs::TraceRecorder;
+
+// --------------------------------------------------------------- recorder
+
+TraceRecord queue_change(double t, std::uint64_t job, int old_q, int new_q) {
+  TraceRecord r;
+  r.kind = TraceEventKind::kQueueChange;
+  r.time = t;
+  r.job = job;
+  r.coflow = job * 10;
+  r.i0 = old_q;
+  r.i1 = new_q;
+  r.i2 = static_cast<int>(obs::QueueChangeCause::kHrDecision);
+  r.v0 = 0.5;
+  r.v1 = 0.25;
+  r.v2 = 1e9;
+  r.v3 = 40;
+  r.v4 = 0.5;
+  r.v5 = 0.5 * 0.25 * 1e9 * 40 * 0.5;
+  return r;
+}
+
+TEST(TraceRecorder, FiltersByKindMask) {
+  TraceRecorder rec(obs::mask_of(TraceEventKind::kQueueChange));
+  EXPECT_TRUE(rec.wants(TraceEventKind::kQueueChange));
+  EXPECT_FALSE(rec.wants(TraceEventKind::kFlowFinish));
+
+  rec.emit(queue_change(1.0, 1, 0, 1));
+  TraceRecord other;
+  other.kind = TraceEventKind::kFlowFinish;
+  rec.emit(other);
+  ASSERT_EQ(rec.records().size(), 1u);
+  EXPECT_EQ(rec.records()[0].kind, TraceEventKind::kQueueChange);
+}
+
+TEST(TraceRecorder, EmptyMaskKeepsNothing) {
+  TraceRecorder rec(/*mask=*/0);
+  rec.emit(queue_change(1.0, 1, 0, 1));
+  EXPECT_TRUE(rec.records().empty());
+  EXPECT_EQ(rec.dropped(), 0u);
+}
+
+TEST(TraceRecorder, CapCountsDropped) {
+  TraceRecorder rec(TraceRecorder::kAllKinds, /*max_records=*/2);
+  for (int i = 0; i < 5; ++i)
+    rec.emit(queue_change(static_cast<double>(i), 1, i, i + 1));
+  EXPECT_EQ(rec.records().size(), 2u);
+  EXPECT_EQ(rec.dropped(), 3u);
+  // The kept prefix is the earliest records.
+  EXPECT_EQ(rec.records()[0].time, 0.0);
+  EXPECT_EQ(rec.records()[1].time, 1.0);
+}
+
+TEST(TraceRecorder, TakeMovesBufferOut) {
+  TraceRecorder rec;
+  rec.emit(queue_change(1.0, 1, 0, 1));
+  const std::vector<TraceRecord> out = rec.take();
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_TRUE(rec.records().empty());
+}
+
+TEST(TraceFilter, ParsesNamedSets) {
+  EXPECT_EQ(obs::parse_trace_filter("all"), TraceRecorder::kAllKinds);
+  EXPECT_EQ(obs::parse_trace_filter("default"), TraceRecorder::kDefaultKinds);
+  EXPECT_EQ(obs::parse_trace_filter("queue_change"),
+            obs::mask_of(TraceEventKind::kQueueChange));
+  EXPECT_EQ(obs::parse_trace_filter("queue_change,flow_finish"),
+            obs::mask_of(TraceEventKind::kQueueChange) |
+                obs::mask_of(TraceEventKind::kFlowFinish));
+  EXPECT_THROW(obs::parse_trace_filter("not_a_kind"), std::logic_error);
+  EXPECT_THROW(obs::parse_trace_filter("queue_change,,flow_finish"),
+               std::logic_error);
+}
+
+TEST(TraceFilter, DefaultExcludesFirehoses) {
+  const std::uint32_t mask = TraceRecorder::kDefaultKinds;
+  EXPECT_EQ(mask & obs::mask_of(TraceEventKind::kFlowRateChange), 0u);
+  EXPECT_EQ(mask & obs::mask_of(TraceEventKind::kStarvationWeights), 0u);
+  EXPECT_NE(mask & obs::mask_of(TraceEventKind::kQueueChange), 0u);
+}
+
+TEST(TraceKinds, NamesRoundTrip) {
+  for (int k = 0; k < obs::kNumTraceEventKinds; ++k) {
+    const auto kind = static_cast<TraceEventKind>(k);
+    EXPECT_EQ(obs::kind_from_name(obs::kind_name(kind)), kind);
+  }
+  EXPECT_THROW(obs::kind_from_name("bogus"), std::logic_error);
+}
+
+// ---------------------------------------------------------------- export
+
+std::vector<TraceRecord> sample_records() {
+  std::vector<TraceRecord> records;
+  records.push_back(queue_change(0.25, 3, -1, 0));
+  records.push_back(queue_change(0.5, 3, 0, 2));
+  TraceRecord fr;
+  fr.kind = TraceEventKind::kFlowRelease;
+  fr.time = 1.0 / 3.0;  // a double that needs full precision to round-trip
+  fr.job = 3;
+  fr.coflow = 30;
+  fr.flow = 7;
+  fr.i0 = 4;   // src host
+  fr.i1 = 19;  // dst host
+  fr.v0 = 1.5e8;
+  records.push_back(fr);
+  TraceRecord cap;
+  cap.kind = TraceEventKind::kCapacityChange;
+  cap.time = 2.0;
+  cap.i0 = 11;
+  cap.v0 = 5e9;
+  records.push_back(cap);
+  return records;
+}
+
+TEST(TraceJsonl, RoundTripsRecordsAndLabel) {
+  const std::vector<TraceRecord> records = sample_records();
+  std::ostringstream out;
+  obs::write_jsonl(out, records, "run-a/gurita");
+  std::istringstream in(out.str());
+  const std::vector<obs::TraceSection> sections = obs::read_jsonl(in);
+  ASSERT_EQ(sections.size(), 1u);
+  EXPECT_EQ(sections[0].label, "run-a/gurita");
+  ASSERT_EQ(sections[0].records.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const TraceRecord& a = records[i];
+    const TraceRecord& b = sections[0].records[i];
+    EXPECT_EQ(a.kind, b.kind) << "record " << i;
+    EXPECT_EQ(a.time, b.time) << "record " << i;
+    EXPECT_EQ(a.i0, b.i0) << "record " << i;
+    EXPECT_EQ(a.i1, b.i1) << "record " << i;
+    EXPECT_EQ(a.v0, b.v0) << "record " << i;
+    EXPECT_EQ(a.v5, b.v5) << "record " << i;
+  }
+}
+
+// flow_release carries a field literally named "src" (the source host); the
+// section label must not collide with it on read-back.
+TEST(TraceJsonl, FlowReleaseSrcFieldDoesNotSplitSections) {
+  std::vector<TraceRecord> records;
+  for (int i = 0; i < 4; ++i) {
+    TraceRecord fr;
+    fr.kind = TraceEventKind::kFlowRelease;
+    fr.time = i;
+    fr.job = 1;
+    fr.coflow = 2;
+    fr.flow = static_cast<std::uint64_t>(i);
+    fr.i0 = i;      // src host — a different value per record
+    fr.i1 = i + 8;  // dst host
+    fr.v0 = 100.0;
+    records.push_back(fr);
+  }
+  std::ostringstream out;
+  obs::write_jsonl(out, records, "label");
+  std::istringstream in(out.str());
+  const std::vector<obs::TraceSection> sections = obs::read_jsonl(in);
+  ASSERT_EQ(sections.size(), 1u);
+  ASSERT_EQ(sections[0].records.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(sections[0].records[i].i0, i);
+}
+
+TEST(TraceJsonl, ConsecutiveLabelsGroupIntoSections) {
+  std::ostringstream out;
+  obs::write_jsonl(out, {queue_change(1.0, 1, 0, 1)}, "a");
+  obs::write_jsonl(out, {queue_change(2.0, 2, 0, 1)}, "a");
+  obs::write_jsonl(out, {queue_change(3.0, 3, 0, 1)}, "b");
+  std::istringstream in(out.str());
+  const std::vector<obs::TraceSection> sections = obs::read_jsonl(in);
+  ASSERT_EQ(sections.size(), 2u);
+  EXPECT_EQ(sections[0].label, "a");
+  EXPECT_EQ(sections[0].records.size(), 2u);
+  EXPECT_EQ(sections[1].label, "b");
+}
+
+TEST(TraceJsonl, MalformedLineThrows) {
+  std::istringstream missing_kind(R"({"t":1,"job":3})" "\n");
+  EXPECT_THROW(obs::read_jsonl(missing_kind), std::logic_error);
+  std::istringstream unknown_field(
+      R"({"t":1,"kind":"job_finish","bogus":7})" "\n");
+  EXPECT_THROW(obs::read_jsonl(unknown_field), std::logic_error);
+  std::istringstream not_json("queue_change at t=1\n");
+  EXPECT_THROW(obs::read_jsonl(not_json), std::logic_error);
+}
+
+TEST(TraceBinary, RoundTripsExactly) {
+  const std::vector<TraceRecord> records = sample_records();
+  std::ostringstream out(std::ios::binary);
+  obs::write_binary_header(out);
+  obs::write_binary_section(out, "run-a/gurita", records);
+  obs::write_binary_section(out, "run-b/aalo", {});
+  std::istringstream in(out.str(), std::ios::binary);
+  const std::vector<obs::TraceSection> sections = obs::read_binary(in);
+  ASSERT_EQ(sections.size(), 2u);
+  EXPECT_EQ(sections[0].label, "run-a/gurita");
+  EXPECT_EQ(sections[1].label, "run-b/aalo");
+  EXPECT_TRUE(sections[1].records.empty());
+  ASSERT_EQ(sections[0].records.size(), records.size());
+  // Binary is a field dump, so equality is exact on every field.
+  for (std::size_t i = 0; i < records.size(); ++i)
+    EXPECT_EQ(sections[0].records[i], records[i]) << "record " << i;
+}
+
+TEST(TraceBinary, BadMagicThrows) {
+  std::istringstream in("not a binary trace", std::ios::binary);
+  EXPECT_THROW(obs::read_binary(in), std::logic_error);
+}
+
+// --------------------------------------------------------------- registry
+
+TEST(Registry, CountersAndGauges) {
+  obs::Registry reg;
+  reg.add("a.events");
+  reg.add("a.events", 4);
+  reg.set_gauge("a.makespan", 2.5);
+  EXPECT_EQ(reg.counter("a.events"), 5u);
+  EXPECT_EQ(reg.counter("absent"), 0u);
+  EXPECT_DOUBLE_EQ(reg.gauge("a.makespan"), 2.5);
+  EXPECT_DOUBLE_EQ(reg.gauge("absent"), 0.0);
+}
+
+TEST(Registry, MergeSumsCountersMaxesGauges) {
+  obs::Registry a, b;
+  a.add("events", 2);
+  a.set_gauge("makespan", 1.0);
+  b.add("events", 3);
+  b.add("only_b", 1);
+  b.set_gauge("makespan", 0.5);
+  b.set_gauge("only_b", 7.0);
+  a.merge(b);
+  EXPECT_EQ(a.counter("events"), 5u);
+  EXPECT_EQ(a.counter("only_b"), 1u);
+  EXPECT_DOUBLE_EQ(a.gauge("makespan"), 1.0);  // max, not last-write
+  EXPECT_DOUBLE_EQ(a.gauge("only_b"), 7.0);
+}
+
+TEST(Registry, ToJsonIsNameOrderedAndStable) {
+  obs::Registry reg;
+  reg.add("z.last", 1);
+  reg.add("a.first", 2);
+  reg.set_gauge("m.gauge", 0.5);
+  const std::string json = reg.to_json();
+  EXPECT_LT(json.find("a.first"), json.find("z.last"));
+  obs::Registry same;
+  same.set_gauge("m.gauge", 0.5);
+  same.add("a.first", 2);
+  same.add("z.last", 1);
+  EXPECT_EQ(json, same.to_json());  // insertion order is irrelevant
+}
+
+TEST(Registry, ExportTraceCountersCountsPerKind) {
+  obs::Registry reg;
+  std::vector<TraceRecord> records = {queue_change(1.0, 1, 0, 1),
+                                      queue_change(2.0, 1, 1, 2)};
+  TraceRecord fr;
+  fr.kind = TraceEventKind::kFlowFinish;
+  records.push_back(fr);
+  obs::export_trace_counters(records, /*dropped=*/4, reg);
+  EXPECT_EQ(reg.counter("trace.queue_change"), 2u);
+  EXPECT_EQ(reg.counter("trace.flow_finish"), 1u);
+  EXPECT_EQ(reg.counter("trace.dropped"), 4u);
+}
+
+// ------------------------------------------- counter pooling equivalence
+
+ExperimentConfig small_config(std::uint64_t seed) {
+  ExperimentConfig config = trace_scenario(StructureKind::kMixed, 20, seed);
+  return config;
+}
+
+// Registry::merge over per-run exports must agree with pooling the raw
+// counters through SimResults::merge_counters (the two documented pooling
+// paths for engine cost counters).
+TEST(RegistryMerge, MatchesMergeCounters) {
+  std::vector<SimResults> per_seed;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const ExperimentConfig config = small_config(seed);
+    const std::vector<JobSpec> jobs = generate_trace(config.trace);
+    std::unique_ptr<Scheduler> sched = make_scheduler("gurita");
+    per_seed.push_back(run_one(config, jobs, *sched));
+  }
+
+  SimResults pooled = per_seed[0];
+  for (std::size_t i = 1; i < per_seed.size(); ++i)
+    pooled.merge_counters(per_seed[i]);
+
+  obs::Registry merged;
+  for (const SimResults& res : per_seed) {
+    obs::Registry shard;
+    res.export_counters(shard);
+    merged.merge(shard);
+  }
+
+  obs::Registry direct;
+  pooled.export_counters(direct);
+  EXPECT_EQ(direct.to_json(), merged.to_json());
+  EXPECT_EQ(merged.counter("engine.events"), pooled.events);
+  EXPECT_EQ(merged.counter("engine.flow_touches"), pooled.flow_touches);
+  EXPECT_EQ(merged.counter("engine.rate_recomputations"),
+            pooled.rate_recomputations);
+  EXPECT_DOUBLE_EQ(merged.gauge("engine.makespan"), pooled.makespan);
+}
+
+// Pooled counters must come out identical at 1, 2 and 8 workers: the
+// replicates are merged in replicate order regardless of which worker ran
+// them (DESIGN.md §9), and the registry projection inherits that.
+TEST(RegistryMerge, WorkerCountInvariant) {
+  const std::vector<std::string> names = {"gurita", "aalo"};
+  std::vector<std::string> jsons;
+  for (const int jobs : {1, 2, 8}) {
+    const ComparisonResult result =
+        compare_schedulers_seeds(small_config(7), names, /*num_seeds=*/4, jobs);
+    obs::Registry reg;
+    for (const auto& [name, res] : result.results) {
+      obs::Registry shard;
+      res.export_counters(shard);
+      // Prefix with the scheduler name so the two schedulers' counters
+      // stay distinguishable in the pooled registry.
+      for (const auto& [k, v] : shard.counters()) reg.add(name + "." + k, v);
+      for (const auto& [k, v] : shard.gauges()) {
+        if (v > reg.gauge(name + "." + k)) reg.set_gauge(name + "." + k, v);
+      }
+    }
+    jsons.push_back(reg.to_json());
+  }
+  EXPECT_EQ(jsons[0], jsons[1]) << "1 worker vs 2 workers";
+  EXPECT_EQ(jsons[0], jsons[2]) << "1 worker vs 8 workers";
+}
+
+// ----------------------------------------------------- trace determinism
+
+std::string pooled_trace_jsonl(int jobs) {
+  ExperimentConfig config = small_config(11);
+  config.obs.trace = true;
+  const ComparisonResult result = compare_schedulers_seeds(
+      config, {"gurita", "aalo"}, /*num_seeds=*/3, jobs);
+  std::ostringstream out;
+  for (const auto& [name, res] : result.results)
+    obs::write_jsonl(out, res.trace, name);
+  return out.str();
+}
+
+// Same seed + same workload ⇒ byte-identical exported trace at any worker
+// count: per-replicate traces are appended in replicate order with job and
+// coflow ids re-based, exactly like the serial run.
+TEST(TraceDeterminism, ByteIdenticalAcrossWorkerCounts) {
+  const std::string serial = pooled_trace_jsonl(1);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, pooled_trace_jsonl(2)) << "1 worker vs 2 workers";
+  EXPECT_EQ(serial, pooled_trace_jsonl(8)) << "1 worker vs 8 workers";
+}
+
+TEST(TraceDeterminism, RerunIsByteIdentical) {
+  EXPECT_EQ(pooled_trace_jsonl(1), pooled_trace_jsonl(1));
+}
+
+// Differential oracle: the fast engine and the reference oracle must drive
+// a scheduler through the same ordered sequence of queue-transition
+// decisions. The fast engine gets its recorder through Simulator::Config
+// (which forwards it to the scheduler); the oracle's scheduler is handed
+// its recorder directly — the hook the engine deliberately leaves open for
+// externally driven schedulers.
+void expect_same_queue_transitions(const std::string& scheduler_name,
+                                   std::uint64_t seed) {
+  SCOPED_TRACE(scheduler_name + " @ seed " + std::to_string(seed));
+  const BigSwitch fabric(BigSwitch::Config{24, gbps(10.0)});
+  TraceConfig trace;
+  trace.num_jobs = 8;
+  trace.num_hosts = fabric.num_hosts();
+  trace.structure = StructureKind::kMixed;
+  trace.seed = seed;
+  const std::vector<JobSpec> jobs = generate_trace(trace);
+
+  const std::uint32_t mask = obs::mask_of(TraceEventKind::kQueueChange);
+  TraceRecorder fast_rec(mask);
+  TraceRecorder oracle_rec(mask);
+
+  std::unique_ptr<Scheduler> fast_sched = make_scheduler(scheduler_name);
+  std::unique_ptr<Scheduler> oracle_sched = make_scheduler(scheduler_name);
+  oracle_sched->set_trace_recorder(&oracle_rec);
+
+  Simulator::Config config;
+  config.trace = &fast_rec;
+  Simulator fast(fabric, *fast_sched, config);
+  OracleSimulator oracle(fabric, *oracle_sched);
+  for (const JobSpec& job : jobs) {
+    fast.submit(job);
+    oracle.submit(job);
+  }
+  (void)fast.run();
+  (void)oracle.run();
+
+  const std::vector<TraceRecord>& a = fast_rec.records();
+  const std::vector<TraceRecord>& b = oracle_rec.records();
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_FALSE(a.empty()) << "workload produced no queue transitions";
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a[i], b[i]) << "transition " << i;
+}
+
+TEST(TraceDifferential, EnginesEmitSameQueueTransitionSequence) {
+  for (const char* name : {"gurita", "gurita_plus", "aalo"})
+    for (std::uint64_t seed : {21u, 22u, 23u})
+      expect_same_queue_transitions(name, seed);
+}
+
+// ---------------------------------------------------------------- profiler
+
+TEST(Profiler, NullScopedPhaseIsNoOp) {
+  obs::ScopedPhase scope(nullptr, obs::Phase::kAllocator);  // must not crash
+  obs::PhaseProfiler profiler;
+  EXPECT_EQ(profiler.snapshot().runs, 0u);
+  EXPECT_EQ(profiler.snapshot().tracked_ns(), 0u);
+  EXPECT_DOUBLE_EQ(profiler.snapshot().coverage(), 0.0);
+}
+
+TEST(Profiler, ExclusiveAttributionNests) {
+  obs::PhaseProfiler profiler;
+  profiler.begin_run();
+  {
+    obs::ScopedPhase outer(&profiler, obs::Phase::kCompletion);
+    obs::ScopedPhase inner(&profiler, obs::Phase::kDagRelease);
+  }
+  profiler.end_run();
+  const obs::PhaseProfile& p = profiler.snapshot();
+  EXPECT_EQ(p.runs, 1u);
+  EXPECT_EQ(p.phases[static_cast<int>(obs::Phase::kCompletion)].count, 1u);
+  EXPECT_EQ(p.phases[static_cast<int>(obs::Phase::kDagRelease)].count, 1u);
+  EXPECT_LE(p.tracked_ns(), p.run_wall_ns);
+  EXPECT_LE(p.coverage(), 1.0);
+}
+
+TEST(Profiler, MergeSums) {
+  obs::PhaseProfile a, b;
+  a.phases[0].ns = 10;
+  a.phases[0].count = 1;
+  a.run_wall_ns = 100;
+  a.runs = 1;
+  b.phases[0].ns = 5;
+  b.phases[0].count = 2;
+  b.run_wall_ns = 50;
+  b.runs = 2;
+  a.merge(b);
+  EXPECT_EQ(a.phases[0].ns, 15u);
+  EXPECT_EQ(a.phases[0].count, 3u);
+  EXPECT_EQ(a.run_wall_ns, 150u);
+  EXPECT_EQ(a.runs, 3u);
+}
+
+TEST(Profiler, CoversEngineRunWithoutPerturbingIt) {
+  const ExperimentConfig config = small_config(5);
+  const std::vector<JobSpec> jobs = generate_trace(config.trace);
+
+  std::unique_ptr<Scheduler> plain_sched = make_scheduler("gurita");
+  const SimResults plain = run_one(config, jobs, *plain_sched);
+
+  ExperimentConfig profiled_config = config;
+  profiled_config.obs.profile = true;
+  std::unique_ptr<Scheduler> profiled_sched = make_scheduler("gurita");
+  const SimResults profiled = run_one(profiled_config, jobs, *profiled_sched);
+
+  // Profiling never touches simulation state: bit-identical outcomes.
+  EXPECT_EQ(profiled.makespan, plain.makespan);
+  EXPECT_EQ(profiled.events, plain.events);
+  EXPECT_EQ(profiled.flow_touches, plain.flow_touches);
+
+  const obs::PhaseProfile& p = profiled.profile;
+  EXPECT_EQ(p.runs, 1u);
+  EXPECT_LE(p.tracked_ns(), p.run_wall_ns);
+  // The event loop's glue is small; keep the bound loose enough for
+  // sanitizer builds while still proving the phases cover the run.
+  EXPECT_GE(p.coverage(), 0.5);
+  EXPECT_GT(p.phases[static_cast<int>(obs::Phase::kAllocator)].count, 0u);
+  EXPECT_GT(p.phases[static_cast<int>(obs::Phase::kCompletion)].count, 0u);
+  EXPECT_GT(
+      p.phases[static_cast<int>(obs::Phase::kSchedulerAssign)].count, 0u);
+
+  const std::string table = p.to_table();
+  EXPECT_NE(table.find("allocator"), std::string::npos);
+  EXPECT_NE(table.find("coverage"), std::string::npos);
+
+  obs::Registry reg;
+  p.export_to(reg);
+  EXPECT_EQ(reg.counter("profile.run_wall_ns"), p.run_wall_ns);
+  EXPECT_GT(reg.gauge("profile.coverage"), 0.0);
+}
+
+// -------------------------------------------------- engine trace content
+
+// The engine's own record stream is internally consistent: releases pair
+// with finishes, ids resolve, and queue transitions carry the Ψ̈ breakdown.
+TEST(EngineTrace, RecordsPairUpAndCarryPsiBreakdown) {
+  ExperimentConfig config = small_config(13);
+  config.obs.trace = true;
+  const std::vector<JobSpec> jobs = generate_trace(config.trace);
+  std::unique_ptr<Scheduler> sched = make_scheduler("gurita");
+  const SimResults res = run_one(config, jobs, *sched);
+  ASSERT_FALSE(res.trace.empty());
+
+  std::uint64_t count[obs::kNumTraceEventKinds] = {};
+  bool saw_psi_breakdown = false;
+  for (const TraceRecord& r : res.trace) {
+    ++count[static_cast<int>(r.kind)];
+    if (r.kind == TraceEventKind::kQueueChange &&
+        r.i2 == static_cast<int>(obs::QueueChangeCause::kHrDecision)) {
+      EXPECT_GT(r.v5, 0.0);  // Ψ̈ itself
+      EXPECT_GT(r.v3, 0.0);  // n̈ (width)
+      EXPECT_GT(r.v4, 0.0);  // critical-path discount in (0, 1]
+      EXPECT_LE(r.v4, 1.0);
+      saw_psi_breakdown = true;
+    }
+  }
+  const auto n = [&](TraceEventKind k) { return count[static_cast<int>(k)]; };
+  EXPECT_EQ(n(TraceEventKind::kJobArrival), jobs.size());
+  EXPECT_EQ(n(TraceEventKind::kJobFinish), jobs.size());
+  EXPECT_EQ(n(TraceEventKind::kCoflowRelease),
+            n(TraceEventKind::kCoflowFinish));
+  EXPECT_EQ(n(TraceEventKind::kFlowRelease), n(TraceEventKind::kFlowFinish));
+  EXPECT_GT(n(TraceEventKind::kQueueChange), 0u);
+  EXPECT_TRUE(saw_psi_breakdown)
+      << "no HR-decision queue transition carried the Ψ̈ factor breakdown";
+}
+
+}  // namespace
+}  // namespace gurita
