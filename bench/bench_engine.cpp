@@ -29,11 +29,11 @@
 //                  [--log-level warn]
 #include <algorithm>
 #include <chrono>
-#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <vector>
 
+#include "common/atomic_file.h"
 #include "exp/args.h"
 #include "flowsim/simulator.h"
 #include "obs/profiler.h"
@@ -214,8 +214,8 @@ void write_profile_json(std::ostream& out, const obs::PhaseProfile& profile) {
 }
 
 bool write_json(const std::string& path, const std::vector<BenchRow>& rows,
-                const OverheadGuard& guard) {
-  std::ofstream out(path);
+                const OverheadGuard& guard) try {
+  write_file_atomic(path, /*binary=*/false, [&](std::ostream& out) {
   out << "{\n  \"bench\": \"engine\",\n  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const BenchRow& r = rows[i];
@@ -239,7 +239,10 @@ bool write_json(const std::string& path, const std::vector<BenchRow>& rows,
         << ", \"breached\": " << (guard.breached ? "true" : "false") << "}";
   }
   out << "\n}\n";
-  return out.good();
+  });
+  return true;
+} catch (const std::exception&) {
+  return false;
 }
 
 }  // namespace

@@ -19,14 +19,13 @@
 //   --trace-binary      write the compact binary format instead of JSONL
 //   --profile           print the engine phase profile summed over all runs
 //   --log-level LVL     debug|info|warn|error|off
-#include <fstream>
 #include <iostream>
 
 #include "exp/args.h"
 #include "exp/experiment.h"
+#include "exp/export.h"
 #include "exp/runner.h"
 #include "metrics/report.h"
-#include "obs/registry.h"
 #include "obs/trace.h"
 
 namespace gurita {
@@ -96,38 +95,17 @@ int main(int argc, char** argv) {
   }
   std::cout << table.to_string() << std::endl;
 
-  // Trace export: sections in run-matrix slot order, schedulers in map
-  // (name) order within a run — the same walk at any --jobs, so the file is
-  // byte-identical at any worker count.
+  // Trace export (exp/export.h): sections in run-matrix slot order,
+  // schedulers in map (name) order within a run — the same walk at any
+  // --jobs, so the file is byte-identical at any worker count. Both files
+  // are written atomically (tmp + rename).
   if (!trace_path.empty()) {
-    std::ofstream out(trace_path, trace_binary
-                                      ? std::ios::out | std::ios::binary
-                                      : std::ios::out);
-    GURITA_CHECK_MSG(out.is_open(), "cannot open trace file " + trace_path);
-    if (trace_binary) obs::write_binary_header(out);
-    obs::Registry registry;
-    std::size_t total_records = 0;
-    for (std::size_t i = 0; i < runs.size(); ++i) {
-      for (const auto& [name, res] : results[i].results) {
-        const std::string label = runs[i].label + "/" + name;
-        if (trace_binary) {
-          obs::write_binary_section(out, label, res.trace);
-        } else {
-          obs::write_jsonl(out, res.trace, label);
-        }
-        obs::export_trace_counters(res.trace, 0, registry);
-        res.export_counters(registry);
-        total_records += res.trace.size();
-      }
-    }
-    out.close();
-    const std::string summary_path = trace_path + ".summary.json";
-    std::ofstream summary(summary_path);
-    GURITA_CHECK_MSG(summary.is_open(),
-                     "cannot open summary file " + summary_path);
-    summary << registry.to_json() << "\n";
+    std::vector<std::string> labels;
+    for (const ExperimentRun& run : runs) labels.push_back(run.label);
+    const std::size_t total_records =
+        export_traces(labels, results, trace_path, trace_binary);
     std::cout << "trace: " << total_records << " records -> " << trace_path
-              << " (summary: " << summary_path << ")\n";
+              << " (summary: " << trace_path << ".summary.json)\n";
   }
 
   if (profile) {

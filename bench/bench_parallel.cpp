@@ -15,11 +15,11 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <vector>
 
+#include "common/atomic_file.h"
 #include "exp/args.h"
 #include "exp/runner.h"
 
@@ -85,8 +85,8 @@ std::vector<int> parse_jobs_list(const std::string& csv) {
 }
 
 bool write_json(const std::string& path, const std::vector<BenchRow>& rows,
-                int replicates, int num_jobs) {
-  std::ofstream out(path);
+                int replicates, int num_jobs) try {
+  write_file_atomic(path, /*binary=*/false, [&](std::ostream& out) {
   out << "{\n  \"bench\": \"parallel\",\n  \"replicates\": " << replicates
       << ",\n  \"num_jobs\": " << num_jobs << ",\n  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -98,7 +98,10 @@ bool write_json(const std::string& path, const std::vector<BenchRow>& rows,
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
-  return out.good();
+  });
+  return true;
+} catch (const std::exception&) {
+  return false;
 }
 
 }  // namespace

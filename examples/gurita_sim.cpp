@@ -10,6 +10,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "common/atomic_file.h"
 #include "exp/args.h"
 #include "exp/experiment.h"
 #include "exp/registry.h"
@@ -93,15 +94,16 @@ int main(int argc, char** argv) {
 
   if (args.has("csv-out")) {
     const std::string path = args.get_string("csv-out", "");
-    std::ofstream csv(path);
-    csv << "job,arrival,finish,jct,total_bytes,category,stages,slowdown\n";
-    for (std::size_t i = 0; i < results.jobs.size(); ++i) {
-      const auto& j = results.jobs[i];
-      csv << j.id << "," << j.arrival << "," << j.finish << "," << j.jct()
-          << "," << j.total_bytes << ","
-          << category_name(category_of(j.total_bytes)) << "," << j.num_stages
-          << "," << slowdowns[i] << "\n";
-    }
+    write_file_atomic(path, /*binary=*/false, [&](std::ostream& csv) {
+      csv << "job,arrival,finish,jct,total_bytes,category,stages,slowdown\n";
+      for (std::size_t i = 0; i < results.jobs.size(); ++i) {
+        const auto& j = results.jobs[i];
+        csv << j.id << "," << j.arrival << "," << j.finish << "," << j.jct()
+            << "," << j.total_bytes << ","
+            << category_name(category_of(j.total_bytes)) << "," << j.num_stages
+            << "," << slowdowns[i] << "\n";
+      }
+    });
     std::cout << "\nper-job results written to " << path << "\n";
   }
   return 0;

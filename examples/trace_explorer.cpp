@@ -43,6 +43,7 @@ const char* cause_name(int cause) {
     case obs::QueueChangeCause::kSelfDemote: return "self_demote";
     case obs::QueueChangeCause::kBytesSent: return "bytes_sent";
     case obs::QueueChangeCause::kRecompute: return "recompute";
+    case obs::QueueChangeCause::kFaultReset: return "fault_reset";
   }
   return "?";
 }

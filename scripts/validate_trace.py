@@ -7,9 +7,15 @@ Checks, in order:
   1. every line parses as JSON and carries "t" (a number) and a known "kind";
   2. kQueueChange records carry the queue transition (old/new/cause) and, for
      Gurita HR decisions, the full Psi factor breakdown (omega, epsilon,
-     ell_max, n, cp_discount, psi);
-  3. the event stream pairs up: job_arrival == job_finish,
-     coflow_release == coflow_finish, flow_release == flow_finish;
+     ell_max, n, cp_discount, psi); fault-model records (fault, flow_abort,
+     flow_retry, job_fail) carry their typed fields;
+  3. the event stream pairs up, fault-aware:
+       job_arrival    == job_finish + job_fail
+       coflow_release == coflow_finish + sum(job_fail.cancelled_coflows)
+       flow_release + flow_retry ==
+           flow_finish + flow_abort + sum(job_fail.cancelled_running)
+     (a parked flow cancelled by its job's failure already produced a
+     flow_abort, so it is counted by cancelled_parked, not here);
   4. when the summary is given, per-kind line counts equal the registry's
      "trace.<kind>" counters exactly.
 
@@ -23,7 +29,10 @@ KNOWN_KINDS = {
     "job_arrival", "coflow_release", "flow_release", "flow_rate_change",
     "flow_finish", "coflow_finish", "stage_complete", "job_finish",
     "queue_change", "starvation_weights", "capacity_change", "heavy_mark",
+    "fault", "flow_abort", "flow_retry", "job_fail",
 }
+# FaultKind enum range (fault/fault.h).
+NUM_FAULT_KINDS = 7
 # QueueChangeCause::kHrDecision — the cause whose records must carry the
 # full Psi breakdown (obs/trace.h).
 CAUSE_HR_DECISION = 1
@@ -35,7 +44,17 @@ def fail(msg):
     sys.exit(1)
 
 
-def validate_line(lineno, line, counts):
+def require_int(rec, lineno, line, kind, fields, minimum=None):
+    for field in fields:
+        value = rec.get(field)
+        if not isinstance(value, int):
+            fail(f"line {lineno} {kind} lacks integer '{field}': {line[:120]}")
+        if minimum is not None and value < minimum:
+            fail(f"line {lineno} {kind} has {field}={value} < {minimum}: "
+                 f"{line[:120]}")
+
+
+def validate_line(lineno, line, counts, tallies):
     try:
         rec = json.loads(line)
     except json.JSONDecodeError as e:
@@ -56,6 +75,27 @@ def validate_line(lineno, line, counts):
                 if not isinstance(rec.get(field), (int, float)):
                     fail(f"line {lineno} HR-decision queue_change lacks Psi "
                          f"factor '{field}': {line[:120]}")
+    elif kind == "fault":
+        require_int(rec, lineno, line, kind, ("fault_kind", "host", "link"))
+        if not 0 <= rec["fault_kind"] < NUM_FAULT_KINDS:
+            fail(f"line {lineno} fault has fault_kind={rec['fault_kind']} "
+                 f"outside [0, {NUM_FAULT_KINDS}): {line[:120]}")
+    elif kind == "flow_abort":
+        require_int(rec, lineno, line, kind, ("attempt", "cause"))
+        if not isinstance(rec.get("lost"), (int, float)) or rec["lost"] < 0:
+            fail(f"line {lineno} flow_abort lacks non-negative 'lost': "
+                 f"{line[:120]}")
+    elif kind == "flow_retry":
+        require_int(rec, lineno, line, kind, ("attempt",))
+        if not isinstance(rec.get("latency"), (int, float)):
+            fail(f"line {lineno} flow_retry lacks numeric 'latency': "
+                 f"{line[:120]}")
+    elif kind == "job_fail":
+        require_int(rec, lineno, line, kind,
+                    ("cancelled_coflows", "cancelled_running",
+                     "cancelled_parked"), minimum=0)
+        tallies["cancelled_coflows"] += rec["cancelled_coflows"]
+        tallies["cancelled_running"] += rec["cancelled_running"]
 
 
 def main():
@@ -64,6 +104,7 @@ def main():
         sys.exit(2)
     trace_path = sys.argv[1]
     counts = collections.Counter()
+    tallies = collections.Counter()
     lines = 0
     with open(trace_path, encoding="utf-8") as f:
         for lineno, line in enumerate(f, start=1):
@@ -71,16 +112,26 @@ def main():
             if not line:
                 continue
             lines += 1
-            validate_line(lineno, line, counts)
+            validate_line(lineno, line, counts, tallies)
     if lines == 0:
         fail(f"{trace_path} contains no records")
 
-    for released, finished in (("job_arrival", "job_finish"),
-                               ("coflow_release", "coflow_finish"),
-                               ("flow_release", "flow_finish")):
-        if counts[released] != counts[finished]:
-            fail(f"unpaired events: {released}={counts[released]} but "
-                 f"{finished}={counts[finished]}")
+    # Fault-aware pairing: every entity that enters the system leaves it,
+    # through completion, abort-and-park, or its job's failure.
+    jobs_out = counts["job_finish"] + counts["job_fail"]
+    if counts["job_arrival"] != jobs_out:
+        fail(f"unpaired events: job_arrival={counts['job_arrival']} but "
+             f"job_finish+job_fail={jobs_out}")
+    coflows_out = counts["coflow_finish"] + tallies["cancelled_coflows"]
+    if counts["coflow_release"] != coflows_out:
+        fail(f"unpaired events: coflow_release={counts['coflow_release']} but "
+             f"coflow_finish+cancelled_coflows={coflows_out}")
+    flows_in = counts["flow_release"] + counts["flow_retry"]
+    flows_out = (counts["flow_finish"] + counts["flow_abort"] +
+                 tallies["cancelled_running"])
+    if flows_in != flows_out:
+        fail(f"unpaired events: flow_release+flow_retry={flows_in} but "
+             f"flow_finish+flow_abort+cancelled_running={flows_out}")
 
     if len(sys.argv) == 3:
         with open(sys.argv[2], encoding="utf-8") as f:

@@ -1,0 +1,38 @@
+#include "common/atomic_file.h"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace gurita {
+
+void write_file_atomic(const std::string& path, bool binary,
+                       const std::function<void(std::ostream&)>& fn) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, binary ? std::ios::out | std::ios::binary
+                                  : std::ios::out);
+    if (!out.is_open())
+      throw std::runtime_error("cannot open temp file " + tmp);
+    try {
+      fn(out);
+    } catch (...) {
+      out.close();
+      std::remove(tmp.c_str());
+      throw;
+    }
+    out.flush();
+    if (!out.good()) {
+      out.close();
+      std::remove(tmp.c_str());
+      throw std::runtime_error("write to " + tmp + " failed");
+    }
+  }
+  // std::rename replaces an existing destination atomically on POSIX.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("cannot rename " + tmp + " to " + path);
+  }
+}
+
+}  // namespace gurita

@@ -1,0 +1,23 @@
+// Crash-safe file writes: write to `<path>.tmp`, flush, then rename over
+// the destination. A crash (or a thrown exception) mid-write leaves either
+// the previous file intact or a stray .tmp — never a truncated artifact
+// that a downstream reader (validate_trace.py, trace_explorer, result
+// diffing in CI) would half-parse.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace gurita {
+
+/// Writes `path` atomically: opens `<path>.tmp` (binary mode when `binary`),
+/// hands the stream to `fn`, flushes, closes and renames onto `path`.
+/// Throws std::runtime_error if the temp file cannot be opened, the stream
+/// goes bad, or the rename fails; on failure the temp file is removed and
+/// any previous `path` is left untouched. Exceptions from `fn` propagate
+/// after the same cleanup.
+void write_file_atomic(const std::string& path, bool binary,
+                       const std::function<void(std::ostream&)>& fn);
+
+}  // namespace gurita

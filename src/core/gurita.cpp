@@ -66,6 +66,48 @@ void GuritaScheduler::on_job_finish(const SimJob& job, Time now) {
   head_receivers_.erase(job.id);
 }
 
+void GuritaScheduler::on_job_fail(const SimJob& job, Time now) {
+  (void)now;
+  head_receivers_.erase(job.id);
+  for (CoflowId cid : job.coflows) coflow_queue_.erase(cid);
+}
+
+void GuritaScheduler::on_fault(const FaultEvent& event, Time now) {
+  if (event.kind != FaultKind::kSchedulerStateLoss) return;
+  // A restarted HR has no memory: the byte observations, the AVA history
+  // behind the critical-path discount and any learned thresholds are gone.
+  // Every live coflow re-enters the highest queue and earns its demotions
+  // again from fresh (stale-Ψ̈) observations, just like at release.
+  head_receivers_.clear();
+  coflow_queue_.clear();
+  ava_ = AvaEstimator{};
+  adaptive_ = AdaptiveThresholds(config_.queues);
+  obs::TraceRecorder* tr = trace_recorder();
+  const bool trace_queues =
+      tr != nullptr && tr->wants(obs::TraceEventKind::kQueueChange);
+  for (std::size_t j = 0; j < state().job_count(); ++j) {
+    const SimJob& job = state().job(JobId(j));
+    if (job.finished() || job.arrival_time > now) continue;
+    head_receivers_.emplace(job.id, HeadReceiver(job.id));
+    for (CoflowId cid : job.coflows) {
+      const SimCoflow& coflow = state().coflow(cid);
+      if (!coflow.released() || coflow.finished()) continue;
+      coflow_queue_.emplace(cid, 0);
+      if (trace_queues) {
+        obs::TraceRecord r;
+        r.kind = obs::TraceEventKind::kQueueChange;
+        r.time = now;
+        r.job = job.id.value();
+        r.coflow = cid.value();
+        r.i0 = -1;
+        r.i1 = 0;
+        r.i2 = static_cast<std::int32_t>(obs::QueueChangeCause::kFaultReset);
+        tr->emit(r);
+      }
+    }
+  }
+}
+
 double GuritaScheduler::slack_factor(const SimJob& job, Time now) const {
   if (config_.slack_discount <= 0 || !job.spec.has_deadline()) return 1.0;
   const double budget = job.spec.deadline - job.arrival_time;

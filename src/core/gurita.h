@@ -79,6 +79,16 @@ class GuritaScheduler final : public Scheduler {
   void on_coflow_release(const SimCoflow& coflow, Time now) override;
   void on_coflow_finish(const SimCoflow& coflow, Time now) override;
   void on_job_finish(const SimJob& job, Time now) override;
+  /// Graceful degradation (DESIGN.md §11): kSchedulerStateLoss drops every
+  /// HR cache, the learned AVA history and adaptive thresholds, then
+  /// re-admits all live coflows at the highest queue — they re-earn their
+  /// demotions from fresh observations with stale Ψ̈, exactly like a
+  /// restarted head receiver. Host/link faults need no handling here: the
+  /// HR caches re-observe the surviving flows at the next δ round.
+  void on_fault(const FaultEvent& event, Time now) override;
+  /// Drops the failed job's HR and its coflows' queue entries (the job
+  /// never reaches on_job_finish).
+  void on_job_fail(const SimJob& job, Time now) override;
   void assign(Time now, const std::vector<SimFlow*>& active) override;
 
   /// Exposed for tests: queue currently assigned to a coflow (0 if none).

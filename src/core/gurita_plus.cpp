@@ -25,6 +25,21 @@ void GuritaPlusScheduler::on_coflow_finish(const SimCoflow& coflow, Time now) {
   last_queue_.erase(coflow.id);
 }
 
+void GuritaPlusScheduler::on_fault(const FaultEvent& event, Time now) {
+  (void)now;
+  if (event.kind != FaultKind::kSchedulerStateLoss) return;
+  // Queues are re-derived from exact state next assign(); only the tracing
+  // baseline resets (live coflows re-announce their queue as a fresh
+  // sighting). on_critical_ is spec-derived and deliberately kept.
+  last_queue_.clear();
+}
+
+void GuritaPlusScheduler::on_job_fail(const SimJob& job, Time now) {
+  (void)now;
+  on_critical_.erase(job.id);
+  for (CoflowId cid : job.coflows) last_queue_.erase(cid);
+}
+
 void GuritaPlusScheduler::assign(Time now, const std::vector<SimFlow*>& active) {
   // Exact per-stage blocking effect from in-flight (remaining) bytes.
   // Key: (job, stage) -> Ψ_J(k).

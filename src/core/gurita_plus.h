@@ -45,6 +45,15 @@ class GuritaPlusScheduler final : public Scheduler {
 
   void on_job_arrival(const SimJob& job, Time now) override;
   void on_coflow_finish(const SimCoflow& coflow, Time now) override;
+  /// kSchedulerStateLoss clears the traced-queue map only: the clairvoyant
+  /// policy re-derives every queue from exact state at the next assign(), so
+  /// a controller restart costs it nothing — which is precisely why Fig. 8
+  /// treats it as the upper bound. Critical-path membership is DAG
+  /// knowledge (recomputable from the job spec), not learned state, and
+  /// survives the loss.
+  void on_fault(const FaultEvent& event, Time now) override;
+  /// Drops the failed job's critical-path vector and traced queues.
+  void on_job_fail(const SimJob& job, Time now) override;
   void assign(Time now, const std::vector<SimFlow*>& active) override;
 
  private:

@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "common/log.h"
+#include "exp/experiment.h"
 
 namespace gurita {
 
@@ -55,6 +56,50 @@ bool Args::get_bool(const std::string& key, bool fallback) const {
 void apply_log_level(const Args& args) {
   if (args.has("log-level"))
     log::set_level(log::level_from_string(args.get_string("log-level", "")));
+}
+
+void apply_fault_flags(const Args& args, ExperimentConfig& config) {
+  static const char* kFlags[] = {
+      "fault-host-rate",     "fault-link-rate",    "fault-straggler-rate",
+      "fault-state-loss-rate", "fault-horizon",    "fault-downtime",
+      "fault-straggle",      "fault-straggle-factor", "fault-retry",
+      "fault-retry-base",    "fault-retry-multiplier", "fault-retry-max-delay",
+      "fault-retry-jitter",  "fault-retry-max-attempts"};
+  bool any = args.get_bool("faults", false);
+  for (const char* flag : kFlags) any = any || args.has(flag);
+  if (!any) return;
+  config.faults.enabled = true;
+  FaultPlanConfig& plan = config.faults.plan;
+  plan.host_crash_rate = args.get_double("fault-host-rate", plan.host_crash_rate);
+  plan.link_flap_rate = args.get_double("fault-link-rate", plan.link_flap_rate);
+  plan.straggler_rate =
+      args.get_double("fault-straggler-rate", plan.straggler_rate);
+  plan.state_loss_rate =
+      args.get_double("fault-state-loss-rate", plan.state_loss_rate);
+  plan.horizon = args.get_double("fault-horizon", plan.horizon);
+  plan.mean_downtime = args.get_double("fault-downtime", plan.mean_downtime);
+  plan.mean_straggle = args.get_double("fault-straggle", plan.mean_straggle);
+  plan.straggler_factor =
+      args.get_double("fault-straggle-factor", plan.straggler_factor);
+  if (args.has("fault-retry")) {
+    const std::string shape = args.get_string("fault-retry", "");
+    if (shape == "fixed") {
+      plan.retry.backoff = RetryPolicy::Backoff::kFixed;
+    } else if (shape == "exponential") {
+      plan.retry.backoff = RetryPolicy::Backoff::kExponential;
+    } else {
+      throw std::logic_error("--fault-retry wants fixed|exponential, got " +
+                             shape);
+    }
+  }
+  plan.retry.base_delay = args.get_double("fault-retry-base", plan.retry.base_delay);
+  plan.retry.multiplier =
+      args.get_double("fault-retry-multiplier", plan.retry.multiplier);
+  plan.retry.max_delay =
+      args.get_double("fault-retry-max-delay", plan.retry.max_delay);
+  plan.retry.jitter = args.get_double("fault-retry-jitter", plan.retry.jitter);
+  plan.retry.max_attempts =
+      args.get_int("fault-retry-max-attempts", plan.retry.max_attempts);
 }
 
 }  // namespace gurita

@@ -43,4 +43,26 @@ class Args {
 /// driver calls this right after parsing.
 void apply_log_level(const Args& args);
 
+struct ExperimentConfig;
+
+/// Applies the shared fault-injection flags to `config.faults`:
+///   --faults                      enable with the config's current rates
+///   --fault-host-rate R           host down/up pairs per simulated second
+///   --fault-link-rate R           link down/up pairs per second
+///   --fault-straggler-rate R      straggler windows per second
+///   --fault-state-loss-rate R     scheduler-state losses per second
+///   --fault-horizon T             inject faults in [0, T) seconds
+///   --fault-downtime T            mean crash/flap outage (seconds)
+///   --fault-straggle T            mean straggler window (seconds)
+///   --fault-straggle-factor F     surviving rate fraction while slow, (0,1)
+///   --fault-retry fixed|exponential   backoff shape
+///   --fault-retry-base T          base retry delay (seconds)
+///   --fault-retry-multiplier M    exponential growth per attempt
+///   --fault-retry-max-delay T     backoff cap (seconds)
+///   --fault-retry-jitter J        max jitter fraction added to each delay
+///   --fault-retry-max-attempts N  aborts beyond this fail the job
+/// Any of these flags implies --faults. Throws std::logic_error on an
+/// unknown --fault-retry value.
+void apply_fault_flags(const Args& args, ExperimentConfig& config);
+
 }  // namespace gurita

@@ -39,6 +39,14 @@ SimResults run_one(const ExperimentConfig& config,
   Simulator::Config sim_config;
   if (config.obs.trace) sim_config.trace = &recorder;
   if (config.obs.profile) sim_config.profiler = &profiler;
+  if (config.faults.enabled) {
+    // The plan seed derives from the trace seed through a stable key, so
+    // fault schedules replicate exactly wherever this workload runs.
+    sim_config.faults = generate_fault_plan(
+        config.faults.plan,
+        derive_run_seed(config.trace.seed, "fault-plan", 0, 0),
+        fabric.num_hosts(), fabric.topology().link_count());
+  }
   Simulator sim(fabric, scheduler, sim_config);
   for (const JobSpec& job : jobs) sim.submit(job);
   SimResults results = sim.run();

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/plan.h"
 #include "flowsim/simulator.h"
 #include "metrics/collector.h"
 #include "topology/fattree.h"
@@ -29,6 +30,18 @@ struct ExperimentConfig {
     bool profile = false;  ///< fill SimResults::profile with phase timings
   };
   ObsOptions obs;
+
+  /// Fault injection (fault/). When enabled, run_one compiles `plan` into a
+  /// concrete FaultPlan whose seed derives from the run's trace seed through
+  /// the stable key ("fault-plan", 0, 0) — so a given workload always meets
+  /// the identical fault schedule, independent of worker count, matrix
+  /// position or which scheduler is replaying it. Disabled (the default)
+  /// costs nothing and is byte-identical to a build without fault support.
+  struct FaultOptions {
+    bool enabled = false;
+    FaultPlanConfig plan;
+  };
+  FaultOptions faults;
 };
 
 /// Outcome per scheduler, keyed by scheduler name.

@@ -1,0 +1,40 @@
+#include "exp/export.h"
+
+#include <ostream>
+
+#include "common/atomic_file.h"
+#include "common/check.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+namespace gurita {
+
+std::size_t export_traces(const std::vector<std::string>& labels,
+                          const std::vector<ComparisonResult>& results,
+                          const std::string& path, bool binary) {
+  GURITA_CHECK_MSG(labels.size() == results.size(),
+                   "labels and results must be parallel");
+  obs::Registry registry;
+  std::size_t total_records = 0;
+  write_file_atomic(path, binary, [&](std::ostream& out) {
+    if (binary) obs::write_binary_header(out);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      for (const auto& [name, res] : results[i].results) {
+        const std::string label = labels[i] + "/" + name;
+        if (binary) {
+          obs::write_binary_section(out, label, res.trace);
+        } else {
+          obs::write_jsonl(out, res.trace, label);
+        }
+        obs::export_trace_counters(res.trace, 0, registry);
+        res.export_counters(registry);
+        total_records += res.trace.size();
+      }
+    }
+  });
+  write_file_atomic(path + ".summary.json", /*binary=*/false,
+                    [&](std::ostream& out) { out << registry.to_json() << "\n"; });
+  return total_records;
+}
+
+}  // namespace gurita

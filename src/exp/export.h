@@ -1,0 +1,31 @@
+// Shared trace/summary export for bench drivers.
+//
+// Every driver that takes --trace used to hand-roll the same loop: walk the
+// run matrix in slot order, schedulers in name order within a run, write
+// one labeled section per (run, scheduler) and a .summary.json with the
+// pooled counters. This module is that loop, written once — and crash-safe:
+// both files go through write_file_atomic (common/atomic_file.h), so an
+// interrupted export never leaves a truncated trace for validate_trace.py
+// to choke on.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.h"
+
+namespace gurita {
+
+/// Exports the traces of `results` to `path` (JSONL, or the compact binary
+/// format when `binary`), one section per run × scheduler labeled
+/// "<labels[i]>/<scheduler>", plus `<path>.summary.json` holding per-kind
+/// record counts and the engine cost counters pooled over every run. The
+/// walk is slot order then map (name) order — the same at any worker
+/// count, so the files are byte-identical at any --jobs. `labels` must be
+/// parallel to `results`. Returns the total record count written.
+std::size_t export_traces(const std::vector<std::string>& labels,
+                          const std::vector<ComparisonResult>& results,
+                          const std::string& path, bool binary);
+
+}  // namespace gurita

@@ -1,0 +1,124 @@
+#include "fault/plan.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+
+#include "common/rng.h"
+
+namespace gurita {
+
+namespace {
+
+/// Injects one Poisson class of down/up pairs: arrivals with exponential
+/// gaps at `rate`, each picking a uniform entity and an exponential outage.
+/// An arrival hitting an entity still down from its previous outage is
+/// skipped (validate_fault_plan rejects overlapping windows), so rate is a
+/// slight overestimate of the realized count under heavy load — acceptable
+/// and, crucially, deterministic.
+template <typename MakePair>
+void inject_pairs(Rng& rng, double rate, Time horizon,
+                  std::uint64_t num_entities, Time mean_outage,
+                  std::vector<FaultEvent>& events, MakePair make_pair) {
+  if (rate <= 0 || num_entities == 0 || horizon <= 0) return;
+  std::map<std::uint64_t, Time> down_until;
+  Time t = 0;
+  for (;;) {
+    t += rng.exponential(1.0 / rate);
+    if (t >= horizon) break;
+    const std::uint64_t entity = rng.uniform_int(0, num_entities - 1);
+    const Time outage = rng.exponential(mean_outage);
+    auto it = down_until.find(entity);
+    if (it != down_until.end() && t < it->second) continue;
+    down_until[entity] = t + outage;
+    make_pair(t, t + outage, entity, events);
+  }
+}
+
+}  // namespace
+
+FaultPlan generate_fault_plan(const FaultPlanConfig& config,
+                              std::uint64_t seed, int num_hosts,
+                              std::size_t link_count) {
+  FaultPlan plan;
+  plan.retry = config.retry;
+  plan.seed = seed;
+
+  // One independent stream per fault class, split in a fixed order: the
+  // crash schedule is identical whether or not stragglers are enabled.
+  Rng root(seed);
+  Rng crash_rng = root.split();
+  Rng flap_rng = root.split();
+  Rng straggle_rng = root.split();
+  Rng loss_rng = root.split();
+
+  inject_pairs(crash_rng, config.host_crash_rate, config.horizon,
+               static_cast<std::uint64_t>(num_hosts), config.mean_downtime,
+               plan.events,
+               [](Time down, Time up, std::uint64_t host,
+                  std::vector<FaultEvent>& out) {
+                 FaultEvent d;
+                 d.time = down;
+                 d.kind = FaultKind::kHostDown;
+                 d.host = static_cast<int>(host);
+                 out.push_back(d);
+                 FaultEvent u = d;
+                 u.time = up;
+                 u.kind = FaultKind::kHostUp;
+                 out.push_back(u);
+               });
+
+  inject_pairs(flap_rng, config.link_flap_rate, config.horizon, link_count,
+               config.mean_downtime, plan.events,
+               [](Time down, Time up, std::uint64_t link,
+                  std::vector<FaultEvent>& out) {
+                 FaultEvent d;
+                 d.time = down;
+                 d.kind = FaultKind::kLinkDown;
+                 d.link = LinkId{link};
+                 out.push_back(d);
+                 FaultEvent u = d;
+                 u.time = up;
+                 u.kind = FaultKind::kLinkUp;
+                 out.push_back(u);
+               });
+
+  const double factor = config.straggler_factor;
+  inject_pairs(straggle_rng, config.straggler_rate, config.horizon,
+               static_cast<std::uint64_t>(num_hosts), config.mean_straggle,
+               plan.events,
+               [factor](Time start, Time end, std::uint64_t host,
+                        std::vector<FaultEvent>& out) {
+                 FaultEvent s;
+                 s.time = start;
+                 s.kind = FaultKind::kStragglerStart;
+                 s.host = static_cast<int>(host);
+                 s.factor = factor;
+                 out.push_back(s);
+                 FaultEvent e = s;
+                 e.time = end;
+                 e.kind = FaultKind::kStragglerEnd;
+                 e.factor = 1.0;
+                 out.push_back(e);
+               });
+
+  if (config.state_loss_rate > 0 && config.horizon > 0) {
+    Time t = 0;
+    for (;;) {
+      t += loss_rng.exponential(1.0 / config.state_loss_rate);
+      if (t >= config.horizon) break;
+      FaultEvent e;
+      e.time = t;
+      e.kind = FaultKind::kSchedulerStateLoss;
+      plan.events.push_back(e);
+    }
+  }
+
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.time < b.time;
+                   });
+  return plan;
+}
+
+}  // namespace gurita

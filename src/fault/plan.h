@@ -1,0 +1,42 @@
+// Seeded random fault-plan generation.
+//
+// generate_fault_plan() compiles a FaultPlanConfig (per-class event rates
+// over a time horizon) into a concrete FaultPlan, deterministically from a
+// seed: each fault class draws from its own RNG stream split off the root
+// seed, so adding straggler events never perturbs where host crashes land.
+// The same (config, seed, fabric shape) always yields the identical plan —
+// the resilience benchmarks rely on this to replay one plan under every
+// scheduler and across worker counts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fault/fault.h"
+
+namespace gurita {
+
+/// Rates are expected event counts per simulated second across the whole
+/// fabric (a Poisson process per class; gaps drawn exponentially). A rate
+/// of 0 disables the class entirely.
+struct FaultPlanConfig {
+  double host_crash_rate = 0;  ///< host down/up pairs per second
+  double link_flap_rate = 0;   ///< link down/up pairs per second
+  double straggler_rate = 0;   ///< straggler windows per second
+  double state_loss_rate = 0;  ///< scheduler-state-loss events per second
+  Time horizon = 1.0;          ///< faults are injected in [0, horizon)
+  Time mean_downtime = 50 * kMillisecond;  ///< mean crash/flap outage
+  Time mean_straggle = 100 * kMillisecond;  ///< mean straggler window
+  double straggler_factor = 0.25;  ///< surviving rate fraction while slow
+  RetryPolicy retry;
+};
+
+/// Builds the concrete plan. Events on an entity never overlap (a crash
+/// scheduled while the host is still down from the previous crash is
+/// skipped), every down is paired with an up, and the result is sorted by
+/// time with plan.seed = seed. Pure function of its arguments.
+[[nodiscard]] FaultPlan generate_fault_plan(const FaultPlanConfig& config,
+                                            std::uint64_t seed, int num_hosts,
+                                            std::size_t link_count);
+
+}  // namespace gurita

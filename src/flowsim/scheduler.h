@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/units.h"
+#include "fault/fault.h"
 #include "flowsim/state.h"
 #include "obs/trace.h"
 
@@ -47,6 +48,35 @@ class Scheduler {
     (void)now;
   }
   virtual void on_job_finish(const SimJob& job, Time now) {
+    (void)job;
+    (void)now;
+  }
+
+  // --- fault-injection extension (fault/fault.h, DESIGN.md §11) ---
+
+  /// A fault struck (a non-recovery FaultKind). Delivered after the engine
+  /// has aborted the affected flows, so state() already reflects the damage.
+  /// The contract for kSchedulerStateLoss: drop every piece of learned
+  /// control state (priority tables, history estimators) and rebuild from
+  /// what a freshly restarted scheduler could re-derive by observing the
+  /// live population — typically re-admitting every released unfinished
+  /// coflow at the highest-priority level. The default ignores faults,
+  /// which is correct only for stateless policies.
+  virtual void on_fault(const FaultEvent& event, Time now) {
+    (void)event;
+    (void)now;
+  }
+  /// A recovery fired (kHostUp / kLinkUp / kStragglerEnd). Delivered before
+  /// the engine re-schedules parked flows.
+  virtual void on_recover(const FaultEvent& event, Time now) {
+    (void)event;
+    (void)now;
+  }
+  /// A job exhausted its retry budget (or a needed recovery never comes)
+  /// and was marked failed; its surviving flows were cancelled. Schedulers
+  /// holding per-job or per-coflow entries must drop them here — the job
+  /// never reaches on_job_finish.
+  virtual void on_job_fail(const SimJob& job, Time now) {
     (void)job;
     (void)now;
   }

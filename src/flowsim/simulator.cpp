@@ -4,22 +4,31 @@
 #include <algorithm>
 #include <cmath>
 
+#include "fault/validation.h"
 #include "flowsim/allocator.h"
 
 namespace gurita {
 
 double SimResults::average_jct() const {
-  if (jobs.empty()) return 0.0;
   double s = 0;
-  for (const JobResult& j : jobs) s += j.jct();
-  return s / static_cast<double>(jobs.size());
+  std::size_t n = 0;
+  for (const JobResult& j : jobs) {
+    if (j.failed) continue;  // abandonment time is not a completion
+    s += j.jct();
+    ++n;
+  }
+  return n == 0 ? 0.0 : s / static_cast<double>(n);
 }
 
 double SimResults::average_cct() const {
-  if (coflows.empty()) return 0.0;
   double s = 0;
-  for (const CoflowResult& c : coflows) s += c.cct();
-  return s / static_cast<double>(coflows.size());
+  std::size_t n = 0;
+  for (const CoflowResult& c : coflows) {
+    if (c.failed) continue;
+    s += c.cct();
+    ++n;
+  }
+  return n == 0 ? 0.0 : s / static_cast<double>(n);
 }
 
 void SimResults::merge_counters(const SimResults& other) {
@@ -28,6 +37,12 @@ void SimResults::merge_counters(const SimResults& other) {
   events += other.events;
   flow_touches += other.flow_touches;
   legacy_flow_touches += other.legacy_flow_touches;
+  flow_aborts += other.flow_aborts;
+  flow_retries += other.flow_retries;
+  failed_jobs += other.failed_jobs;
+  bytes_lost += other.bytes_lost;
+  bytes_retransmitted += other.bytes_retransmitted;
+  total_recovery_latency += other.total_recovery_latency;
 }
 
 void SimResults::export_counters(obs::Registry& registry) const {
@@ -35,6 +50,9 @@ void SimResults::export_counters(obs::Registry& registry) const {
   registry.add("engine.flow_touches", flow_touches);
   registry.add("engine.legacy_flow_touches", legacy_flow_touches);
   registry.add("engine.rate_recomputations", rate_recomputations);
+  registry.add("fault.flow_aborts", flow_aborts);
+  registry.add("fault.flow_retries", flow_retries);
+  registry.add("fault.failed_jobs", failed_jobs);
   registry.set_gauge("engine.makespan", makespan);
 }
 
@@ -52,11 +70,23 @@ Simulator::Simulator(const Fabric& fabric, Scheduler& scheduler,
   capacities_.resize(fabric.topology().link_count());
   for (std::size_t i = 0; i < capacities_.size(); ++i)
     capacities_[i] = fabric.topology().link(LinkId{i}).capacity;
-  for (const CapacityChange& change : config_.disruptions) {
-    GURITA_CHECK_MSG(change.link.value() < capacities_.size(),
-                     "disruption targets an unknown link");
-    GURITA_CHECK_MSG(change.new_capacity >= 0, "negative capacity");
-    GURITA_CHECK_MSG(change.time >= 0, "disruption before time zero");
+  // Both schedules are validated up front (fault/validation.h) so a bad
+  // config throws a ConfigError listing every problem before any event
+  // executes — never mid-run.
+  validate_capacity_changes(config_.disruptions, capacities_.size());
+  validate_fault_plan(config_.faults, fabric.num_hosts(), capacities_.size());
+
+  have_faults_ = !config_.faults.events.empty();
+  if (have_faults_) {
+    fault_events_ = config_.faults.events;
+    std::stable_sort(fault_events_.begin(), fault_events_.end(),
+                     [](const FaultEvent& a, const FaultEvent& b) {
+                       return a.time < b.time;
+                     });
+    host_down_.assign(fabric.num_hosts(), 0);
+    straggler_.assign(fabric.num_hosts(), 1.0);
+    link_down_.assign(capacities_.size(), 0);
+    saved_capacity_.assign(capacities_.size(), 0.0);
   }
 }
 
@@ -203,6 +233,16 @@ void Simulator::release_coflow(SimCoflow& coflow) {
       r.v0 = fs.size;
       tr->emit(r);
     }
+    // A flow born onto a dead host or link cannot transmit: it parks
+    // immediately (no retry attempt consumed — park-at-release is the
+    // fault's fault, not the flow's) and re-enters on recovery.
+    if (have_faults_ && flow_blocked(stored)) {
+      const FaultKind cause =
+          (host_down_[stored.src_host] || host_down_[stored.dst_host])
+              ? FaultKind::kHostDown
+              : FaultKind::kLinkDown;
+      abort_flow(stored, cause, /*count_attempt=*/false);
+    }
   }
   scheduler_->on_coflow_release(coflow, now_);
 }
@@ -290,6 +330,8 @@ void Simulator::finish_flow(SimFlow& flow) {
   ++gen_[flow.id.value()];  // invalidate any pending calendar entry
   remove_from_active(flow);
   flow.finish_time = now_;
+  // Bytes this flow lost to aborts were all re-sent by the time it finished.
+  live_results_->bytes_retransmitted += flow.lost_bytes;
   ++live_results_->flow_touches;
   obs::TraceRecorder* tr = config_.trace;
   if (tr && tr->wants(obs::TraceEventKind::kFlowFinish)) {
@@ -367,7 +409,7 @@ SimResults Simulator::run() {
   const Time tick = scheduler_->tick_interval();
   GURITA_CHECK_MSG(tick >= 0, "negative tick interval");
   Time next_tick = std::numeric_limits<Time>::infinity();
-  bool dirty = true;
+  dirty_ = true;
   SimResults results;
   live_results_ = &results;
   if (config_.collect_link_stats)
@@ -394,7 +436,7 @@ SimResults Simulator::run() {
         r.v0 = change.new_capacity;
         config_.trace->emit(r);
       }
-      dirty = true;
+      dirty_ = true;
     }
   };
 
@@ -402,7 +444,8 @@ SimResults Simulator::run() {
   std::uint64_t iterations = 0;
   if (prof != nullptr) prof->leave(setup_prev);
 
-  while (next_arrival < arrival_order.size() || !active_.empty()) {
+  while (next_arrival < arrival_order.size() || !active_.empty() ||
+         outstanding_ > 0) {
     if (++iterations > config_.max_iterations) {
       std::ostringstream os;
       os << "simulation live-lock guard tripped: now=" << now_
@@ -414,13 +457,34 @@ SimResults Simulator::run() {
     ++results.events;
     if (active_.empty()) {
       obs::ScopedPhase arrival_phase(prof, obs::Phase::kArrival);
-      // Idle network: jump straight to the next arrival.
-      SimJob& job = state_.jobs_[arrival_order[next_arrival].value()];
-      now_ = std::max(now_, job.arrival_time);
+      // Idle network: jump straight to whatever wakes it — the next
+      // arrival, or (under fault injection) the next fault event or due
+      // retry. Without faults this is exactly the next arrival, as before.
+      const Time t_arr =
+          next_arrival < arrival_order.size()
+              ? state_.jobs_[arrival_order[next_arrival].value()].arrival_time
+              : std::numeric_limits<Time>::infinity();
+      Time t_idle = t_arr;
+      if (have_faults_) {
+        const Time t_fault = next_fault_ < fault_events_.size()
+                                 ? fault_events_[next_fault_].time
+                                 : std::numeric_limits<Time>::infinity();
+        t_idle = std::min({t_arr, t_fault, next_retry_time()});
+      }
+      if (!std::isfinite(t_idle)) {
+        // Flows are parked but nothing in the plan will ever wake them:
+        // their jobs can never finish, so fail them instead of spinning.
+        fail_stranded_jobs();
+        continue;
+      }
+      now_ = std::max(now_, t_idle);
       state_.now_ = now_;
-      ++next_arrival;
-      arrive_job(job);
-      // Coalesce simultaneous arrivals.
+      // Fault state must be current before any flow releases (a job
+      // arriving onto a crashed host parks its flows at release).
+      if (have_faults_) {
+        apply_due_faults();
+        fire_due_retries();
+      }
       while (next_arrival < arrival_order.size()) {
         SimJob& j = state_.jobs_[arrival_order[next_arrival].value()];
         if (j.arrival_time > now_ + kTimeEpsilon) break;
@@ -429,13 +493,13 @@ SimResults Simulator::run() {
       }
       if (tick > 0) next_tick = now_ + tick;
       apply_due_disruptions();
-      dirty = true;
+      dirty_ = true;
       continue;
     }
 
-    const bool was_dirty = dirty;
+    const bool was_dirty = dirty_;
     bool any_ramp_capped = false;
-    if (dirty) {
+    if (dirty_) {
       {
         obs::ScopedPhase assign_phase(prof, obs::Phase::kSchedulerAssign);
         scheduler_->assign(now_, active_);
@@ -450,6 +514,15 @@ SimResults Simulator::run() {
         Rate target = f.rate;  // the allocator's output
         f.rate = rc.old_rate;  // restore: the flow drained at the old rate
         settle(f);
+        // Straggler windows cap a touching flow at factor × allocation.
+        // Unlike the TCP ramp the cap is constant while the window lasts,
+        // so no refresh loop: straggler start/end marks dirty and forces
+        // affected flows into this report (see apply_fault).
+        if (have_faults_) {
+          const double sf =
+              std::min(straggler_[f.src_host], straggler_[f.dst_host]);
+          if (sf < 1.0) target *= sf;
+        }
         // TCP slow-start ramp: cap the flow at its window-growth rate. A
         // capped flow's allowance grows as it sends, so while any flow is
         // capped the engine refreshes rates at ramp-time granularity. A
@@ -481,7 +554,7 @@ SimResults Simulator::run() {
           config_.trace->emit(r);
         }
       }
-      dirty = false;
+      dirty_ = false;
     }
 
     const int drain_prev =
@@ -505,12 +578,18 @@ SimResults Simulator::run() {
     const Time t_disruption = next_disruption < disruptions.size()
                                   ? disruptions[next_disruption].time
                                   : std::numeric_limits<Time>::infinity();
+    const Time t_fault = have_faults_ && next_fault_ < fault_events_.size()
+                             ? fault_events_[next_fault_].time
+                             : std::numeric_limits<Time>::infinity();
+    const Time t_retry =
+        have_faults_ ? next_retry_time() : std::numeric_limits<Time>::infinity();
 
-    Time t_next = std::min({t_complete, t_arrival, t_tick, t_disruption});
+    Time t_next = std::min(
+        {t_complete, t_arrival, t_tick, t_disruption, t_fault, t_retry});
     if (any_ramp_capped) {
       // Refresh while ramping so capped flows pick up their grown windows.
       t_next = std::min(t_next, now_ + config_.tcp_ramp_time);
-      dirty = true;
+      dirty_ = true;
     }
     GURITA_CHECK_MSG(std::isfinite(t_next),
                      "simulation stalled: active flows but no next event");
@@ -532,6 +611,14 @@ SimResults Simulator::run() {
     now_ = t_next;
     state_.now_ = now_;
     apply_due_disruptions();
+    // Faults and retries fire before completion processing: a flow whose
+    // host dies at the very instant it would have finished is aborted (the
+    // pop loop then discards its stale calendar entry). "Fault beats
+    // completion" keeps the tie-break deterministic and pessimistic.
+    if (have_faults_) {
+      apply_due_faults();
+      fire_due_retries();
+    }
 
     // Completions (deterministic order: ascending flow id). A flow is done
     // when its residual bytes are negligible OR its residual transfer time
@@ -561,8 +648,15 @@ SimResults Simulator::run() {
     if (!done.empty()) {
       obs::ScopedPhase completion_phase(prof, obs::Phase::kCompletion);
       std::sort(done.begin(), done.end());
-      for (FlowId id : done) finish_flow(state_.flows_[id.value()]);
-      dirty = true;
+      for (FlowId id : done) {
+        // A completion-tied fault may have aborted or cancelled the flow
+        // after its entry was popped above; skip it (gen was bumped, but
+        // the pop happened first).
+        SimFlow& f = state_.flows_[id.value()];
+        if (f.finished() || f.cancelled || f.abort_time >= 0) continue;
+        finish_flow(f);
+      }
+      dirty_ = true;
     }
 
     // Arrivals due now.
@@ -573,14 +667,14 @@ SimResults Simulator::run() {
         if (j.arrival_time > now_ + kTimeEpsilon) break;
         ++next_arrival;
         arrive_job(j);
-        dirty = true;
+        dirty_ = true;
       }
     }
 
     // Coordination tick; only a changed priority forces a rate recompute.
     if (tick > 0 && now_ + kTimeEpsilon >= next_tick) {
       obs::ScopedPhase tick_phase(prof, obs::Phase::kTick);
-      if (scheduler_->on_tick(now_)) dirty = true;
+      if (scheduler_->on_tick(now_)) dirty_ = true;
       next_tick += tick;
     }
   }
@@ -590,16 +684,21 @@ SimResults Simulator::run() {
   results.makespan = now_;
   results.jobs.reserve(state_.jobs_.size());
   for (const SimJob& j : state_.jobs_) {
+    // Failed jobs set finish_time at abandonment, so every job has a
+    // terminal timestamp here either way.
     GURITA_CHECK_MSG(j.finished(), "job left unfinished at end of run");
-    results.jobs.push_back(SimResults::JobResult{j.id, j.arrival_time,
-                                                 j.finish_time, j.total_bytes,
-                                                 j.num_stages});
+    SimResults::JobResult jr{j.id, j.arrival_time, j.finish_time,
+                             j.total_bytes, j.num_stages};
+    jr.failed = j.failed;
+    results.jobs.push_back(jr);
   }
   results.coflows.reserve(state_.coflows_.size());
   for (const SimCoflow& c : state_.coflows_) {
-    results.coflows.push_back(SimResults::CoflowResult{
-        c.id, c.job, c.stage, c.release_time, c.finish_time,
-        state_.coflow_total_bytes(c.id)});
+    SimResults::CoflowResult cr{c.id,          c.job,
+                                c.stage,       c.release_time,
+                                c.finish_time, state_.coflow_total_bytes(c.id)};
+    cr.failed = state_.jobs_[c.job.value()].failed && !c.finished();
+    results.coflows.push_back(cr);
   }
   live_results_ = nullptr;
   if (prof != nullptr) {
@@ -607,6 +706,303 @@ SimResults Simulator::run() {
     prof->end_run();
   }
   return results;
+}
+
+// --- fault injection (fault/fault.h, DESIGN.md §11) -------------------------
+
+bool Simulator::flow_blocked(const SimFlow& flow) const {
+  if (host_down_[flow.src_host] || host_down_[flow.dst_host]) return true;
+  for (LinkId l : flow.path)
+    if (link_down_[l.value()]) return true;
+  return false;
+}
+
+Time Simulator::next_retry_time() const {
+  // The top entry may belong to a cancelled flow; fire_due_retries pops and
+  // skips those, so using its time here costs at most a no-op wakeup.
+  return retries_.empty() ? std::numeric_limits<Time>::infinity()
+                          : retries_.top().time;
+}
+
+void Simulator::abort_flow(SimFlow& flow, FaultKind cause,
+                           bool count_attempt) {
+  settle(flow);
+  set_rate(flow, 0.0);
+  const Bytes sent = flow.size - flow.remaining;
+  SimState::CoflowAggregate& agg = aggregate_of(flow);
+  // In-flight bytes are destroyed: roll the coflow's delivered-byte
+  // aggregate back and rewind the flow to byte zero for its retry.
+  agg.base_bytes -= sent;
+  flow.remaining = flow.size;
+  flow.lost_bytes += sent;
+  live_results_->bytes_lost += sent;
+  --agg.open_connections;
+  ++gen_[flow.id.value()];  // invalidate any pending calendar entry
+  remove_from_active(flow);
+  if (count_attempt) ++flow.attempts;
+  flow.abort_time = now_;
+  ++live_results_->flow_aborts;
+  ++live_results_->flow_touches;
+  dirty_ = true;
+  obs::TraceRecorder* tr = config_.trace;
+  if (tr && tr->wants(obs::TraceEventKind::kFlowAbort)) {
+    obs::TraceRecord r;
+    r.kind = obs::TraceEventKind::kFlowAbort;
+    r.time = now_;
+    r.job = flow.job.value();
+    r.coflow =
+        state_.jobs_[flow.job.value()].coflows[flow.coflow_index].value();
+    r.flow = flow.id.value();
+    r.v0 = sent;
+    r.i0 = flow.attempts;
+    r.i1 = static_cast<std::int32_t>(cause);
+    tr->emit(r);
+  }
+  if (flow.attempts >= config_.faults.retry.max_attempts) {
+    // Retry budget exhausted: the whole job is abandoned. This flow was
+    // never parked, so mark it cancelled before fail_job — it must not be
+    // counted as outstanding.
+    flow.cancelled = true;
+    flow.abort_time = -1;
+    fail_job(state_.jobs_[flow.job.value()]);
+  } else {
+    parked_.push_back(flow.id);
+    ++outstanding_;
+  }
+}
+
+void Simulator::fail_job(SimJob& job) {
+  GURITA_CHECK_MSG(!job.finished(), "fail_job on a finished job");
+  std::int32_t cancelled_coflows = 0;
+  std::int32_t cancelled_running = 0;
+  std::int32_t cancelled_parked = 0;
+  for (CoflowId cid : job.coflows) {
+    SimCoflow& c = state_.coflows_[cid.value()];
+    if (c.released() && !c.finished()) ++cancelled_coflows;
+    for (FlowId fid : c.flows) {
+      SimFlow& f = state_.flows_[fid.value()];
+      if (f.finished() || f.cancelled) continue;
+      if (f.abort_time >= 0) {
+        // Parked, or waiting out its retry backoff.
+        f.cancelled = true;
+        f.abort_time = -1;
+        --outstanding_;
+        ++cancelled_parked;
+      } else {
+        // Transmitting: destroy the in-flight bytes and remove it.
+        settle(f);
+        set_rate(f, 0.0);
+        const Bytes sent = f.size - f.remaining;
+        SimState::CoflowAggregate& agg = aggregate_of(f);
+        agg.base_bytes -= sent;
+        f.remaining = f.size;
+        f.lost_bytes += sent;
+        live_results_->bytes_lost += sent;
+        --agg.open_connections;
+        ++gen_[fid.value()];
+        remove_from_active(f);
+        f.cancelled = true;
+        ++cancelled_running;
+        ++live_results_->flow_touches;
+        dirty_ = true;
+      }
+    }
+  }
+  job.failed = true;
+  job.finish_time = now_;
+  ++live_results_->failed_jobs;
+  obs::TraceRecorder* tr = config_.trace;
+  if (tr && tr->wants(obs::TraceEventKind::kJobFail)) {
+    obs::TraceRecord r;
+    r.kind = obs::TraceEventKind::kJobFail;
+    r.time = now_;
+    r.job = job.id.value();
+    r.i0 = cancelled_coflows;
+    r.i1 = cancelled_running;
+    r.i2 = cancelled_parked;
+    r.v0 = job.arrival_time;
+    tr->emit(r);
+  }
+  scheduler_->on_job_fail(job, now_);
+}
+
+void Simulator::schedule_retry(SimFlow& flow) {
+  const Time d = config_.faults.retry.delay(flow.attempts, config_.faults.seed,
+                                            flow.id.value());
+  retries_.push(RetryEntry{now_ + d, flow.id});
+}
+
+void Simulator::reconsider_parked() {
+  std::size_t w = 0;
+  for (FlowId fid : parked_) {
+    SimFlow& f = state_.flows_[fid.value()];
+    if (f.cancelled) continue;  // dropped when its job failed
+    if (flow_blocked(f)) {
+      parked_[w++] = fid;  // some other blocker is still down
+      continue;
+    }
+    schedule_retry(f);
+  }
+  parked_.resize(w);
+}
+
+void Simulator::fire_due_retries() {
+  if (retries_.empty() || retries_.top().time > now_ + kTimeEpsilon) return;
+  obs::ScopedPhase phase(config_.profiler, obs::Phase::kFault);
+  while (!retries_.empty() && retries_.top().time <= now_ + kTimeEpsilon) {
+    const RetryEntry e = retries_.top();
+    retries_.pop();
+    SimFlow& f = state_.flows_[e.flow.value()];
+    if (f.cancelled) continue;  // its job failed while the timer ran
+    if (flow_blocked(f)) {
+      // Something on its path went down again during the backoff: back to
+      // the parking lot until the next recovery.
+      parked_.push_back(e.flow);
+      continue;
+    }
+    // Restart from byte zero (abort_flow already rewound the byte state).
+    const Time latency = now_ - f.abort_time;
+    live_results_->total_recovery_latency += latency;
+    f.abort_time = -1;
+    f.last_touched = now_;
+    SimState::CoflowAggregate& agg = aggregate_of(f);
+    ++agg.open_connections;
+    pos_in_active_[f.id.value()] = static_cast<std::uint32_t>(active_.size());
+    active_.push_back(&f);
+    push_key(f);
+    --outstanding_;
+    ++live_results_->flow_retries;
+    ++live_results_->flow_touches;
+    dirty_ = true;
+    obs::TraceRecorder* tr = config_.trace;
+    if (tr && tr->wants(obs::TraceEventKind::kFlowRetry)) {
+      obs::TraceRecord r;
+      r.kind = obs::TraceEventKind::kFlowRetry;
+      r.time = now_;
+      r.job = f.job.value();
+      r.coflow = state_.jobs_[f.job.value()].coflows[f.coflow_index].value();
+      r.flow = f.id.value();
+      r.i0 = f.attempts;
+      r.v0 = latency;
+      tr->emit(r);
+    }
+  }
+}
+
+void Simulator::apply_due_faults() {
+  while (next_fault_ < fault_events_.size() &&
+         fault_events_[next_fault_].time <= now_ + kTimeEpsilon)
+    apply_fault(fault_events_[next_fault_++]);
+}
+
+void Simulator::apply_fault(const FaultEvent& event) {
+  obs::ScopedPhase phase(config_.profiler, obs::Phase::kFault);
+  obs::TraceRecorder* tr = config_.trace;
+  if (tr && tr->wants(obs::TraceEventKind::kFault)) {
+    obs::TraceRecord r;
+    r.kind = obs::TraceEventKind::kFault;
+    r.time = now_;
+    r.i0 = static_cast<std::int32_t>(event.kind);
+    r.i1 = event.host;
+    r.i2 = event.link.valid() ? static_cast<std::int32_t>(event.link.value())
+                              : -1;
+    r.v0 = event.factor;
+    tr->emit(r);
+  }
+  // Aborts run in ascending flow-id order (active_ order is arbitrary), and
+  // skip flows a nested fail_job already tore down.
+  std::vector<FlowId> affected;
+  const auto abort_affected = [&] {
+    std::sort(affected.begin(), affected.end());
+    for (FlowId fid : affected) {
+      SimFlow& f = state_.flows_[fid.value()];
+      if (f.finished() || f.cancelled || f.abort_time >= 0) continue;
+      abort_flow(f, event.kind, /*count_attempt=*/true);
+    }
+  };
+  switch (event.kind) {
+    case FaultKind::kHostDown: {
+      host_down_[event.host] = 1;
+      for (const SimFlow* f : active_)
+        if (f->src_host == event.host || f->dst_host == event.host)
+          affected.push_back(f->id);
+      abort_affected();
+      break;
+    }
+    case FaultKind::kLinkDown: {
+      const std::size_t l = event.link.value();
+      link_down_[l] = 1;
+      saved_capacity_[l] = capacities_[l];
+      capacities_[l] = 0.0;
+      for (const SimFlow* f : active_) {
+        for (LinkId pl : f->path) {
+          if (pl.value() == l) {
+            affected.push_back(f->id);
+            break;
+          }
+        }
+      }
+      abort_affected();
+      break;
+    }
+    case FaultKind::kHostUp:
+      host_down_[event.host] = 0;
+      break;
+    case FaultKind::kLinkUp: {
+      const std::size_t l = event.link.value();
+      link_down_[l] = 0;
+      capacities_[l] = saved_capacity_[l];
+      break;
+    }
+    case FaultKind::kStragglerStart: {
+      straggler_[event.host] = event.factor;
+      // Force every touching flow into the next rate-change report by
+      // capping its stored rate now. The reallocation this marks dirty runs
+      // at this same timestamp, so no bytes drain at the temporary value —
+      // but without this, a flow whose max-min allocation happens to be
+      // unchanged would never enter rate_changes_ and would dodge the cap.
+      for (const SimFlow* f : active_)
+        if (f->src_host == event.host || f->dst_host == event.host)
+          affected.push_back(f->id);
+      std::sort(affected.begin(), affected.end());
+      for (FlowId fid : affected) {
+        SimFlow& f = state_.flows_[fid.value()];
+        settle(f);
+        set_rate(f, f.rate * event.factor);
+        push_key(f);
+        ++live_results_->flow_touches;
+      }
+      break;
+    }
+    case FaultKind::kStragglerEnd:
+      straggler_[event.host] = 1.0;
+      break;
+    case FaultKind::kSchedulerStateLoss:
+      break;
+  }
+  if (is_recovery(event.kind)) {
+    scheduler_->on_recover(event, now_);
+    reconsider_parked();
+  } else {
+    scheduler_->on_fault(event, now_);
+  }
+  dirty_ = true;
+}
+
+void Simulator::fail_stranded_jobs() {
+  obs::ScopedPhase phase(config_.profiler, obs::Phase::kFault);
+  std::vector<JobId> stranded;
+  for (FlowId fid : parked_) {
+    const SimFlow& f = state_.flows_[fid.value()];
+    if (!f.cancelled) stranded.push_back(f.job);
+  }
+  std::sort(stranded.begin(), stranded.end());
+  stranded.erase(std::unique(stranded.begin(), stranded.end()),
+                 stranded.end());
+  for (JobId jid : stranded) fail_job(state_.jobs_[jid.value()]);
+  parked_.clear();
+  GURITA_CHECK_MSG(outstanding_ == 0,
+                   "stranded flows survived fail_stranded_jobs");
 }
 
 }  // namespace gurita

@@ -28,6 +28,7 @@
 
 #include "common/units.h"
 #include "coflow/job.h"
+#include "fault/fault.h"
 #include "flowsim/allocator.h"
 #include "flowsim/scheduler.h"
 #include "flowsim/state.h"
@@ -38,17 +39,6 @@
 
 namespace gurita {
 
-/// A scheduled change to one link's capacity (failure injection: degrade a
-/// link mid-run, restore it later). A capacity of 0 models a hard failure;
-/// note flows already routed across a dead link can never finish — the
-/// engine then throws its stall guard, which is the honest outcome for a
-/// fabric without re-routing.
-struct CapacityChange {
-  Time time = 0;
-  LinkId link;
-  Rate new_capacity = 0;
-};
-
 /// Outcome of one simulation run.
 struct SimResults {
   struct JobResult {
@@ -57,6 +47,10 @@ struct SimResults {
     Time finish = 0;
     Bytes total_bytes = 0;
     int num_stages = 1;
+    /// Abandoned by fault injection (retry budget exhausted / unrecoverable);
+    /// `finish` is the abandonment time, not a completion. Excluded from
+    /// JCT statistics.
+    bool failed = false;
     [[nodiscard]] Time jct() const { return finish - arrival; }
   };
   struct CoflowResult {
@@ -66,6 +60,9 @@ struct SimResults {
     Time release = 0;
     Time finish = 0;
     Bytes total_bytes = 0;
+    /// Belongs to a failed job and never completed (possibly never even
+    /// released: release and finish stay -1). Excluded from CCT statistics.
+    bool failed = false;
     [[nodiscard]] Time cct() const { return finish - release; }
   };
 
@@ -89,6 +86,24 @@ struct SimResults {
   /// bench_engine can report the touch ratio without running the old code.
   std::uint64_t legacy_flow_touches = 0;
 
+  // --- fault-injection accounting (fault/fault.h; all zero without a
+  // fault plan) ---
+  /// Flow aborts caused by host/link faults (including park-at-release).
+  std::uint64_t flow_aborts = 0;
+  /// Retries that actually restarted a flow.
+  std::uint64_t flow_retries = 0;
+  /// Jobs abandoned after a flow exhausted its retry budget or could never
+  /// recover.
+  std::uint64_t failed_jobs = 0;
+  /// In-flight bytes lost to aborts (work destroyed by faults).
+  Bytes bytes_lost = 0;
+  /// Lost bytes that were eventually re-sent by flows that finished
+  /// (bytes_lost minus the losses of cancelled flows).
+  Bytes bytes_retransmitted = 0;
+  /// Sum over retries of (restart time − abort time): time flows spent
+  /// parked or backing off before re-entering.
+  Time total_recovery_latency = 0;
+
   /// Bytes carried per link over the run (indexed by LinkId value); only
   /// populated when Config::collect_link_stats is set.
   std::vector<Bytes> link_bytes;
@@ -108,7 +123,8 @@ struct SimResults {
   [[nodiscard]] double link_utilization(LinkId id, Rate capacity) const;
 
   /// Folds another run's cost counters (events, flow_touches,
-  /// legacy_flow_touches, rate_recomputations) and makespan into this
+  /// legacy_flow_touches, rate_recomputations, the fault counters
+  /// and byte/latency totals) and makespan into this
   /// result. Counters are strictly per-run — the engine only ever writes
   /// the SimResults of its own run() — and pooling across runs happens
   /// through this explicit merge, so parallel sweeps aggregate them
@@ -119,7 +135,11 @@ struct SimResults {
 
   /// Projects the engine-cost counters into a registry ("engine.events",
   /// "engine.flow_touches", "engine.legacy_flow_touches",
-  /// "engine.rate_recomputations") plus the "engine.makespan" gauge.
+  /// "engine.rate_recomputations"), the integer fault counters
+  /// ("fault.flow_aborts", "fault.flow_retries", "fault.failed_jobs"),
+  /// plus the "engine.makespan" gauge. The double-valued fault totals
+  /// (bytes, latency) are deliberately not exported: registry gauges merge
+  /// by max, which would disagree with merge_counters' summation.
   /// Registry::merge over per-run exports agrees with merge_counters
   /// (counters sum, makespan maxes) — the regression tests hold the two
   /// pooling paths to identical totals at any worker count.
@@ -138,7 +158,13 @@ class Simulator {
     /// diagnostics (live-lock guard).
     std::uint64_t max_iterations = 500'000'000;
     /// Scheduled link-capacity changes (failure injection), any order.
+    /// Validated against the fabric at construction (fault/validation.h).
     std::vector<CapacityChange> disruptions;
+    /// Fault plan (host crashes, link flaps, stragglers, scheduler-state
+    /// loss) with abort/retry semantics — see fault/fault.h. Validated at
+    /// construction. An empty plan leaves the engine's behaviour and
+    /// results byte-identical to a build without fault support.
+    FaultPlan faults;
     /// Record per-link carried bytes (adds O(path length) work per flow per
     /// rate change; off by default).
     bool collect_link_stats = false;
@@ -215,8 +241,67 @@ class Simulator {
   SimResults* live_results_ = nullptr;
 
   Time now_ = 0;
-  /// Current link capacities (nominal, mutated by disruptions).
+  /// Current link capacities (nominal, mutated by disruptions and link
+  /// faults).
   std::vector<Rate> capacities_;
+  /// Rates must be recomputed before the next projection (scheduler state,
+  /// topology or population changed since the last allocation).
+  bool dirty_ = true;
+
+  // --- fault-injection runtime (all idle unless Config::faults is
+  // non-empty; the zero-fault run is byte-identical to a fault-free
+  // engine) ---
+  /// One pending retry: `flow` restarts at `time` (if still unblocked).
+  struct RetryEntry {
+    Time time = 0;
+    FlowId flow;
+  };
+  struct RetryLater {
+    bool operator()(const RetryEntry& a, const RetryEntry& b) const {
+      // Min-heap by time; flow id breaks ties so pop order (and hence
+      // restart order) is deterministic.
+      if (a.time != b.time) return a.time > b.time;
+      return a.flow > b.flow;
+    }
+  };
+  bool have_faults_ = false;
+  std::vector<FaultEvent> fault_events_;  ///< plan events, sorted by time
+  std::size_t next_fault_ = 0;
+  std::vector<char> host_down_;      ///< by host index
+  std::vector<char> link_down_;      ///< by link id
+  std::vector<double> straggler_;    ///< per-host rate factor; 1.0 nominal
+  std::vector<Rate> saved_capacity_; ///< pre-fault capacity of downed links
+  /// Flows aborted and waiting for every blocking entity to recover.
+  std::vector<FlowId> parked_;
+  std::priority_queue<RetryEntry, std::vector<RetryEntry>, RetryLater>
+      retries_;
+  /// Parked flows + scheduled retries not yet cancelled: the run cannot end
+  /// while > 0 even if the active set is momentarily empty.
+  std::uint64_t outstanding_ = 0;
+
+  /// True while a down host or link blocks this flow from transmitting.
+  [[nodiscard]] bool flow_blocked(const SimFlow& flow) const;
+  /// Aborts a transmitting (or just-released) flow: in-flight bytes are
+  /// lost, the flow leaves the active set and either parks for retry or —
+  /// once `count_attempt` pushes it past max_attempts — fails its job.
+  void abort_flow(SimFlow& flow, FaultKind cause, bool count_attempt);
+  /// Marks `job` failed at now_: cancels its surviving flows (parked,
+  /// scheduled and transmitting), emits kJobFail, tells the scheduler.
+  void fail_job(SimJob& job);
+  /// Moves a parked flow into the retry queue with its backoff delay.
+  void schedule_retry(SimFlow& flow);
+  /// After a recovery: parked flows whose blockers all recovered get their
+  /// retry scheduled.
+  void reconsider_parked();
+  /// Restarts flows whose retry time has come (re-entering from byte zero).
+  void fire_due_retries();
+  void apply_fault(const FaultEvent& event);
+  void apply_due_faults();
+  [[nodiscard]] Time next_retry_time() const;
+  /// Both calendars are empty but flows are parked with no recovery left in
+  /// the plan: their jobs can never finish — fail them now instead of
+  /// simulating forever.
+  void fail_stranded_jobs();
 
   /// Aggregate of the coflow owning `flow`.
   SimState::CoflowAggregate& aggregate_of(const SimFlow& flow);

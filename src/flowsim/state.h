@@ -51,6 +51,19 @@ struct SimFlow {
   Tier tier = 0;
   double weight = 1.0;
 
+  // --- fault bookkeeping (fault/fault.h) ---
+  /// Times this flow was aborted by a fault while transmitting; attempt
+  /// number of the next retry. Park-at-release (flow born onto a dead
+  /// host/link) does not count.
+  int attempts = 0;
+  /// In-flight bytes lost across all aborts (re-sent on retry).
+  Bytes lost_bytes = 0;
+  /// When the flow was last aborted; >= 0 exactly while parked or waiting
+  /// in the retry queue, -1 while transmitting / finished / cancelled.
+  Time abort_time = -1;
+  /// Permanently stopped: its job failed. Never transmits again.
+  bool cancelled = false;
+
   [[nodiscard]] bool started() const { return start_time >= 0; }
   [[nodiscard]] bool finished() const { return finish_time >= 0; }
   [[nodiscard]] bool active() const { return started() && !finished(); }
@@ -99,6 +112,10 @@ struct SimJob {
   Time arrival_time = 0;
   Time finish_time = -1;
   Bytes total_bytes = 0;
+  /// A flow of this job exhausted its retry budget (or could never recover);
+  /// the job was abandoned at finish_time with its surviving flows
+  /// cancelled. Failed jobs are excluded from JCT statistics.
+  bool failed = false;
 
   [[nodiscard]] bool finished() const { return finish_time >= 0; }
   /// Number of fully completed stages: the largest k such that every coflow

@@ -17,6 +17,7 @@ const char* phase_name(Phase phase) {
     case Phase::kArrival: return "arrival";
     case Phase::kTick: return "tick";
     case Phase::kResults: return "results";
+    case Phase::kFault: return "fault";
   }
   return "?";
 }

@@ -40,9 +40,10 @@ enum class Phase : int {
   kArrival = 6,         ///< job arrival handling (minus nested releases)
   kTick = 7,            ///< Scheduler::on_tick coordination rounds
   kResults = 8,         ///< end-of-run result assembly
+  kFault = 9,           ///< fault application, aborts, retries (fault/)
 };
 
-inline constexpr int kNumPhases = 9;
+inline constexpr int kNumPhases = 10;
 
 [[nodiscard]] const char* phase_name(Phase phase);
 

@@ -73,6 +73,33 @@ const KindSpec& kind_spec(TraceEventKind kind) {
       /* kCapacityChange */
       {"capacity_change", false, false, false, {{"link", kI0}, {"capacity", kV0}}},
       /* kHeavyMark */ {"heavy_mark", true, false, false, {{"bytes", kV0}}},
+      /* kFault */
+      {"fault",
+       false,
+       false,
+       false,
+       {{"fault_kind", kI0}, {"host", kI1}, {"link", kI2}, {"factor", kV0}}},
+      /* kFlowAbort */
+      {"flow_abort",
+       true,
+       true,
+       true,
+       {{"lost", kV0}, {"attempt", kI0}, {"cause", kI1}}},
+      /* kFlowRetry */
+      {"flow_retry",
+       true,
+       true,
+       true,
+       {{"attempt", kI0}, {"latency", kV0}}},
+      /* kJobFail */
+      {"job_fail",
+       true,
+       false,
+       false,
+       {{"cancelled_coflows", kI0},
+        {"cancelled_running", kI1},
+        {"cancelled_parked", kI2},
+        {"arrival", kV0}}},
   };
   const auto index = static_cast<std::size_t>(kind);
   GURITA_CHECK_MSG(index < specs.size(), "unknown trace event kind");

@@ -43,9 +43,13 @@ enum class TraceEventKind : std::uint8_t {
   kStarvationWeights = 9, ///< WRR weights emulating SPQ (starvation mitigation)
   kCapacityChange = 10,   ///< failure injection changed a link capacity
   kHeavyMark = 11,        ///< FIFO-LM (Baraat) reclassified a job as heavy
+  kFault = 12,            ///< a fault-plan event fired (fault/fault.h)
+  kFlowAbort = 13,        ///< a fault aborted a flow; in-flight bytes lost
+  kFlowRetry = 14,        ///< an aborted flow restarted from byte zero
+  kJobFail = 15,          ///< a job exhausted retries and was abandoned
 };
 
-inline constexpr int kNumTraceEventKinds = 12;
+inline constexpr int kNumTraceEventKinds = 16;
 
 /// Why a scheduler changed a coflow's queue (TraceRecord::i2 of
 /// kQueueChange records).
@@ -55,6 +59,7 @@ enum class QueueChangeCause : std::int32_t {
   kSelfDemote = 2,  ///< Gurita receiver-local threshold demotion
   kBytesSent = 3,   ///< Aalo D-CLAS bytes-sent demotion
   kRecompute = 4,   ///< GuritaPlus clairvoyant re-evaluation (both ways)
+  kFaultReset = 5,  ///< scheduler-state loss re-admitted it at the top queue
 };
 
 /// Sentinel for "no entity" in a record's id fields.

@@ -24,6 +24,45 @@ void AaloScheduler::on_coflow_release(const SimCoflow& coflow, Time now) {
   }
 }
 
+void AaloScheduler::on_fault(const FaultEvent& event, Time now) {
+  if (event.kind != FaultKind::kSchedulerStateLoss) return;
+  fifo_rank_.clear();
+  queue_of_.clear();
+  next_rank_ = 0;
+  obs::TraceRecorder* tr = trace_recorder();
+  const bool trace_queues =
+      tr != nullptr && tr->wants(obs::TraceEventKind::kQueueChange);
+  for (std::size_t j = 0; j < state().job_count(); ++j) {
+    const SimJob& job = state().job(JobId(j));
+    if (job.finished() || job.arrival_time > now) continue;
+    for (CoflowId cid : job.coflows) {
+      const SimCoflow& coflow = state().coflow(cid);
+      if (!coflow.released() || coflow.finished()) continue;
+      fifo_rank_.emplace(cid, next_rank_++);
+      queue_of_.emplace(cid, 0);
+      if (trace_queues) {
+        obs::TraceRecord r;
+        r.kind = obs::TraceEventKind::kQueueChange;
+        r.time = now;
+        r.job = job.id.value();
+        r.coflow = cid.value();
+        r.i0 = -1;
+        r.i1 = 0;
+        r.i2 = static_cast<std::int32_t>(obs::QueueChangeCause::kFaultReset);
+        tr->emit(r);
+      }
+    }
+  }
+}
+
+void AaloScheduler::on_job_fail(const SimJob& job, Time now) {
+  (void)now;
+  for (CoflowId cid : job.coflows) {
+    fifo_rank_.erase(cid);
+    queue_of_.erase(cid);
+  }
+}
+
 void AaloScheduler::assign(Time now, const std::vector<SimFlow*>& active) {
   obs::TraceRecorder* tr = trace_recorder();
   const bool trace_queues =

@@ -45,6 +45,14 @@ class AaloScheduler final : public Scheduler {
   [[nodiscard]] std::string name() const override { return "aalo"; }
 
   void on_coflow_release(const SimCoflow& coflow, Time now) override;
+  /// kSchedulerStateLoss models an Aalo coordinator restart: attained-service
+  /// queues and global FIFO ranks are forgotten. Live coflows re-register at
+  /// the highest queue with fresh ranks in deterministic (job, coflow)
+  /// order; D-CLAS then re-demotes them from the (still exact) bytes-sent
+  /// signal at the next recomputation.
+  void on_fault(const FaultEvent& event, Time now) override;
+  /// Drops the failed job's coflows from the rank and queue tables.
+  void on_job_fail(const SimJob& job, Time now) override;
   void assign(Time now, const std::vector<SimFlow*>& active) override;
 
  private:

@@ -11,6 +11,25 @@ void BaraatScheduler::on_job_arrival(const SimJob& job, Time now) {
   heavy_.emplace(job.id, false);
 }
 
+void BaraatScheduler::on_fault(const FaultEvent& event, Time now) {
+  if (event.kind != FaultKind::kSchedulerStateLoss) return;
+  serial_.clear();
+  heavy_.clear();
+  next_serial_ = 0;
+  for (std::size_t j = 0; j < state().job_count(); ++j) {
+    const SimJob& job = state().job(JobId(j));
+    if (job.finished() || job.arrival_time > now) continue;
+    serial_.emplace(job.id, next_serial_++);
+    heavy_.emplace(job.id, false);
+  }
+}
+
+void BaraatScheduler::on_job_fail(const SimJob& job, Time now) {
+  (void)now;
+  serial_.erase(job.id);
+  heavy_.erase(job.id);
+}
+
 void BaraatScheduler::assign(Time now, const std::vector<SimFlow*>& active) {
   // Jobs with at least one active flow, in FIFO (serial) order.
   std::vector<std::pair<std::uint64_t, JobId>> jobs;

@@ -38,6 +38,14 @@ class BaraatScheduler final : public Scheduler {
   [[nodiscard]] std::string name() const override { return "baraat"; }
 
   void on_job_arrival(const SimJob& job, Time now) override;
+  /// kSchedulerStateLoss forgets the arrival-order serials and heavy marks.
+  /// Live jobs re-seed serials in ascending job-id order — which matches
+  /// arrival order for the workloads we generate, but heavy jobs become
+  /// light again and re-earn their kHeavyMark from the (exact) bytes-sent
+  /// signal.
+  void on_fault(const FaultEvent& event, Time now) override;
+  /// Drops the failed job's serial and heavy mark.
+  void on_job_fail(const SimJob& job, Time now) override;
   void assign(Time now, const std::vector<SimFlow*>& active) override;
 
  private:

@@ -36,6 +36,19 @@ class VarysScheduler final : public Scheduler {
 
   void assign(Time now, const std::vector<SimFlow*>& active) override;
 
+  /// SEBF is stateless: Γ is recomputed from remaining bytes at every
+  /// assign(), so a scheduler-state loss has nothing to forget and a failed
+  /// job leaves nothing behind. The explicit overrides document that the
+  /// default no-ops are the *intended* fault semantics, not an omission.
+  void on_fault(const FaultEvent& event, Time now) override {
+    (void)event;
+    (void)now;
+  }
+  void on_job_fail(const SimJob& job, Time now) override {
+    (void)job;
+    (void)now;
+  }
+
   /// Γ for a set of remaining per-flow demands grouped by src/dst host:
   /// max over ports of remaining bytes in/out at time `now` (residuals are
   /// extrapolated from each flow's lazy-drain settle point), divided by the

@@ -1,8 +1,10 @@
 #include "workload/trace_io.h"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
+#include "common/atomic_file.h"
 #include "common/check.h"
 
 namespace gurita {
@@ -15,28 +17,37 @@ constexpr const char* kMagic = "gurita-trace v1";
   os << "trace parse error at line " << line << ": " << what;
   throw std::logic_error(os.str());
 }
+
+/// A record consumed all its fields; anything left on the line is a
+/// corruption signal (e.g. a line wrapped into the next), not noise.
+void reject_trailing(std::istringstream& is, std::size_t lineno) {
+  std::string extra;
+  if (is >> extra)
+    parse_error(lineno, "trailing token '" + extra + "' after record");
+}
 }  // namespace
 
 void save_trace(const std::string& path, const std::vector<JobSpec>& jobs) {
-  std::ofstream out(path);
-  GURITA_CHECK_MSG(out.good(), "cannot open trace file for writing: " + path);
-  out.precision(17);
-  out << kMagic << "\n";
-  out << "# jobs: " << jobs.size() << "\n";
-  for (const JobSpec& job : jobs) {
-    out << "J " << job.arrival_time << " " << job.coflows.size();
-    if (job.has_deadline()) out << " " << job.deadline;
-    out << "\n";
-    for (std::size_t c = 0; c < job.coflows.size(); ++c) {
-      out << "C " << job.deps[c].size();
-      for (int d : job.deps[c]) out << " " << d;
+  // tmp + rename (common/atomic_file.h): a crash mid-save leaves any
+  // previous archive intact instead of a truncated trace.
+  write_file_atomic(path, /*binary=*/false, [&](std::ostream& out) {
+    out.precision(17);
+    out << kMagic << "\n";
+    out << "# jobs: " << jobs.size() << "\n";
+    for (const JobSpec& job : jobs) {
+      out << "J " << job.arrival_time << " " << job.coflows.size();
+      if (job.has_deadline()) out << " " << job.deadline;
       out << "\n";
-      for (const FlowSpec& f : job.coflows[c].flows)
-        out << "F " << f.src_host << " " << f.dst_host << " " << f.size
-            << "\n";
+      for (std::size_t c = 0; c < job.coflows.size(); ++c) {
+        out << "C " << job.deps[c].size();
+        for (int d : job.deps[c]) out << " " << d;
+        out << "\n";
+        for (const FlowSpec& f : job.coflows[c].flows)
+          out << "F " << f.src_host << " " << f.dst_host << " " << f.size
+              << "\n";
+      }
     }
-  }
-  GURITA_CHECK_MSG(out.good(), "write failed: " + path);
+  });
 }
 
 std::vector<JobSpec> load_trace(const std::string& path) {
@@ -45,15 +56,22 @@ std::vector<JobSpec> load_trace(const std::string& path) {
 
   std::vector<JobSpec> jobs;
   std::string line;
-  std::size_t lineno = 0;
+  std::size_t lineno = 1;
 
-  GURITA_CHECK_MSG(std::getline(in, line) && line == kMagic,
-                   "missing trace magic header in " + path);
-  ++lineno;
+  if (!std::getline(in, line) || line != kMagic)
+    parse_error(1, std::string("bad or missing magic header (want '") +
+                       kMagic + "')");
 
   JobSpec* job = nullptr;
   std::size_t expected_coflows = 0;
   bool have_coflow = false;
+  std::size_t coflow_line = 0;  ///< line of the most recent C record
+
+  const auto close_coflow = [&](std::size_t at_line) {
+    if (have_coflow && job->coflows.back().flows.empty())
+      parse_error(at_line, "coflow declared at line " +
+                               std::to_string(coflow_line) + " has no flows");
+  };
 
   while (std::getline(in, line)) {
     ++lineno;
@@ -64,12 +82,24 @@ std::vector<JobSpec> load_trace(const std::string& path) {
     if (tag == "J") {
       Time arrival;
       std::size_t ncoflows;
-      if (!(is >> arrival >> ncoflows) || ncoflows == 0)
-        parse_error(lineno, "bad J record");
+      if (!(is >> arrival >> ncoflows)) parse_error(lineno, "bad J record");
+      if (!std::isfinite(arrival) || arrival < 0)
+        parse_error(lineno, "job arrival time must be finite and >= 0");
+      if (ncoflows == 0) parse_error(lineno, "job declares zero coflows");
       Time deadline = 0;
-      is >> deadline;  // optional trailing field
+      if (is >> deadline) {  // optional trailing field
+        if (!std::isfinite(deadline) || deadline < 0)
+          parse_error(lineno, "job deadline must be finite and >= 0");
+      } else {
+        is.clear();
+      }
+      reject_trailing(is, lineno);
       if (job != nullptr && job->coflows.size() != expected_coflows)
-        parse_error(lineno, "previous job has wrong coflow count");
+        parse_error(lineno,
+                    "previous job has " + std::to_string(job->coflows.size()) +
+                        " coflows, declared " +
+                        std::to_string(expected_coflows));
+      close_coflow(lineno);
       jobs.emplace_back();
       job = &jobs.back();
       job->arrival_time = arrival;
@@ -81,35 +111,45 @@ std::vector<JobSpec> load_trace(const std::string& path) {
       std::size_t ndeps;
       if (!(is >> ndeps)) parse_error(lineno, "bad C record");
       std::vector<int> deps(ndeps);
-      for (std::size_t i = 0; i < ndeps; ++i)
+      for (std::size_t i = 0; i < ndeps; ++i) {
         if (!(is >> deps[i])) parse_error(lineno, "truncated dep list");
+        if (deps[i] < 0) parse_error(lineno, "negative dep index");
+      }
+      reject_trailing(is, lineno);
       if (job->coflows.size() >= expected_coflows)
         parse_error(lineno, "more coflows than declared");
+      close_coflow(lineno);
       job->coflows.emplace_back();
       job->deps.push_back(std::move(deps));
       have_coflow = true;
+      coflow_line = lineno;
     } else if (tag == "F") {
       if (!have_coflow) parse_error(lineno, "F before any C");
       FlowSpec f;
       if (!(is >> f.src_host >> f.dst_host >> f.size))
         parse_error(lineno, "bad F record");
+      reject_trailing(is, lineno);
+      if (f.src_host < 0 || f.dst_host < 0)
+        parse_error(lineno, "negative host index");
+      if (f.src_host == f.dst_host)
+        parse_error(lineno, "flow with identical src and dst host");
+      if (!std::isfinite(f.size) || f.size <= 0)
+        parse_error(lineno, "flow size must be finite and positive");
       job->coflows.back().flows.push_back(f);
     } else {
       parse_error(lineno, "unknown record tag '" + tag + "'");
     }
   }
   if (job != nullptr && job->coflows.size() != expected_coflows)
-    parse_error(lineno, "last job has wrong coflow count");
+    parse_error(lineno,
+                "last job has " + std::to_string(job->coflows.size()) +
+                    " coflows, declared " + std::to_string(expected_coflows));
+  close_coflow(lineno);
 
   // Structural validation independent of the target fabric.
   for (const JobSpec& j : jobs) {
     GURITA_CHECK_MSG(!j.coflows.empty(), "trace job with no coflows");
     (void)topological_order(j);  // throws on cycles / bad indices
-    for (const CoflowSpec& c : j.coflows) {
-      GURITA_CHECK_MSG(!c.flows.empty(), "trace coflow with no flows");
-      for (const FlowSpec& f : c.flows)
-        GURITA_CHECK_MSG(f.size > 0, "trace flow with non-positive size");
-    }
   }
   return jobs;
 }

@@ -1,9 +1,14 @@
-// Property tests under failure injection: random link degradations must
-// never break the engine's structural invariants, only slow things down.
+// Property tests under failure injection: random link degradations and
+// random fault plans must never break the engine's structural invariants,
+// only slow things down (or fail jobs, accounted exactly).
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "coflow/shapes.h"
+#include "exp/experiment.h"
 #include "exp/registry.h"
+#include "fault/plan.h"
 #include "flowsim/simulator.h"
 #include "topology/fattree.h"
 
@@ -110,8 +115,122 @@ TEST_P(DisruptionProperties, DegradationNeverSpeedsUpTheRun) {
     EXPECT_GE(degraded.jobs[i].jct(), normal.jobs[i].jct() - 1e-9);
 }
 
+TEST_P(DisruptionProperties, RandomFaultPlansPreserveInvariants) {
+  Rng rng(GetParam() + 2000);
+  const FatTree fabric(FatTree::Config{4, 100.0});
+  const auto jobs = random_jobs(rng, fabric.num_hosts());
+
+  // A randomly generated fault plan over the busy window, with a tight
+  // retry budget so job failures are actually reachable.
+  FaultPlanConfig plan;
+  plan.host_crash_rate = rng.uniform(0.5, 3.0);
+  plan.link_flap_rate = rng.uniform(0.5, 2.0);
+  plan.straggler_rate = rng.uniform(0.5, 3.0);
+  plan.state_loss_rate = rng.uniform(0.0, 1.0);
+  plan.horizon = 4.0;
+  plan.mean_downtime = 0.3;
+  plan.retry.max_attempts = 3;
+
+  Simulator::Config config;
+  config.faults = generate_fault_plan(plan, GetParam() * 7919 + 13,
+                                      fabric.num_hosts(),
+                                      fabric.topology().link_count());
+
+  // Rotate through every scheduler implementing the fault hooks.
+  static const char* kNames[] = {"gurita", "gurita_plus", "aalo", "baraat",
+                                 "varys"};
+  const auto sched = make_scheduler(kNames[GetParam() % 5]);
+  Simulator sim(fabric, *sched, config);
+  for (const auto& job : jobs) sim.submit(job);
+  const SimResults results = sim.run();
+
+  const SimState& state = sim.state();
+  ASSERT_EQ(results.jobs.size(), jobs.size());
+
+  // Job-failure accounting matches between results and state.
+  std::size_t failed = 0;
+  for (std::size_t j = 0; j < state.job_count(); ++j)
+    if (state.job(JobId{j}).failed) ++failed;
+  EXPECT_EQ(failed, results.failed_jobs);
+
+  // Per-flow invariants: bytes stay in range, every flow of a surviving
+  // job completed in full, and flows of failed jobs are finished,
+  // cancelled or never released — nothing is left limping.
+  Bytes lost = 0;
+  for (std::size_t i = 0; i < state.flow_count(); ++i) {
+    const SimFlow& f = state.flow(FlowId{i});
+    lost += f.lost_bytes;
+    EXPECT_GE(f.remaining, -1e-6);
+    EXPECT_LE(f.remaining, f.size + 1e-6);
+    if (!state.job(f.job).failed) {
+      EXPECT_TRUE(f.finished());
+      EXPECT_FALSE(f.cancelled);
+      EXPECT_NEAR(f.bytes_sent(), f.size, 1e-2);
+    } else {
+      EXPECT_TRUE(f.finished() || f.cancelled || !f.started());
+    }
+  }
+  EXPECT_NEAR(lost, results.bytes_lost, 1e-6);
+  // Every retry re-entered a previously aborted flow, and only bytes that
+  // were lost can have been re-sent.
+  EXPECT_LE(results.flow_retries, results.flow_aborts);
+  EXPECT_LE(results.bytes_retransmitted, results.bytes_lost + 1e-6);
+
+  // DAG order still holds for the coflows that did release.
+  for (std::size_t j = 0; j < state.job_count(); ++j) {
+    const SimJob& job = state.job(JobId{j});
+    for (std::size_t c = 0; c < job.coflows.size(); ++c) {
+      const SimCoflow& coflow = state.coflow(job.coflows[c]);
+      if (!coflow.released()) continue;
+      for (int d : job.spec.deps[c]) {
+        const SimCoflow& dep =
+            state.coflow(job.coflows[static_cast<std::size_t>(d)]);
+        ASSERT_TRUE(dep.finished());
+        EXPECT_GE(coflow.release_time, dep.finish_time - 1e-9);
+      }
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, DisruptionProperties,
                          ::testing::Range<std::uint64_t>(0, 8));
+
+// The determinism contract extended to faults: a faulty replicated sweep —
+// trace, metrics and fault counters included — is byte-identical whether
+// the replicates run serially or sharded over 2 or 8 workers.
+TEST(FaultDeterminism, ByteIdenticalAcrossWorkerCounts) {
+  ExperimentConfig config = trace_scenario(StructureKind::kFbTao, 30, 11);
+  config.fat_tree_k = 4;
+  config.obs.trace = true;
+  config.faults.enabled = true;
+  config.faults.plan.host_crash_rate = 3.0;
+  config.faults.plan.link_flap_rate = 1.0;
+  config.faults.plan.straggler_rate = 4.0;
+  config.faults.plan.state_loss_rate = 1.0;
+  const std::vector<std::string> names = {"gurita", "gurita_plus", "aalo",
+                                          "baraat", "varys"};
+
+  const auto fingerprint = [&](int jobs) {
+    const ComparisonResult pooled =
+        compare_schedulers_seeds(config, names, /*num_seeds=*/4, jobs);
+    std::ostringstream os;
+    os.precision(17);
+    for (const auto& [name, res] : pooled.results) {
+      os << name << " " << res.makespan << " " << res.average_jct() << " "
+         << res.failed_jobs << " " << res.flow_aborts << " "
+         << res.flow_retries << " " << res.bytes_lost << " "
+         << res.bytes_retransmitted << " " << res.total_recovery_latency
+         << " " << res.events << "\n";
+      obs::write_jsonl(os, res.trace, name);
+    }
+    return os.str();
+  };
+
+  const std::string serial = fingerprint(1);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, fingerprint(2));
+  EXPECT_EQ(serial, fingerprint(8));
+}
 
 }  // namespace
 }  // namespace gurita

@@ -130,6 +130,57 @@ TEST_F(TraceIoFixture, MissingFileRejected) {
   EXPECT_THROW(load_trace("/nonexistent/path/to.trace"), std::logic_error);
 }
 
+TEST_F(TraceIoFixture, TrailingTokensRejected) {
+  write_file("gurita-trace v1\nJ 0 1\nC 0\nF 0 1 10 surprise\n");
+  EXPECT_THROW(load_trace(path_), std::logic_error);
+}
+
+TEST_F(TraceIoFixture, TruncatedDepListRejected) {
+  write_file("gurita-trace v1\nJ 0 2\nC 0\nF 0 1 10\nC 2 0\nF 1 2 10\n");
+  EXPECT_THROW(load_trace(path_), std::logic_error);
+}
+
+TEST_F(TraceIoFixture, SelfFlowRejected) {
+  write_file("gurita-trace v1\nJ 0 1\nC 0\nF 3 3 10\n");
+  EXPECT_THROW(load_trace(path_), std::logic_error);
+}
+
+TEST_F(TraceIoFixture, NegativeArrivalRejected) {
+  write_file("gurita-trace v1\nJ -0.25 1\nC 0\nF 0 1 10\n");
+  EXPECT_THROW(load_trace(path_), std::logic_error);
+}
+
+TEST_F(TraceIoFixture, EmptyCoflowRejected) {
+  write_file("gurita-trace v1\nJ 0 2\nC 0\nC 1 0\nF 1 2 10\n");
+  EXPECT_THROW(load_trace(path_), std::logic_error);
+}
+
+TEST_F(TraceIoFixture, SaveIsAtomicAndCorruptionIsDetected) {
+  TraceConfig config;
+  config.num_jobs = 10;
+  config.num_hosts = 32;
+  const auto jobs = generate_trace(config);
+  save_trace(path_, jobs);
+  // Atomic save leaves no temp file behind.
+  EXPECT_FALSE(std::ifstream(path_ + ".tmp").good());
+  std::remove((path_ + ".tmp").c_str());
+
+  // Simulated mid-write crash: truncate the archive in the middle of its
+  // last coflow record (an arbitrary byte cut can land on a record
+  // boundary and leave a shorter-but-valid trace). The loader must reject
+  // it, never return a partial workload silently.
+  std::string contents;
+  {
+    std::ifstream in(path_);
+    contents.assign(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>());
+  }
+  const std::size_t last_coflow = contents.rfind("\nC ");
+  ASSERT_NE(last_coflow, std::string::npos);
+  write_file(contents.substr(0, last_coflow + 2));  // ends "...\nC"
+  EXPECT_THROW(load_trace(path_), std::logic_error);
+}
+
 TEST_F(TraceIoFixture, ErrorsCarryLineNumbers) {
   write_file("gurita-trace v1\nJ 0 1\nC 0\nF 0 1 10\nX bogus\n");
   try {
