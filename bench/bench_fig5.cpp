@@ -19,6 +19,11 @@
 //   --trace-binary      write the compact binary format instead of JSONL
 //   --profile           print the engine phase profile summed over all runs
 //   --log-level LVL     debug|info|warn|error|off
+//
+// Checkpoint/restore (exp/args.h; DESIGN.md §12): --checkpoint-every,
+// --checkpoint-dir, --resume-from, --checkpoint-halt-after. A deliberate
+// mid-run halt exits with status 75 ("halted, resume me"); re-running with
+// --resume-from produces output byte-identical to an uninterrupted run.
 #include <iostream>
 
 #include "exp/args.h"
@@ -27,6 +32,7 @@
 #include "exp/runner.h"
 #include "metrics/report.h"
 #include "obs/trace.h"
+#include "snapshot/snapshot.h"
 
 namespace gurita {
 namespace {
@@ -75,9 +81,20 @@ int main(int argc, char** argv) {
       {"CD-b (TPC-DS, bursty)",
        bursty_scenario(StructureKind::kTpcDs, bursty_jobs, seed, bursty_pods),
        all});
-  for (ExperimentRun& run : runs) run.config.obs = obs_options;
+  for (ExperimentRun& run : runs) {
+    run.config.obs = obs_options;
+    apply_checkpoint_flags(args, run.config);
+  }
 
-  const std::vector<ComparisonResult> results = run_matrix(runs, jobs);
+  std::vector<ComparisonResult> results;
+  try {
+    results = run_matrix(runs, jobs);
+  } catch (const snapshot::HaltedError& e) {
+    // Deliberate --checkpoint-halt-after crash: distinct exit status so CI
+    // can assert the halt happened and then re-invoke with --resume-from.
+    std::cerr << "bench_fig5: " << e.what() << "\n";
+    return 75;
+  }
 
   std::cout << "=== Figure 5: average improvement of Gurita per scenario ===\n"
                "Each cell: avg-JCT ratio / mean per-job speedup "

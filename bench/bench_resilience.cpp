@@ -22,6 +22,11 @@
 //                  includes fault / flow_abort / flow_retry / job_fail
 //                  records), plus FILE.summary.json
 //   --trace-filter CSV, --trace-binary, --log-level as everywhere else.
+//
+// Checkpoint/restore (exp/args.h; DESIGN.md §12): --checkpoint-every,
+// --checkpoint-dir, --resume-from, --checkpoint-halt-after. A deliberate
+// mid-run halt exits with status 75 ("halted, resume me"); re-running with
+// --resume-from produces output byte-identical to an uninterrupted run.
 #include <iostream>
 #include <sstream>
 #include <vector>
@@ -33,6 +38,7 @@
 #include "exp/runner.h"
 #include "metrics/report.h"
 #include "obs/trace.h"
+#include "snapshot/snapshot.h"
 
 namespace gurita {
 namespace {
@@ -85,6 +91,7 @@ int main(int argc, char** argv) {
   base.faults.plan.straggler_rate = 4.0;
   base.faults.plan.state_loss_rate = 0.5;
   apply_fault_flags(args, base);
+  apply_checkpoint_flags(args, base);
 
   const std::vector<std::string> schedulers = {"gurita", "gurita_plus", "aalo",
                                                "baraat", "varys"};
@@ -103,7 +110,15 @@ int main(int argc, char** argv) {
     runs.push_back(std::move(run));
   }
 
-  const std::vector<ComparisonResult> results = run_matrix(runs, jobs);
+  std::vector<ComparisonResult> results;
+  try {
+    results = run_matrix(runs, jobs);
+  } catch (const snapshot::HaltedError& e) {
+    // Deliberate --checkpoint-halt-after crash: distinct exit status so CI
+    // can assert the halt happened and then re-invoke with --resume-from.
+    std::cerr << "bench_resilience: " << e.what() << "\n";
+    return 75;
+  }
 
   // Baseline per scheduler: the smallest requested factor (conventionally
   // 0 — the fault-free run).

@@ -2,6 +2,7 @@
 """Validate a structured simulation trace exported by a bench driver.
 
 Usage: validate_trace.py TRACE.jsonl [TRACE.jsonl.summary.json]
+                         [--continuation PARTIAL.jsonl]
 
 Checks, in order:
   1. every line parses as JSON and carries "t" (a number) and a known "kind";
@@ -17,7 +18,12 @@ Checks, in order:
      (a parked flow cancelled by its job's failure already produced a
      flow_abort, so it is counted by cancelled_parked, not here);
   4. when the summary is given, per-kind line counts equal the registry's
-     "trace.<kind>" counters exactly.
+     "trace.<kind>" counters exactly;
+  5. with --continuation, TRACE must be a *seamless continuation* of
+     PARTIAL: section by section, PARTIAL's records are a byte-exact prefix
+     of TRACE's, and the first record TRACE adds past the seam never steps
+     backwards in time. This is how CI checks that a run resumed from a
+     checkpoint (DESIGN.md §12) extends its history instead of rewriting it.
 
 Exit code 0 on success, 1 with a diagnostic on the first failure.
 """
@@ -98,10 +104,65 @@ def validate_line(lineno, line, counts, tallies):
         tallies["cancelled_running"] += rec["cancelled_running"]
 
 
+def read_sections(path):
+    """Raw lines grouped by their "section" field, in first-seen order."""
+    sections = collections.OrderedDict()
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                section = json.loads(line).get("section", "")
+            except json.JSONDecodeError as e:
+                fail(f"{path}: not valid JSON ({e}): {line[:120]}")
+            sections.setdefault(section, []).append(line)
+    return sections
+
+
+def check_continuation(trace_path, partial_path):
+    """TRACE must extend PARTIAL: per section a byte-exact prefix, and the
+    first appended record must not step backwards in time."""
+    full = read_sections(trace_path)
+    partial = read_sections(partial_path)
+    carried = 0
+    for section, plines in partial.items():
+        flines = full.get(section)
+        if flines is None:
+            fail(f"continuation: section {section!r} of {partial_path} "
+                 f"is missing from {trace_path}")
+        if len(flines) < len(plines):
+            fail(f"continuation: section {section!r} shrank from "
+                 f"{len(plines)} to {len(flines)} records")
+        for i, (p, f) in enumerate(zip(plines, flines)):
+            if p != f:
+                fail(f"continuation: section {section!r} record {i} was "
+                     f"rewritten:\n  partial: {p[:120]}\n  full:    {f[:120]}")
+        if len(flines) > len(plines) and plines:
+            t_seam = json.loads(plines[-1])["t"]
+            t_next = json.loads(flines[len(plines)])["t"]
+            if t_next < t_seam:
+                fail(f"continuation: section {section!r} steps backwards "
+                     f"across the seam: t={t_next} after t={t_seam}")
+        carried += len(plines)
+    print(f"validate_trace: continuation OK: {trace_path} extends "
+          f"{carried} records of {partial_path} across "
+          f"{len(partial)} section(s)")
+
+
 def main():
-    if len(sys.argv) not in (2, 3):
+    args = sys.argv[1:]
+    continuation = None
+    if "--continuation" in args:
+        idx = args.index("--continuation")
+        if idx + 1 >= len(args):
+            fail("--continuation needs a PARTIAL.jsonl argument")
+        continuation = args[idx + 1]
+        del args[idx:idx + 2]
+    if len(args) not in (1, 2):
         print(__doc__, file=sys.stderr)
         sys.exit(2)
+    sys.argv = [sys.argv[0]] + args
     trace_path = sys.argv[1]
     counts = collections.Counter()
     tallies = collections.Counter()
@@ -148,6 +209,9 @@ def main():
 
     by_kind = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
     print(f"validate_trace: OK: {lines} records ({by_kind})")
+
+    if continuation is not None:
+        check_continuation(trace_path, continuation)
 
 
 if __name__ == "__main__":

@@ -13,9 +13,11 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/check.h"
+#include "snapshot/codec.h"
 
 namespace gurita {
 
@@ -40,6 +42,30 @@ class AdaptiveThresholds {
   /// Current boundaries (size queues-1; empty until first refresh).
   [[nodiscard]] const std::vector<double>& boundaries() const {
     return boundaries_;
+  }
+
+  /// Checkpoint hooks (DESIGN.md §12). Configuration (queues, capacity,
+  /// refresh cadence) is NOT serialized — the restoring side reconstructs
+  /// the learner from the same Config; only learned state travels. The
+  /// reservoir ring (including slot positions) must round-trip exactly:
+  /// future refreshes sort a copy of it, so element order matters.
+  void save_state(snapshot::Writer& w) const {
+    w.u64(static_cast<std::uint64_t>(total_));
+    w.u64(static_cast<std::uint64_t>(since_refresh_));
+    w.u64(static_cast<std::uint64_t>(next_slot_));
+    w.u64(reservoir_.size());
+    for (double v : reservoir_) w.f64(v);
+    w.u64(boundaries_.size());
+    for (double v : boundaries_) w.f64(v);
+  }
+  void load_state(snapshot::Reader& r) {
+    total_ = static_cast<std::size_t>(r.u64());
+    since_refresh_ = static_cast<std::size_t>(r.u64());
+    next_slot_ = static_cast<std::size_t>(r.u64());
+    reservoir_.resize(static_cast<std::size_t>(r.u64()));
+    for (double& v : reservoir_) v = r.f64();
+    boundaries_.resize(static_cast<std::size_t>(r.u64()));
+    for (double& v : boundaries_) v = r.f64();
   }
 
  private:

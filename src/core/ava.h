@@ -10,6 +10,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+
+#include "snapshot/codec.h"
 
 namespace gurita {
 
@@ -24,6 +27,16 @@ class AvaEstimator {
 
   [[nodiscard]] double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
   [[nodiscard]] std::size_t observations() const { return n_; }
+
+  /// Checkpoint hooks (DESIGN.md §12): the running mean is learned state.
+  void save_state(snapshot::Writer& w) const {
+    w.f64(sum_);
+    w.u64(static_cast<std::uint64_t>(n_));
+  }
+  void load_state(snapshot::Reader& r) {
+    sum_ = r.f64();
+    n_ = static_cast<std::size_t>(r.u64());
+  }
 
  private:
   double sum_ = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <unordered_map>
 
 #include "core/blocking_effect.h"
 #include "core/starvation.h"
@@ -248,6 +249,50 @@ void GuritaScheduler::self_demote(CoflowId cid, int& queue, Time now) {
     queue = level;
     ++stats_.self_demotions;
   }
+}
+
+void GuritaScheduler::save_state(snapshot::Writer& w) const {
+  w.u64(head_receivers_.size());
+  for (const auto& [jid, hr] : head_receivers_) {
+    w.u64(jid.value());
+    hr.save_state(w);
+  }
+  w.u64(coflow_queue_.size());
+  for (const auto& [cid, queue] : coflow_queue_) {
+    w.u64(cid.value());
+    w.i32(queue);
+  }
+  ava_.save_state(w);
+  adaptive_.save_state(w);
+  w.u64(stats_.hr_updates);
+  w.u64(stats_.demotions);
+  w.u64(stats_.self_demote_checks);
+  w.u64(stats_.self_demotions);
+  w.u64(stats_.critical_path_hits);
+}
+
+void GuritaScheduler::load_state(snapshot::Reader& r) {
+  head_receivers_.clear();
+  const std::uint64_t n_hr = r.u64();
+  for (std::uint64_t i = 0; i < n_hr; ++i) {
+    const JobId jid{r.u64()};
+    HeadReceiver hr(jid);
+    hr.load_state(r);
+    head_receivers_.emplace(jid, std::move(hr));
+  }
+  coflow_queue_.clear();
+  const std::uint64_t n_q = r.u64();
+  for (std::uint64_t i = 0; i < n_q; ++i) {
+    const CoflowId cid{r.u64()};
+    coflow_queue_.emplace(cid, r.i32());
+  }
+  ava_.load_state(r);
+  adaptive_.load_state(r);
+  stats_.hr_updates = r.u64();
+  stats_.demotions = r.u64();
+  stats_.self_demote_checks = r.u64();
+  stats_.self_demotions = r.u64();
+  stats_.critical_path_hits = r.u64();
 }
 
 void GuritaScheduler::assign(Time now, const std::vector<SimFlow*>& active) {

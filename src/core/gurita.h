@@ -26,7 +26,7 @@
 // faithful model of a controller-less, receiver-driven scheme.
 #pragma once
 
-#include <unordered_map>
+#include <map>
 
 #include "common/units.h"
 #include "core/adaptive_thresholds.h"
@@ -90,6 +90,12 @@ class GuritaScheduler final : public Scheduler {
   /// never reaches on_job_finish).
   void on_job_fail(const SimJob& job, Time now) override;
   void assign(Time now, const std::vector<SimFlow*>& active) override;
+  /// Checkpoint hooks (DESIGN.md §12): HR caches, queue table, AVA history,
+  /// adaptive-threshold reservoir and introspection counters all travel
+  /// with the snapshot — a restored Gurita is indistinguishable from one
+  /// that ran the whole horizon.
+  void save_state(snapshot::Writer& w) const override;
+  void load_state(snapshot::Reader& r) override;
 
   /// Exposed for tests: queue currently assigned to a coflow (0 if none).
   [[nodiscard]] int coflow_queue(CoflowId id) const;
@@ -115,9 +121,13 @@ class GuritaScheduler final : public Scheduler {
   [[nodiscard]] int psi_level(double psi) const;
   /// Feeds a Ψ observation to the adaptive learner (no-op when fixed).
   void observe_psi(double psi);
-  std::unordered_map<JobId, HeadReceiver> head_receivers_;
+  /// Ordered maps, not hash maps: on_tick and assign iterate these, and
+  /// both trace-record emission order and Ψ̈ floating-point fold order must
+  /// be a pure function of logical state for byte-identical restore —
+  /// a rehashed unordered_map's bucket order is not reconstructible.
+  std::map<JobId, HeadReceiver> head_receivers_;
   /// Queue assigned to each released coflow; demote-only while it runs.
-  std::unordered_map<CoflowId, int> coflow_queue_;
+  std::map<CoflowId, int> coflow_queue_;
 
   /// Recomputes Ψ̈ and stage queues for one job from its HR cache.
   /// Returns true if any coflow's queue changed.

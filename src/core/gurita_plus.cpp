@@ -148,4 +148,42 @@ void GuritaPlusScheduler::assign(Time now, const std::vector<SimFlow*>& active) 
   }
 }
 
+void GuritaPlusScheduler::save_state(snapshot::Writer& w) const {
+  std::vector<std::pair<JobId, std::vector<bool>>> critical(
+      on_critical_.begin(), on_critical_.end());
+  std::sort(critical.begin(), critical.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w.u64(critical.size());
+  for (const auto& [jid, flags] : critical) {
+    w.u64(jid.value());
+    w.u64(flags.size());
+    for (bool f : flags) w.boolean(f);
+  }
+  std::vector<std::pair<CoflowId, int>> queues(last_queue_.begin(),
+                                               last_queue_.end());
+  std::sort(queues.begin(), queues.end());
+  w.u64(queues.size());
+  for (const auto& [cid, q] : queues) {
+    w.u64(cid.value());
+    w.i32(q);
+  }
+}
+
+void GuritaPlusScheduler::load_state(snapshot::Reader& r) {
+  on_critical_.clear();
+  const std::uint64_t n_critical = r.u64();
+  for (std::uint64_t i = 0; i < n_critical; ++i) {
+    const JobId jid{r.u64()};
+    std::vector<bool> flags(static_cast<std::size_t>(r.u64()));
+    for (std::size_t k = 0; k < flags.size(); ++k) flags[k] = r.boolean();
+    on_critical_.emplace(jid, std::move(flags));
+  }
+  last_queue_.clear();
+  const std::uint64_t n_queues = r.u64();
+  for (std::uint64_t i = 0; i < n_queues; ++i) {
+    const CoflowId cid{r.u64()};
+    last_queue_.emplace(cid, r.i32());
+  }
+}
+
 }  // namespace gurita

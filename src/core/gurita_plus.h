@@ -55,6 +55,13 @@ class GuritaPlusScheduler final : public Scheduler {
   /// Drops the failed job's critical-path vector and traced queues.
   void on_job_fail(const SimJob& job, Time now) override;
   void assign(Time now, const std::vector<SimFlow*>& active) override;
+  /// Checkpoint hooks (DESIGN.md §12): critical-path membership (DAG
+  /// knowledge computed at arrival) and the traced-queue map (needed so a
+  /// restored run emits kQueueChange records on exactly the same
+  /// transitions). Serialized in sorted-key order; the tables stay
+  /// unordered (assign() never iterates them).
+  void save_state(snapshot::Writer& w) const override;
+  void load_state(snapshot::Reader& r) override;
 
  private:
   Config config_;

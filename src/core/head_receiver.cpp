@@ -39,4 +39,35 @@ const CoflowObservation& HeadReceiver::observation(CoflowId id) const {
   return it->second;
 }
 
+void HeadReceiver::save_state(snapshot::Writer& w) const {
+  w.f64(last_update_);
+  w.i32(completed_stages_);
+  w.u64(observations_.size());
+  for (const auto& [cid, obs] : observations_) {
+    w.u64(cid.value());
+    w.i32(obs.stage);
+    w.f64(obs.open_connections);
+    w.f64(obs.ell_max_observed);
+    w.f64(obs.ell_avg_observed);
+    w.f64(obs.bytes_received);
+  }
+}
+
+void HeadReceiver::load_state(snapshot::Reader& r) {
+  last_update_ = r.f64();
+  completed_stages_ = r.i32();
+  observations_.clear();
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const CoflowId cid{r.u64()};
+    CoflowObservation obs;
+    obs.stage = r.i32();
+    obs.open_connections = r.f64();
+    obs.ell_max_observed = r.f64();
+    obs.ell_avg_observed = r.f64();
+    obs.bytes_received = r.f64();
+    observations_.emplace(cid, obs);
+  }
+}
+
 }  // namespace gurita

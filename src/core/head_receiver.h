@@ -13,12 +13,13 @@
 // engine's instantaneous global state.
 #pragma once
 
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "common/ids.h"
 #include "common/units.h"
 #include "flowsim/state.h"
+#include "snapshot/codec.h"
 
 namespace gurita {
 
@@ -47,8 +48,13 @@ class HeadReceiver {
     return observations_.count(id) > 0;
   }
   [[nodiscard]] const CoflowObservation& observation(CoflowId id) const;
-  [[nodiscard]] const std::unordered_map<CoflowId, CoflowObservation>&
-  observations() const {
+  /// Ordered by coflow id: decide_priorities() folds these observations into
+  /// per-stage Ψ̈ sums, and floating-point addition order is part of the
+  /// byte-identical determinism contract — an ordered map makes the fold
+  /// order a pure function of logical state (a restored HR iterates exactly
+  /// like the original; a rehashed hash map would not).
+  [[nodiscard]] const std::map<CoflowId, CoflowObservation>& observations()
+      const {
     return observations_;
   }
 
@@ -56,11 +62,17 @@ class HeadReceiver {
   /// which receivers learn through the coflow registration API).
   [[nodiscard]] int completed_stages() const { return completed_stages_; }
 
+  /// Checkpoint hooks (DESIGN.md §12): the full δ-stale observation cache
+  /// travels with the snapshot so a restored run makes identical decisions
+  /// until its next HR round.
+  void save_state(snapshot::Writer& w) const;
+  void load_state(snapshot::Reader& r);
+
  private:
   JobId job_;
   Time last_update_ = -1;
   int completed_stages_ = 0;
-  std::unordered_map<CoflowId, CoflowObservation> observations_;
+  std::map<CoflowId, CoflowObservation> observations_;
 };
 
 }  // namespace gurita

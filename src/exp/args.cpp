@@ -1,25 +1,49 @@
 #include "exp/args.h"
 
+#include <iterator>
+#include <utility>
+
 #include "common/check.h"
 #include "common/log.h"
 #include "exp/experiment.h"
+#include "fault/fault.h"
 
 namespace gurita {
 
 Args::Args(int argc, char** argv) {
+  // Collect *every* repeated flag before throwing, so a long sweep command
+  // line gets one complete report instead of a whack-a-mole loop.
+  std::vector<ConfigError::Issue> duplicates;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     GURITA_CHECK_MSG(arg.rfind("--", 0) == 0, "expected --flag, got " + arg);
+    const std::string key = arg.substr(2);
+    std::string value;
     // A flag followed by another flag (or by nothing) is a bare boolean.
-    if (i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0) {
-      values_[arg.substr(2)] = "";
+    if (!(i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0))
+      value = argv[++i];
+    if (values_.count(key) > 0) {
+      duplicates.push_back(
+          {arg, "defined more than once (previously \"" + values_[key] +
+                    "\", now \"" + value + "\")"});
     } else {
-      values_[arg.substr(2)] = argv[++i];
+      values_.emplace(key, std::move(value));
     }
   }
+  if (!duplicates.empty())
+    throw ConfigError("duplicate command-line flags", std::move(duplicates));
 }
 
 bool Args::has(const std::string& key) const { return values_.count(key) > 0; }
+
+std::vector<std::string> Args::keys_with_prefix(
+    const std::string& prefix) const {
+  std::vector<std::string> keys;
+  for (auto it = values_.lower_bound(prefix);
+       it != values_.end() && it->first.rfind(prefix, 0) == 0; ++it)
+    keys.push_back(it->first);
+  return keys;
+}
 
 int Args::get_int(const std::string& key, int fallback) const {
   const auto it = values_.find(key);
@@ -58,6 +82,27 @@ void apply_log_level(const Args& args) {
     log::set_level(log::level_from_string(args.get_string("log-level", "")));
 }
 
+namespace {
+
+/// Rejects every parsed flag in `prefix`'s namespace that is not in the
+/// `known` table — a typo like --fault-host-rat must not silently run the
+/// experiment with default rates.
+void reject_unknown_flags(const Args& args, const std::string& prefix,
+                          const std::vector<std::string>& known,
+                          const std::string& context) {
+  std::vector<ConfigError::Issue> issues;
+  for (const std::string& key : args.keys_with_prefix(prefix)) {
+    bool found = false;
+    for (const std::string& k : known) found = found || k == key;
+    if (!found)
+      issues.push_back({"--" + key, "unknown flag (known " + prefix +
+                                        "* flags are listed in exp/args.h)"});
+  }
+  if (!issues.empty()) throw ConfigError(context, std::move(issues));
+}
+
+}  // namespace
+
 void apply_fault_flags(const Args& args, ExperimentConfig& config) {
   static const char* kFlags[] = {
       "fault-host-rate",     "fault-link-rate",    "fault-straggler-rate",
@@ -65,6 +110,10 @@ void apply_fault_flags(const Args& args, ExperimentConfig& config) {
       "fault-straggle",      "fault-straggle-factor", "fault-retry",
       "fault-retry-base",    "fault-retry-multiplier", "fault-retry-max-delay",
       "fault-retry-jitter",  "fault-retry-max-attempts"};
+  reject_unknown_flags(args, "fault-",
+                       std::vector<std::string>(std::begin(kFlags),
+                                                std::end(kFlags)),
+                       "unknown fault flags");
   bool any = args.get_bool("faults", false);
   for (const char* flag : kFlags) any = any || args.has(flag);
   if (!any) return;
@@ -100,6 +149,48 @@ void apply_fault_flags(const Args& args, ExperimentConfig& config) {
   plan.retry.jitter = args.get_double("fault-retry-jitter", plan.retry.jitter);
   plan.retry.max_attempts =
       args.get_int("fault-retry-max-attempts", plan.retry.max_attempts);
+}
+
+void apply_checkpoint_flags(const Args& args, ExperimentConfig& config) {
+  reject_unknown_flags(
+      args, "checkpoint-",
+      {"checkpoint-every", "checkpoint-dir", "checkpoint-halt-after"},
+      "unknown checkpoint flags");
+  if (!args.has("checkpoint-every") && !args.has("checkpoint-dir") &&
+      !args.has("resume-from") && !args.has("checkpoint-halt-after"))
+    return;
+
+  std::vector<ConfigError::Issue> issues;
+  ExperimentConfig::CheckpointOptions& ckpt = config.checkpoint;
+  ckpt.every = args.get_double("checkpoint-every", ckpt.every);
+  ckpt.dir = args.get_string("checkpoint-dir", ckpt.dir);
+  if (args.has("resume-from")) {
+    const std::string from = args.get_string("resume-from", "");
+    if (from.empty())
+      issues.push_back({"--resume-from", "wants a directory"});
+    if (!ckpt.dir.empty() && ckpt.dir != from)
+      issues.push_back({"--resume-from",
+                        "conflicts with --checkpoint-dir " + ckpt.dir});
+    ckpt.dir = from;
+    ckpt.resume = true;
+  }
+  ckpt.halt_after = args.get_int("checkpoint-halt-after", ckpt.halt_after);
+
+  if (args.has("checkpoint-every") && ckpt.every <= 0)
+    issues.push_back({"--checkpoint-every", "wants a cadence > 0 seconds"});
+  if (ckpt.every > 0 && ckpt.dir.empty())
+    issues.push_back(
+        {"--checkpoint-every",
+         "wants a directory (--checkpoint-dir or --resume-from)"});
+  if (args.has("checkpoint-halt-after") && ckpt.halt_after <= 0)
+    issues.push_back({"--checkpoint-halt-after", "wants a count > 0"});
+  if (ckpt.halt_after > 0 && !(ckpt.every > 0))
+    issues.push_back(
+        {"--checkpoint-halt-after", "wants --checkpoint-every as well"});
+  if (args.has("checkpoint-dir") && ckpt.dir.empty())
+    issues.push_back({"--checkpoint-dir", "wants a directory"});
+  if (!issues.empty())
+    throw ConfigError("invalid checkpoint flags", std::move(issues));
 }
 
 }  // namespace gurita

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace gurita {
 
@@ -19,7 +20,10 @@ class Args {
  public:
   /// Parses "--key value" pairs and bare "--flag" booleans (a flag followed
   /// by another flag, or by nothing, stores the empty string — read it back
-  /// with get_bool/has). Throws std::logic_error on malformed input.
+  /// with get_bool/has). Throws std::logic_error on malformed input, and
+  /// ConfigError (fault/fault.h) listing *every* flag that was defined more
+  /// than once — repeated flags are a silent last-write-wins trap in long
+  /// sweep invocations, so they fail loudly instead.
   Args(int argc, char** argv);
 
   [[nodiscard]] int get_int(const std::string& key, int fallback) const;
@@ -33,6 +37,12 @@ class Args {
   /// value must be "true"/"1" or "false"/"0".
   [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
   [[nodiscard]] bool has(const std::string& key) const;
+
+  /// All parsed flag names starting with `prefix`, in sorted order. Lets
+  /// the apply_*_flags helpers reject unknown flags in their namespace
+  /// ("--fault-*", "--checkpoint-*") instead of silently ignoring typos.
+  [[nodiscard]] std::vector<std::string> keys_with_prefix(
+      const std::string& prefix) const;
 
  private:
   std::map<std::string, std::string> values_;
@@ -62,7 +72,21 @@ struct ExperimentConfig;
 ///   --fault-retry-jitter J        max jitter fraction added to each delay
 ///   --fault-retry-max-attempts N  aborts beyond this fail the job
 /// Any of these flags implies --faults. Throws std::logic_error on an
-/// unknown --fault-retry value.
+/// unknown --fault-retry value, and ConfigError listing every "--fault-*"
+/// flag that is not in the table above (typo protection).
 void apply_fault_flags(const Args& args, ExperimentConfig& config);
+
+/// Applies the shared checkpoint/resume flags to `config.checkpoint`
+/// (experiment.h; DESIGN.md §12):
+///   --checkpoint-every T       snapshot cadence in simulated seconds (> 0)
+///   --checkpoint-dir D         artifact directory (.ckpt/.done files)
+///   --resume-from D            resume from D's artifacts (implies dir D)
+///   --checkpoint-halt-after N  crash on purpose after N snapshots (> 0);
+///                              drivers catch HaltedError and exit 75
+/// Throws ConfigError aggregating every problem: unknown "--checkpoint-*"
+/// flags, --checkpoint-every without a directory, a non-positive cadence,
+/// --checkpoint-halt-after without --checkpoint-every, and conflicting
+/// --checkpoint-dir/--resume-from directories.
+void apply_checkpoint_flags(const Args& args, ExperimentConfig& config);
 
 }  // namespace gurita

@@ -1,10 +1,45 @@
 #include "exp/experiment.h"
 
+#include <filesystem>
+#include <fstream>
+
 #include "common/check.h"
 #include "exp/registry.h"
 #include "exp/runner.h"
+#include "snapshot/snapshot.h"
 
 namespace gurita {
+
+namespace {
+
+bool file_exists(const std::string& path) {
+  return std::ifstream(path, std::ios::binary).good();
+}
+
+/// Runs `sim` to completion under the checkpoint policy: snapshot every
+/// `every` simulated seconds (counting from the simulator's current time,
+/// so a resumed run keeps its own cadence), halt deliberately after
+/// `halt_after` snapshots when asked. Pausing and checkpointing are
+/// invisible to the simulation — step boundaries are exact, checkpoint() is
+/// const — so the returned results match an uninterrupted run() bit for bit.
+SimResults run_checkpointed(Simulator& sim,
+                            const ExperimentConfig::CheckpointOptions& opts,
+                            const std::string& ckpt_path) {
+  int snapshots = 0;
+  while (sim.run_until(sim.now() + opts.every)) {
+    snapshot::Writer w;
+    sim.checkpoint(w);
+    snapshot::write_snapshot_file(ckpt_path, w.buffer());
+    ++snapshots;
+    if (opts.halt_after > 0 && snapshots >= opts.halt_after)
+      throw snapshot::HaltedError("halted on purpose after " +
+                                  std::to_string(snapshots) +
+                                  " snapshot(s); resume from " + ckpt_path);
+  }
+  return sim.finish();
+}
+
+}  // namespace
 
 double ComparisonResult::improvement(const std::string& reference,
                                      const std::string& other,
@@ -27,7 +62,27 @@ double ComparisonResult::per_job_speedup(const std::string& reference,
 }
 
 SimResults run_one(const ExperimentConfig& config,
-                   const std::vector<JobSpec>& jobs, Scheduler& scheduler) {
+                   const std::vector<JobSpec>& jobs, Scheduler& scheduler,
+                   const std::string& checkpoint_key) {
+  const bool checkpointing =
+      config.checkpoint.active() && !checkpoint_key.empty();
+  const std::string stem =
+      checkpointing ? config.checkpoint.dir + "/" + checkpoint_key : "";
+  const std::string ckpt_path = stem + ".ckpt";
+  const std::string done_path = stem + ".done";
+  if (checkpointing) {
+    // A finished shard's cached results short-circuit the whole run (the
+    // cache holds the byte-identical SimResults, trace included, minus the
+    // wall-clock profile — snapshot/snapshot.h).
+    if (config.checkpoint.resume && file_exists(done_path)) {
+      snapshot::Reader r(snapshot::read_snapshot_file(done_path));
+      if (snapshot::read_header(r) != snapshot::PayloadKind::kResultsCache)
+        throw snapshot::SnapshotError(done_path +
+                                      " is not a results cache snapshot");
+      return snapshot::load_results(r);
+    }
+    std::filesystem::create_directories(config.checkpoint.dir);
+  }
   const FatTree fabric(FatTree::Config{config.fat_tree_k,
                                        config.link_capacity,
                                        config.ecmp_salt});
@@ -49,14 +104,40 @@ SimResults run_one(const ExperimentConfig& config,
   }
   Simulator sim(fabric, scheduler, sim_config);
   for (const JobSpec& job : jobs) sim.submit(job);
-  SimResults results = sim.run();
+  SimResults results;
+  if (checkpointing) {
+    // Mid-flight resume: rebuild the simulator from the same inputs (done
+    // above), then overwrite its dynamic state from the snapshot. The
+    // embedded fingerprint rejects artifacts from a different workload.
+    const bool resuming =
+        config.checkpoint.resume && file_exists(ckpt_path);
+    if (resuming) {
+      const std::string bytes = snapshot::read_snapshot_file(ckpt_path);
+      snapshot::Reader r(bytes);
+      sim.restore(r);
+    }
+    if (config.checkpoint.every > 0)
+      results = run_checkpointed(sim, config.checkpoint, ckpt_path);
+    else
+      results = resuming ? sim.finish() : sim.run();
+  } else {
+    results = sim.run();
+  }
   if (config.obs.trace) results.trace = recorder.take();
   if (config.obs.profile) results.profile = profiler.snapshot();
+  if (checkpointing) {
+    // Record the finished shard so a later resume skips it entirely.
+    snapshot::Writer w;
+    snapshot::write_header(w, snapshot::PayloadKind::kResultsCache);
+    snapshot::save_results(w, results);
+    snapshot::write_snapshot_file(done_path, w.buffer());
+  }
   return results;
 }
 
 ComparisonResult compare_schedulers(const ExperimentConfig& config,
-                                    const std::vector<std::string>& names) {
+                                    const std::vector<std::string>& names,
+                                    const std::string& checkpoint_key) {
   TraceConfig trace = config.trace;
   const FatTree fabric(
       FatTree::Config{config.fat_tree_k, config.link_capacity});
@@ -66,7 +147,9 @@ ComparisonResult compare_schedulers(const ExperimentConfig& config,
   ComparisonResult out;
   for (const std::string& name : names) {
     const std::unique_ptr<Scheduler> scheduler = make_scheduler(name);
-    SimResults results = run_one(config, jobs, *scheduler);
+    SimResults results = run_one(
+        config, jobs, *scheduler,
+        checkpoint_key.empty() ? checkpoint_key : checkpoint_key + "." + name);
     JctCollector collector;
     collector.add(results);
     out.collectors.emplace(name, std::move(collector));

@@ -42,6 +42,25 @@ struct ExperimentConfig {
     FaultPlanConfig plan;
   };
   FaultOptions faults;
+
+  /// Checkpoint/restore (snapshot/). When `dir` is set and the caller
+  /// supplies a checkpoint key, run_one snapshots the paused simulator every
+  /// `every` simulated seconds to `dir/<key>.<scheduler>.ckpt` (atomic
+  /// write), and records each finished run's results in a matching `.done`
+  /// cache. With `resume` set it picks up from whichever artifact exists —
+  /// `.done` short-circuits the run entirely, `.ckpt` restores mid-flight —
+  /// and the resumed sweep's output is byte-identical to an uninterrupted
+  /// one (snapshot/snapshot.h). `halt_after` > 0 throws HaltedError after
+  /// that many snapshots: a deterministic crash for resume testing.
+  struct CheckpointOptions {
+    Time every = 0;       ///< snapshot cadence in simulated seconds; 0 = off
+    std::string dir;      ///< artifact directory; empty disables everything
+    bool resume = false;  ///< resume from dir's .done/.ckpt artifacts
+    int halt_after = 0;   ///< > 0: HaltedError after N snapshots (testing)
+
+    [[nodiscard]] bool active() const { return !dir.empty(); }
+  };
+  CheckpointOptions checkpoint;
 };
 
 /// Outcome per scheduler, keyed by scheduler name.
@@ -72,14 +91,23 @@ struct ComparisonResult {
 };
 
 /// Runs `jobs` under `scheduler` on a fresh fabric; returns the results.
+/// `checkpoint_key` names this run's snapshot artifacts (the file stem
+/// inside config.checkpoint.dir); when it is empty or checkpointing is not
+/// configured, the run is a plain uninterrupted run(). Checkpointing never
+/// perturbs results: a checkpointed (or halted-and-resumed) run is
+/// byte-identical to an uninterrupted one.
 [[nodiscard]] SimResults run_one(const ExperimentConfig& config,
                                  const std::vector<JobSpec>& jobs,
-                                 Scheduler& scheduler);
+                                 Scheduler& scheduler,
+                                 const std::string& checkpoint_key = "");
 
 /// Generates the workload once, replays the *identical* job set under each
-/// named scheduler, and returns per-scheduler collectors.
+/// named scheduler, and returns per-scheduler collectors. `checkpoint_key`
+/// prefixes each scheduler's snapshot artifacts ("<key>.<scheduler>"); see
+/// run_one.
 [[nodiscard]] ComparisonResult compare_schedulers(
-    const ExperimentConfig& config, const std::vector<std::string>& names);
+    const ExperimentConfig& config, const std::vector<std::string>& names,
+    const std::string& checkpoint_key = "");
 
 /// Statistical variant: repeats compare_schedulers over `num_seeds`
 /// workloads (seed, seed+1, ... — the legacy schedule, kept so recorded

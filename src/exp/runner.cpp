@@ -75,7 +75,10 @@ std::vector<ComparisonResult> run_matrix(const std::vector<ExperimentRun>& runs,
                                          int jobs) {
   std::vector<ComparisonResult> results(runs.size());
   run_sharded(runs.size(), jobs, [&](std::size_t i) {
-    results[i] = compare_schedulers(runs[i].config, runs[i].schedulers);
+    results[i] = compare_schedulers(runs[i].config, runs[i].schedulers,
+                                    runs[i].checkpoint_key.empty()
+                                        ? "cell" + std::to_string(i)
+                                        : runs[i].checkpoint_key);
   });
   return results;
 }
@@ -95,6 +98,7 @@ std::vector<ComparisonResult> run_sweep(const SweepSpec& sweep, int jobs) {
       run.config.trace.seed =
           derive_run_seed(sweep.configs[c].trace.seed, sweep.experiment, c, r);
       run.schedulers = sweep.schedulers;
+      run.checkpoint_key = "c" + std::to_string(c) + "r" + std::to_string(r);
       cells.push_back(std::move(run));
     }
   }

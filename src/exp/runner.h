@@ -63,6 +63,12 @@ struct ExperimentRun {
   std::string label;  ///< for reports; not part of any seed
   ExperimentConfig config;
   std::vector<std::string> schedulers;
+  /// Stable stem for this cell's snapshot artifacts when the config enables
+  /// checkpointing (experiment.h). Empty → run_matrix falls back to
+  /// "cell<i>", which is stable only while the matrix layout is: sweeps set
+  /// an index-derived key ("c<config>r<replicate>") so resume survives
+  /// relayout.
+  std::string checkpoint_key = {};
 };
 
 /// Executes every run, sharded over `jobs` workers; slot i of the returned

@@ -18,6 +18,7 @@
 #include "fault/fault.h"
 #include "flowsim/state.h"
 #include "obs/trace.h"
+#include "snapshot/codec.h"
 
 namespace gurita {
 
@@ -98,6 +99,22 @@ class Scheduler {
   /// persistent active list (arrival order modulo swap-with-last removals);
   /// schedulers must not rely on its order and cannot reorder it.
   virtual void assign(Time now, const std::vector<SimFlow*>& active) = 0;
+
+  // --- checkpoint/restore extension (snapshot/, DESIGN.md §12) ---
+
+  /// Serializes every piece of mutable policy state into `w`. The engine's
+  /// checkpoint embeds these bytes in a length-prefixed section, so a
+  /// scheduler may write nothing (the default, correct only for stateless
+  /// policies) or any self-describing payload. Determinism contract: the
+  /// bytes must be a pure function of the scheduler's logical state —
+  /// serialize unordered containers in sorted key order, never by bucket
+  /// iteration, so that checkpoint(checkpoint(restore(x))) == x.
+  virtual void save_state(snapshot::Writer& w) const { (void)w; }
+
+  /// Inverse of save_state. Called after attach() on a freshly constructed
+  /// scheduler (same config as the checkpointed one); must leave the policy
+  /// in a state whose future decisions are byte-identical to the original's.
+  virtual void load_state(snapshot::Reader& r) { (void)r; }
 
   /// Attaches a structured trace sink (obs/trace.h) for decision records —
   /// queue transitions with their Ψ̈ factor breakdown, WRR weight snapshots,

@@ -370,13 +370,16 @@ void Simulator::arrive_job(SimJob& job) {
   }
 }
 
-SimResults Simulator::run() {
-  GURITA_CHECK_MSG(!ran_, "run() called twice");
-  ran_ = true;
-  obs::PhaseProfiler* prof = config_.profiler;
-  if (prof != nullptr) prof->begin_run();
-  const int setup_prev =
-      prof != nullptr ? prof->enter(obs::Phase::kSetup) : -1;
+// --- run-loop decomposition --------------------------------------------------
+//
+// run() used to be one monolithic loop; it is now prepare() + step()* +
+// collect() with every loop-carried local hoisted into a member, so the loop
+// can pause between iterations (run_until), be serialized (checkpoint) and
+// continue in another process (restore + finish) with byte-identical
+// results. The bodies below are the old run() verbatim, modulo the member
+// renames — behaviour is bit-for-bit unchanged.
+
+void Simulator::prepare_structures() {
   // Hand the recorder to the scheduler so its decision records (queue
   // transitions, WRR weights) interleave with engine records in emission
   // order. Only wired when tracing is on, so a scheduler driven by another
@@ -394,10 +397,10 @@ SimResults Simulator::run() {
   pos_in_active_.reserve(total_flows);
   gen_.reserve(total_flows);
 
-  std::vector<JobId> arrival_order;
-  arrival_order.reserve(state_.jobs_.size());
-  for (const SimJob& j : state_.jobs_) arrival_order.push_back(j.id);
-  std::sort(arrival_order.begin(), arrival_order.end(),
+  arrival_order_.clear();
+  arrival_order_.reserve(state_.jobs_.size());
+  for (const SimJob& j : state_.jobs_) arrival_order_.push_back(j.id);
+  std::sort(arrival_order_.begin(), arrival_order_.end(),
             [this](JobId a, JobId b) {
               const Time ta = state_.jobs_[a.value()].arrival_time;
               const Time tb = state_.jobs_[b.value()].arrival_time;
@@ -405,284 +408,300 @@ SimResults Simulator::run() {
               return a < b;
             });
 
-  std::size_t next_arrival = 0;
-  const Time tick = scheduler_->tick_interval();
-  GURITA_CHECK_MSG(tick >= 0, "negative tick interval");
-  Time next_tick = std::numeric_limits<Time>::infinity();
-  dirty_ = true;
-  SimResults results;
-  live_results_ = &results;
-  if (config_.collect_link_stats)
-    results.link_bytes.assign(fabric_->topology().link_count(), 0.0);
+  tick_ = scheduler_->tick_interval();
+  GURITA_CHECK_MSG(tick_ >= 0, "negative tick interval");
 
   // Failure injection: apply capacity changes in time order.
-  std::vector<CapacityChange> disruptions = config_.disruptions;
-  std::sort(disruptions.begin(), disruptions.end(),
+  disruptions_ = config_.disruptions;
+  std::sort(disruptions_.begin(), disruptions_.end(),
             [](const CapacityChange& a, const CapacityChange& b) {
               return a.time < b.time;
             });
-  std::size_t next_disruption = 0;
-  const auto apply_due_disruptions = [&] {
-    while (next_disruption < disruptions.size() &&
-           disruptions[next_disruption].time <= now_ + kTimeEpsilon) {
-      const CapacityChange& change = disruptions[next_disruption++];
-      capacities_[change.link.value()] = change.new_capacity;
-      if (config_.trace &&
-          config_.trace->wants(obs::TraceEventKind::kCapacityChange)) {
-        obs::TraceRecord r;
-        r.kind = obs::TraceEventKind::kCapacityChange;
-        r.time = now_;
-        r.i0 = static_cast<std::int32_t>(change.link.value());
-        r.v0 = change.new_capacity;
-        config_.trace->emit(r);
-      }
-      dirty_ = true;
-    }
-  };
 
-  std::vector<FlowId> done;
-  std::uint64_t iterations = 0;
+  live_results_ = &results_;
+}
+
+void Simulator::prepare() {
+  GURITA_CHECK_MSG(!ran_, "run() called twice");
+  ran_ = true;
+  prepared_ = true;
+  obs::PhaseProfiler* prof = config_.profiler;
+  if (prof != nullptr) prof->begin_run();
+  const int setup_prev =
+      prof != nullptr ? prof->enter(obs::Phase::kSetup) : -1;
+  prepare_structures();
+  next_arrival_ = 0;
+  next_tick_ = std::numeric_limits<Time>::infinity();
+  next_disruption_ = 0;
+  iterations_ = 0;
+  dirty_ = true;
+  if (config_.collect_link_stats)
+    results_.link_bytes.assign(fabric_->topology().link_count(), 0.0);
   if (prof != nullptr) prof->leave(setup_prev);
+}
 
-  while (next_arrival < arrival_order.size() || !active_.empty() ||
-         outstanding_ > 0) {
-    if (++iterations > config_.max_iterations) {
-      std::ostringstream os;
-      os << "simulation live-lock guard tripped: now=" << now_
-         << " active_flows=" << active_.size()
-         << " pending_arrivals=" << (arrival_order.size() - next_arrival)
-         << " recomputations=" << results.rate_recomputations;
-      throw std::logic_error(os.str());
+void Simulator::apply_due_disruptions() {
+  while (next_disruption_ < disruptions_.size() &&
+         disruptions_[next_disruption_].time <= now_ + kTimeEpsilon) {
+    const CapacityChange& change = disruptions_[next_disruption_++];
+    capacities_[change.link.value()] = change.new_capacity;
+    if (config_.trace &&
+        config_.trace->wants(obs::TraceEventKind::kCapacityChange)) {
+      obs::TraceRecord r;
+      r.kind = obs::TraceEventKind::kCapacityChange;
+      r.time = now_;
+      r.i0 = static_cast<std::int32_t>(change.link.value());
+      r.v0 = change.new_capacity;
+      config_.trace->emit(r);
     }
-    ++results.events;
-    if (active_.empty()) {
-      obs::ScopedPhase arrival_phase(prof, obs::Phase::kArrival);
-      // Idle network: jump straight to whatever wakes it — the next
-      // arrival, or (under fault injection) the next fault event or due
-      // retry. Without faults this is exactly the next arrival, as before.
-      const Time t_arr =
-          next_arrival < arrival_order.size()
-              ? state_.jobs_[arrival_order[next_arrival].value()].arrival_time
-              : std::numeric_limits<Time>::infinity();
-      Time t_idle = t_arr;
-      if (have_faults_) {
-        const Time t_fault = next_fault_ < fault_events_.size()
-                                 ? fault_events_[next_fault_].time
-                                 : std::numeric_limits<Time>::infinity();
-        t_idle = std::min({t_arr, t_fault, next_retry_time()});
-      }
-      if (!std::isfinite(t_idle)) {
-        // Flows are parked but nothing in the plan will ever wake them:
-        // their jobs can never finish, so fail them instead of spinning.
-        fail_stranded_jobs();
-        continue;
-      }
-      now_ = std::max(now_, t_idle);
-      state_.now_ = now_;
-      // Fault state must be current before any flow releases (a job
-      // arriving onto a crashed host parks its flows at release).
-      if (have_faults_) {
-        apply_due_faults();
-        fire_due_retries();
-      }
-      while (next_arrival < arrival_order.size()) {
-        SimJob& j = state_.jobs_[arrival_order[next_arrival].value()];
-        if (j.arrival_time > now_ + kTimeEpsilon) break;
-        ++next_arrival;
-        arrive_job(j);
-      }
-      if (tick > 0) next_tick = now_ + tick;
-      apply_due_disruptions();
-      dirty_ = true;
-      continue;
-    }
+    dirty_ = true;
+  }
+}
 
-    const bool was_dirty = dirty_;
-    bool any_ramp_capped = false;
-    if (dirty_) {
-      {
-        obs::ScopedPhase assign_phase(prof, obs::Phase::kSchedulerAssign);
-        scheduler_->assign(now_, active_);
-      }
-      obs::ScopedPhase alloc_phase(prof, obs::Phase::kAllocator);
-      allocate_rates(fabric_->topology(), capacities_, active_, &rate_changes_);
-      ++results.rate_recomputations;
-      // Only flows whose rate actually moved need settling and a new
-      // calendar entry; everything else keeps draining on its old line.
-      for (const RateChange& rc : rate_changes_) {
-        SimFlow& f = *rc.flow;
-        Rate target = f.rate;  // the allocator's output
-        f.rate = rc.old_rate;  // restore: the flow drained at the old rate
-        settle(f);
-        // Straggler windows cap a touching flow at factor × allocation.
-        // Unlike the TCP ramp the cap is constant while the window lasts,
-        // so no refresh loop: straggler start/end marks dirty and forces
-        // affected flows into this report (see apply_fault).
-        if (have_faults_) {
-          const double sf =
-              std::min(straggler_[f.src_host], straggler_[f.dst_host]);
-          if (sf < 1.0) target *= sf;
-        }
-        // TCP slow-start ramp: cap the flow at its window-growth rate. A
-        // capped flow's allowance grows as it sends, so while any flow is
-        // capped the engine refreshes rates at ramp-time granularity. A
-        // flow whose allocation did not change cannot become newly capped:
-        // the cap is non-decreasing in bytes sent, and its current rate
-        // already satisfied the older, smaller cap.
-        if (config_.tcp_ramp_time > 0) {
-          const Rate cap = (config_.tcp_initial_window + f.bytes_sent()) /
-                           config_.tcp_ramp_time;
-          if (target > cap) {
-            target = cap;
-            any_ramp_capped = true;
-          }
-        }
-        set_rate(f, target);
-        push_key(f);
-        ++results.flow_touches;
-        if (config_.trace &&
-            config_.trace->wants(obs::TraceEventKind::kFlowRateChange)) {
-          obs::TraceRecord r;
-          r.kind = obs::TraceEventKind::kFlowRateChange;
-          r.time = now_;
-          r.job = f.job.value();
-          r.coflow =
-              state_.jobs_[f.job.value()].coflows[f.coflow_index].value();
-          r.flow = f.id.value();
-          r.v0 = rc.old_rate;
-          r.v1 = target;
-          config_.trace->emit(r);
-        }
-      }
-      dirty_ = false;
-    }
-
-    const int drain_prev =
-        prof != nullptr ? prof->enter(obs::Phase::kCalendarDrain) : -1;
-    // Next completion: discard stale calendar tops (their flow's rate
-    // changed since the entry was pushed, or the flow already finished),
-    // then the top key is the earliest projected finish.
-    while (!calendar_.empty() &&
-           calendar_.top().gen != gen_[calendar_.top().flow.value()]) {
-      calendar_.pop();
-      ++results.flow_touches;
-    }
-    const Time t_complete = calendar_.empty()
-                                ? std::numeric_limits<Time>::infinity()
-                                : calendar_.top().key;
-    const Time t_arrival =
-        next_arrival < arrival_order.size()
-            ? state_.jobs_[arrival_order[next_arrival].value()].arrival_time
+void Simulator::step() {
+  obs::PhaseProfiler* prof = config_.profiler;
+  if (++iterations_ > config_.max_iterations) {
+    std::ostringstream os;
+    os << "simulation live-lock guard tripped: now=" << now_
+       << " active_flows=" << active_.size()
+       << " pending_arrivals=" << (arrival_order_.size() - next_arrival_)
+       << " recomputations=" << results_.rate_recomputations;
+    throw std::logic_error(os.str());
+  }
+  ++results_.events;
+  if (active_.empty()) {
+    obs::ScopedPhase arrival_phase(prof, obs::Phase::kArrival);
+    // Idle network: jump straight to whatever wakes it — the next
+    // arrival, or (under fault injection) the next fault event or due
+    // retry. Without faults this is exactly the next arrival, as before.
+    const Time t_arr =
+        next_arrival_ < arrival_order_.size()
+            ? state_.jobs_[arrival_order_[next_arrival_].value()].arrival_time
             : std::numeric_limits<Time>::infinity();
-    const Time t_tick = tick > 0 ? next_tick : std::numeric_limits<Time>::infinity();
-    const Time t_disruption = next_disruption < disruptions.size()
-                                  ? disruptions[next_disruption].time
-                                  : std::numeric_limits<Time>::infinity();
-    const Time t_fault = have_faults_ && next_fault_ < fault_events_.size()
-                             ? fault_events_[next_fault_].time
-                             : std::numeric_limits<Time>::infinity();
-    const Time t_retry =
-        have_faults_ ? next_retry_time() : std::numeric_limits<Time>::infinity();
-
-    Time t_next = std::min(
-        {t_complete, t_arrival, t_tick, t_disruption, t_fault, t_retry});
-    if (any_ramp_capped) {
-      // Refresh while ramping so capped flows pick up their grown windows.
-      t_next = std::min(t_next, now_ + config_.tcp_ramp_time);
-      dirty_ = true;
+    Time t_idle = t_arr;
+    if (have_faults_) {
+      const Time t_fault = next_fault_ < fault_events_.size()
+                               ? fault_events_[next_fault_].time
+                               : std::numeric_limits<Time>::infinity();
+      t_idle = std::min({t_arr, t_fault, next_retry_time()});
     }
-    GURITA_CHECK_MSG(std::isfinite(t_next),
-                     "simulation stalled: active flows but no next event");
-    GURITA_CHECK_MSG(t_next <= config_.max_time, "simulation exceeded max_time");
-    t_next = std::max(t_next, now_);
-
-    // What the pre-calendar engine would have scanned on this event: the
-    // completion-time min search and the completion check always, the byte
-    // drain when time advances, the ramp pass when enabled, and the
-    // rebuild/assign pass when dirty — each a full active-set walk.
-    std::uint64_t legacy_scans = 2;
-    if (was_dirty) ++legacy_scans;
-    if (config_.tcp_ramp_time > 0) ++legacy_scans;
-    if (t_next > now_) ++legacy_scans;
-    results.legacy_flow_touches += legacy_scans * active_.size();
-
-    // No per-flow drain sweep: every flow keeps draining linearly from its
-    // (last_touched, rate) settle point; advancing the clock is O(1).
-    now_ = t_next;
+    if (!std::isfinite(t_idle)) {
+      // Flows are parked but nothing in the plan will ever wake them:
+      // their jobs can never finish, so fail them instead of spinning.
+      fail_stranded_jobs();
+      return;
+    }
+    now_ = std::max(now_, t_idle);
     state_.now_ = now_;
-    apply_due_disruptions();
-    // Faults and retries fire before completion processing: a flow whose
-    // host dies at the very instant it would have finished is aborted (the
-    // pop loop then discards its stale calendar entry). "Fault beats
-    // completion" keeps the tie-break deterministic and pessimistic.
+    // Fault state must be current before any flow releases (a job
+    // arriving onto a crashed host parks its flows at release).
     if (have_faults_) {
       apply_due_faults();
       fire_due_retries();
     }
+    while (next_arrival_ < arrival_order_.size()) {
+      SimJob& j = state_.jobs_[arrival_order_[next_arrival_].value()];
+      if (j.arrival_time > now_ + kTimeEpsilon) break;
+      ++next_arrival_;
+      arrive_job(j);
+    }
+    if (tick_ > 0) next_tick_ = now_ + tick_;
+    apply_due_disruptions();
+    dirty_ = true;
+    return;
+  }
 
-    // Completions (deterministic order: ascending flow id). A flow is done
-    // when its residual bytes are negligible OR its residual transfer time
-    // falls below the clock's floating-point resolution at `now_` — without
-    // the second clause a nearly-drained flow whose remaining/rate is
-    // smaller than one ulp of now_ would stall the clock forever. Calendar
-    // keys are projected zero-drain times, so due entries form a prefix of
-    // the heap order and the pop loop stops at the first entry still in the
-    // future.
-    const Time quantum = std::max(1.0, now_) * 1e-12;
-    done.clear();
-    while (!calendar_.empty()) {
-      const CalendarEntry top = calendar_.top();
-      if (top.gen != gen_[top.flow.value()]) {
-        calendar_.pop();
-        ++results.flow_touches;
-        continue;
+  const bool was_dirty = dirty_;
+  bool any_ramp_capped = false;
+  if (dirty_) {
+    {
+      obs::ScopedPhase assign_phase(prof, obs::Phase::kSchedulerAssign);
+      scheduler_->assign(now_, active_);
+    }
+    obs::ScopedPhase alloc_phase(prof, obs::Phase::kAllocator);
+    allocate_rates(fabric_->topology(), capacities_, active_, &rate_changes_);
+    ++results_.rate_recomputations;
+    // Only flows whose rate actually moved need settling and a new
+    // calendar entry; everything else keeps draining on its old line.
+    for (const RateChange& rc : rate_changes_) {
+      SimFlow& f = *rc.flow;
+      Rate target = f.rate;  // the allocator's output
+      f.rate = rc.old_rate;  // restore: the flow drained at the old rate
+      settle(f);
+      // Straggler windows cap a touching flow at factor × allocation.
+      // Unlike the TCP ramp the cap is constant while the window lasts,
+      // so no refresh loop: straggler start/end marks dirty and forces
+      // affected flows into this report (see apply_fault).
+      if (have_faults_) {
+        const double sf =
+            std::min(straggler_[f.src_host], straggler_[f.dst_host]);
+        if (sf < 1.0) target *= sf;
       }
-      const SimFlow& f = state_.flows_[top.flow.value()];
-      const Bytes rem = f.remaining_at(now_);
-      if (!(rem <= kByteEpsilon || rem <= f.rate * quantum)) break;
+      // TCP slow-start ramp: cap the flow at its window-growth rate. A
+      // capped flow's allowance grows as it sends, so while any flow is
+      // capped the engine refreshes rates at ramp-time granularity. A
+      // flow whose allocation did not change cannot become newly capped:
+      // the cap is non-decreasing in bytes sent, and its current rate
+      // already satisfied the older, smaller cap.
+      if (config_.tcp_ramp_time > 0) {
+        const Rate cap = (config_.tcp_initial_window + f.bytes_sent()) /
+                         config_.tcp_ramp_time;
+        if (target > cap) {
+          target = cap;
+          any_ramp_capped = true;
+        }
+      }
+      set_rate(f, target);
+      push_key(f);
+      ++results_.flow_touches;
+      if (config_.trace &&
+          config_.trace->wants(obs::TraceEventKind::kFlowRateChange)) {
+        obs::TraceRecord r;
+        r.kind = obs::TraceEventKind::kFlowRateChange;
+        r.time = now_;
+        r.job = f.job.value();
+        r.coflow =
+            state_.jobs_[f.job.value()].coflows[f.coflow_index].value();
+        r.flow = f.id.value();
+        r.v0 = rc.old_rate;
+        r.v1 = target;
+        config_.trace->emit(r);
+      }
+    }
+    dirty_ = false;
+  }
+
+  const int drain_prev =
+      prof != nullptr ? prof->enter(obs::Phase::kCalendarDrain) : -1;
+  // Next completion: discard stale calendar tops (their flow's rate
+  // changed since the entry was pushed, or the flow already finished),
+  // then the top key is the earliest projected finish.
+  while (!calendar_.empty() &&
+         calendar_.top().gen != gen_[calendar_.top().flow.value()]) {
+    calendar_.pop();
+    ++results_.flow_touches;
+  }
+  const Time t_complete = calendar_.empty()
+                              ? std::numeric_limits<Time>::infinity()
+                              : calendar_.top().key;
+  const Time t_arrival =
+      next_arrival_ < arrival_order_.size()
+          ? state_.jobs_[arrival_order_[next_arrival_].value()].arrival_time
+          : std::numeric_limits<Time>::infinity();
+  const Time t_tick =
+      tick_ > 0 ? next_tick_ : std::numeric_limits<Time>::infinity();
+  const Time t_disruption = next_disruption_ < disruptions_.size()
+                                ? disruptions_[next_disruption_].time
+                                : std::numeric_limits<Time>::infinity();
+  const Time t_fault = have_faults_ && next_fault_ < fault_events_.size()
+                           ? fault_events_[next_fault_].time
+                           : std::numeric_limits<Time>::infinity();
+  const Time t_retry =
+      have_faults_ ? next_retry_time() : std::numeric_limits<Time>::infinity();
+
+  Time t_next = std::min(
+      {t_complete, t_arrival, t_tick, t_disruption, t_fault, t_retry});
+  if (any_ramp_capped) {
+    // Refresh while ramping so capped flows pick up their grown windows.
+    t_next = std::min(t_next, now_ + config_.tcp_ramp_time);
+    dirty_ = true;
+  }
+  GURITA_CHECK_MSG(std::isfinite(t_next),
+                   "simulation stalled: active flows but no next event");
+  GURITA_CHECK_MSG(t_next <= config_.max_time, "simulation exceeded max_time");
+  t_next = std::max(t_next, now_);
+
+  // What the pre-calendar engine would have scanned on this event: the
+  // completion-time min search and the completion check always, the byte
+  // drain when time advances, the ramp pass when enabled, and the
+  // rebuild/assign pass when dirty — each a full active-set walk.
+  std::uint64_t legacy_scans = 2;
+  if (was_dirty) ++legacy_scans;
+  if (config_.tcp_ramp_time > 0) ++legacy_scans;
+  if (t_next > now_) ++legacy_scans;
+  results_.legacy_flow_touches += legacy_scans * active_.size();
+
+  // No per-flow drain sweep: every flow keeps draining linearly from its
+  // (last_touched, rate) settle point; advancing the clock is O(1).
+  now_ = t_next;
+  state_.now_ = now_;
+  apply_due_disruptions();
+  // Faults and retries fire before completion processing: a flow whose
+  // host dies at the very instant it would have finished is aborted (the
+  // pop loop then discards its stale calendar entry). "Fault beats
+  // completion" keeps the tie-break deterministic and pessimistic.
+  if (have_faults_) {
+    apply_due_faults();
+    fire_due_retries();
+  }
+
+  // Completions (deterministic order: ascending flow id). A flow is done
+  // when its residual bytes are negligible OR its residual transfer time
+  // falls below the clock's floating-point resolution at `now_` — without
+  // the second clause a nearly-drained flow whose remaining/rate is
+  // smaller than one ulp of now_ would stall the clock forever. Calendar
+  // keys are projected zero-drain times, so due entries form a prefix of
+  // the heap order and the pop loop stops at the first entry still in the
+  // future.
+  const Time quantum = std::max(1.0, now_) * 1e-12;
+  done_.clear();
+  while (!calendar_.empty()) {
+    const CalendarEntry top = calendar_.top();
+    if (top.gen != gen_[top.flow.value()]) {
       calendar_.pop();
-      ++results.flow_touches;
-      done.push_back(top.flow);
+      ++results_.flow_touches;
+      continue;
     }
-    if (prof != nullptr) prof->leave(drain_prev);
-    if (!done.empty()) {
-      obs::ScopedPhase completion_phase(prof, obs::Phase::kCompletion);
-      std::sort(done.begin(), done.end());
-      for (FlowId id : done) {
-        // A completion-tied fault may have aborted or cancelled the flow
-        // after its entry was popped above; skip it (gen was bumped, but
-        // the pop happened first).
-        SimFlow& f = state_.flows_[id.value()];
-        if (f.finished() || f.cancelled || f.abort_time >= 0) continue;
-        finish_flow(f);
-      }
+    const SimFlow& f = state_.flows_[top.flow.value()];
+    const Bytes rem = f.remaining_at(now_);
+    if (!(rem <= kByteEpsilon || rem <= f.rate * quantum)) break;
+    calendar_.pop();
+    ++results_.flow_touches;
+    done_.push_back(top.flow);
+  }
+  if (prof != nullptr) prof->leave(drain_prev);
+  if (!done_.empty()) {
+    obs::ScopedPhase completion_phase(prof, obs::Phase::kCompletion);
+    std::sort(done_.begin(), done_.end());
+    for (FlowId id : done_) {
+      // A completion-tied fault may have aborted or cancelled the flow
+      // after its entry was popped above; skip it (gen was bumped, but
+      // the pop happened first).
+      SimFlow& f = state_.flows_[id.value()];
+      if (f.finished() || f.cancelled || f.abort_time >= 0) continue;
+      finish_flow(f);
+    }
+    dirty_ = true;
+  }
+
+  // Arrivals due now.
+  if (next_arrival_ < arrival_order_.size()) {
+    obs::ScopedPhase arrival_phase(prof, obs::Phase::kArrival);
+    while (next_arrival_ < arrival_order_.size()) {
+      SimJob& j = state_.jobs_[arrival_order_[next_arrival_].value()];
+      if (j.arrival_time > now_ + kTimeEpsilon) break;
+      ++next_arrival_;
+      arrive_job(j);
       dirty_ = true;
-    }
-
-    // Arrivals due now.
-    if (next_arrival < arrival_order.size()) {
-      obs::ScopedPhase arrival_phase(prof, obs::Phase::kArrival);
-      while (next_arrival < arrival_order.size()) {
-        SimJob& j = state_.jobs_[arrival_order[next_arrival].value()];
-        if (j.arrival_time > now_ + kTimeEpsilon) break;
-        ++next_arrival;
-        arrive_job(j);
-        dirty_ = true;
-      }
-    }
-
-    // Coordination tick; only a changed priority forces a rate recompute.
-    if (tick > 0 && now_ + kTimeEpsilon >= next_tick) {
-      obs::ScopedPhase tick_phase(prof, obs::Phase::kTick);
-      if (scheduler_->on_tick(now_)) dirty_ = true;
-      next_tick += tick;
     }
   }
 
+  // Coordination tick; only a changed priority forces a rate recompute.
+  if (tick_ > 0 && now_ + kTimeEpsilon >= next_tick_) {
+    obs::ScopedPhase tick_phase(prof, obs::Phase::kTick);
+    if (scheduler_->on_tick(now_)) dirty_ = true;
+    next_tick_ += tick_;
+  }
+}
+
+SimResults Simulator::collect() {
+  GURITA_CHECK_MSG(prepared_ && !collected_, "collect before the run drained");
+  collected_ = true;
+  obs::PhaseProfiler* prof = config_.profiler;
   const int results_prev =
       prof != nullptr ? prof->enter(obs::Phase::kResults) : -1;
-  results.makespan = now_;
-  results.jobs.reserve(state_.jobs_.size());
+  results_.makespan = now_;
+  results_.jobs.reserve(state_.jobs_.size());
   for (const SimJob& j : state_.jobs_) {
     // Failed jobs set finish_time at abandonment, so every job has a
     // terminal timestamp here either way.
@@ -690,22 +709,41 @@ SimResults Simulator::run() {
     SimResults::JobResult jr{j.id, j.arrival_time, j.finish_time,
                              j.total_bytes, j.num_stages};
     jr.failed = j.failed;
-    results.jobs.push_back(jr);
+    results_.jobs.push_back(jr);
   }
-  results.coflows.reserve(state_.coflows_.size());
+  results_.coflows.reserve(state_.coflows_.size());
   for (const SimCoflow& c : state_.coflows_) {
     SimResults::CoflowResult cr{c.id,          c.job,
                                 c.stage,       c.release_time,
                                 c.finish_time, state_.coflow_total_bytes(c.id)};
     cr.failed = state_.jobs_[c.job.value()].failed && !c.finished();
-    results.coflows.push_back(cr);
+    results_.coflows.push_back(cr);
   }
   live_results_ = nullptr;
   if (prof != nullptr) {
     prof->leave(results_prev);
     prof->end_run();
   }
-  return results;
+  return std::move(results_);
+}
+
+SimResults Simulator::run() {
+  prepare();
+  while (pending()) step();
+  return collect();
+}
+
+bool Simulator::run_until(Time deadline) {
+  if (!prepared_) prepare();
+  GURITA_CHECK_MSG(!collected_, "run_until after results were collected");
+  while (pending() && now_ < deadline) step();
+  return pending();
+}
+
+SimResults Simulator::finish() {
+  GURITA_CHECK_MSG(prepared_, "finish() before run_until()/restore()");
+  while (pending()) step();
+  return collect();
 }
 
 // --- fault injection (fault/fault.h, DESIGN.md §11) -------------------------

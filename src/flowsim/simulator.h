@@ -20,10 +20,10 @@
 // invariants.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "common/units.h"
@@ -38,6 +38,46 @@
 #include "topology/fabric.h"
 
 namespace gurita {
+
+namespace snapshot {
+class Writer;
+class Reader;
+}  // namespace snapshot
+
+/// Min-heap with std::priority_queue's exact push/pop mechanics
+/// (std::push_heap / std::pop_heap over a contiguous array) plus access to
+/// the underlying array. Pop order among *equal* keys depends on the array
+/// layout, which in turn depends on the whole push/pop history — so a
+/// snapshot cannot rebuild "the same heap" from its elements; it must
+/// serialize the array verbatim and restore it bit-for-bit. That is the one
+/// capability std::priority_queue withholds, and the only reason this
+/// wrapper exists; behaviour is otherwise identical.
+template <typename T, typename Later>
+class SnapshotableHeap {
+ public:
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  [[nodiscard]] const T& top() const { return heap_.front(); }
+
+  void push(const T& v) {
+    heap_.push_back(v);
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  }
+
+  void pop() {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
+
+  /// The heap array in layout order (NOT sorted order) — serialize verbatim.
+  [[nodiscard]] const std::vector<T>& container() const { return heap_; }
+  /// Restores an array previously obtained from container(). The caller
+  /// must not reorder it: layout is state.
+  void restore(std::vector<T> container) { heap_ = std::move(container); }
+
+ private:
+  std::vector<T> heap_;
+};
 
 /// Outcome of one simulation run.
 struct SimResults {
@@ -200,9 +240,46 @@ class Simulator {
   /// May be called once.
   SimResults run();
 
+  /// Partial drive: processes events until the clock reaches `deadline` (or
+  /// all work completes). Returns true while events remain. The pause point
+  /// is always an event boundary — the top of the main loop — so the
+  /// simulator state between run_until calls is exactly the state an
+  /// uninterrupted run() passes through, and checkpoint() at that boundary
+  /// captures it losslessly. run_until + finish() is byte-identical to a
+  /// single run().
+  bool run_until(Time deadline);
+
+  /// Drains the remaining events after run_until()/restore() and returns
+  /// the results, exactly as run() would have. May be called once.
+  SimResults finish();
+
+  /// Current simulation clock (the time of the last processed event).
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Serializes the complete dynamic simulation state — event calendar
+  /// (verbatim heap array, including lazy-drain tombstones), per-coflow
+  /// aggregates, flow progress, parked/retry fault state, fault-plan
+  /// cursor, partial result counters, the attached trace recorder's buffer
+  /// and the scheduler's policy state (Scheduler::save_state) — into `w`.
+  /// Must be called at an event boundary (between run_until calls); const,
+  /// so checkpointing never perturbs the run. Implemented in
+  /// snapshot/snapshot.cpp (link gurita_snapshot to use it).
+  void checkpoint(snapshot::Writer& w) const;
+
+  /// Inverse of checkpoint(): rebuilds the simulator mid-run from `r`.
+  /// Contract: the simulator must be freshly constructed with an *identical*
+  /// fabric, scheduler, config and submitted job set as the checkpointed
+  /// one (the snapshot carries a fingerprint and throws SnapshotError on a
+  /// mismatch) — the snapshot holds dynamic state only, so static structure
+  /// (topology, specs, routes) is reconstructed from those inputs. After
+  /// restore, run_until()/finish() continue byte-identically to the
+  /// uninterrupted run. Implemented in snapshot/snapshot.cpp.
+  void restore(snapshot::Reader& r);
+
   [[nodiscard]] const SimState& state() const { return state_; }
 
  private:
+  friend class SnapshotCodec;  ///< snapshot/snapshot.cpp serializer
   /// One entry of the completion calendar: flow `flow` is projected to
   /// drain to zero at `key`. Entries are never updated in place; a rate
   /// change bumps the flow's generation counter and pushes a fresh entry,
@@ -223,6 +300,10 @@ class Simulator {
   Config config_;
   SimState state_;
   bool ran_ = false;
+  /// prepare() (or restore()) has initialized the run-loop state.
+  bool prepared_ = false;
+  /// collect() has harvested the results; the simulator is spent.
+  bool collected_ = false;
 
   /// Persistent active set (raw pointers into state_.flows_, which is
   /// reserved up front so it never reallocates mid-run). Removal is
@@ -233,12 +314,31 @@ class Simulator {
   std::vector<std::uint32_t> pos_in_active_;
   /// Calendar generation per flow (by flow id); see CalendarEntry.
   std::vector<std::uint32_t> gen_;
-  std::priority_queue<CalendarEntry, std::vector<CalendarEntry>, CalendarLater>
-      calendar_;
+  SnapshotableHeap<CalendarEntry, CalendarLater> calendar_;
   /// Scratch for allocate_rates change reporting (reused across events).
   std::vector<RateChange> rate_changes_;
   /// Results of the in-progress run (settles accrue link stats/counters).
+  /// Owned here (not a run() local) so a paused run's partial counters are
+  /// part of the snapshot; collect() moves it out.
+  SimResults results_;
   SimResults* live_results_ = nullptr;
+
+  // --- run-loop state (locals of the old monolithic run(), hoisted so a
+  // run can pause at any event boundary and the pause state is exactly
+  // these members; everything here is either serialized by checkpoint() or
+  // recomputed by prepare()/restore() from the static inputs) ---
+  /// Job ids sorted by (arrival_time, id); recomputed, not serialized.
+  std::vector<JobId> arrival_order_;
+  std::size_t next_arrival_ = 0;
+  /// Scheduler coordination interval; cached from tick_interval().
+  Time tick_ = 0;
+  Time next_tick_ = std::numeric_limits<Time>::infinity();
+  /// Sorted copy of config_.disruptions; recomputed, not serialized.
+  std::vector<CapacityChange> disruptions_;
+  std::size_t next_disruption_ = 0;
+  std::uint64_t iterations_ = 0;
+  /// Scratch for the completion pop loop (dead between iterations).
+  std::vector<FlowId> done_;
 
   Time now_ = 0;
   /// Current link capacities (nominal, mutated by disruptions and link
@@ -273,8 +373,7 @@ class Simulator {
   std::vector<Rate> saved_capacity_; ///< pre-fault capacity of downed links
   /// Flows aborted and waiting for every blocking entity to recover.
   std::vector<FlowId> parked_;
-  std::priority_queue<RetryEntry, std::vector<RetryEntry>, RetryLater>
-      retries_;
+  SnapshotableHeap<RetryEntry, RetryLater> retries_;
   /// Parked flows + scheduled retries not yet cancelled: the run cannot end
   /// while > 0 even if the active set is momentarily empty.
   std::uint64_t outstanding_ = 0;
@@ -318,6 +417,25 @@ class Simulator {
   void finish_flow(SimFlow& flow);
   void finish_coflow(SimCoflow& coflow);
   void arrive_job(SimJob& job);
+
+  // --- run-loop decomposition (run() == prepare(); while (pending())
+  // step(); collect()) ---
+  /// Static structures shared by prepare() and restore(): scheduler attach,
+  /// flow-store reservation, arrival order, sorted disruptions, tick cache.
+  void prepare_structures();
+  /// Full fresh-run initialization (prepare_structures + dynamic defaults).
+  void prepare();
+  /// Work remains: pending arrivals, active flows or parked/retrying flows.
+  [[nodiscard]] bool pending() const {
+    return next_arrival_ < arrival_order_.size() || !active_.empty() ||
+           outstanding_ > 0;
+  }
+  /// One main-loop iteration (one event).
+  void step();
+  /// Harvests results_ after the loop drains; may be called once.
+  SimResults collect();
+  /// Applies due scheduled capacity changes (failure injection).
+  void apply_due_disruptions();
 };
 
 }  // namespace gurita

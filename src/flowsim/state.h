@@ -176,6 +176,9 @@ class SimState {
 
  private:
   friend class Simulator;
+  /// The checkpoint/restore serializer (snapshot/snapshot.cpp): reads and
+  /// rebuilds the dynamic fields directly rather than replaying events.
+  friend class SnapshotCodec;
   /// The differential-oracle reference engine (tests/oracle_sim.h): a
   /// deliberately simple O(active-flows) re-implementation of the
   /// allocation/drain loop that must maintain this state with bit-identical

@@ -151,6 +151,16 @@ class TraceRecorder {
     return out;
   }
 
+  /// Refills the buffer from a checkpoint (snapshot/, DESIGN.md §12):
+  /// subsequent emissions append after the restored prefix, so a resumed
+  /// run's export is a seamless continuation of the original's. The mask
+  /// and record cap are construction-time config and must match the
+  /// checkpointed run's (the snapshot fingerprint enforces the mask).
+  void restore(std::vector<TraceRecord> records, std::uint64_t dropped) {
+    records_ = std::move(records);
+    dropped_ = dropped;
+  }
+
  private:
   static constexpr std::size_t kInitialReserve = 1 << 12;
   std::uint32_t mask_;

@@ -54,6 +54,12 @@ class AaloScheduler final : public Scheduler {
   /// Drops the failed job's coflows from the rank and queue tables.
   void on_job_fail(const SimJob& job, Time now) override;
   void assign(Time now, const std::vector<SimFlow*>& active) override;
+  /// Checkpoint hooks (DESIGN.md §12): FIFO ranks and monotone queue marks.
+  /// The tables stay unordered (assign() only looks keys up, never iterates
+  /// them) and are serialized in sorted-key order so the bytes are a pure
+  /// function of logical state.
+  void save_state(snapshot::Writer& w) const override;
+  void load_state(snapshot::Reader& r) override;
 
  private:
   Config config_;

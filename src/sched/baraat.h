@@ -47,6 +47,11 @@ class BaraatScheduler final : public Scheduler {
   /// Drops the failed job's serial and heavy mark.
   void on_job_fail(const SimJob& job, Time now) override;
   void assign(Time now, const std::vector<SimFlow*>& active) override;
+  /// Checkpoint hooks (DESIGN.md §12): arrival serials and heavy marks,
+  /// serialized in sorted-key order (the tables themselves stay unordered —
+  /// assign() builds its own sorted view each call).
+  void save_state(snapshot::Writer& w) const override;
+  void load_state(snapshot::Reader& r) override;
 
  private:
   Config config_;

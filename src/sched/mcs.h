@@ -45,6 +45,12 @@ class McsScheduler final : public Scheduler {
   void on_coflow_release(const SimCoflow& coflow, Time now) override;
   void on_coflow_finish(const SimCoflow& coflow, Time now) override;
   void assign(Time now, const std::vector<SimFlow*>& active) override;
+  /// Checkpoint hooks (DESIGN.md §12): the stale queue table, serialized in
+  /// sorted-key order. The map itself may stay unordered — on_tick updates
+  /// each entry independently (no FP folds, no trace records), so its
+  /// iteration order is unobservable.
+  void save_state(snapshot::Writer& w) const override;
+  void load_state(snapshot::Reader& r) override;
 
  private:
   Config config_;

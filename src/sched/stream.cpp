@@ -1,5 +1,9 @@
 #include "sched/stream.h"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 namespace gurita {
 
 void StreamScheduler::on_job_arrival(const SimJob& job, Time now) {
@@ -29,6 +33,26 @@ void StreamScheduler::assign(Time now, const std::vector<SimFlow*>& active) {
     GURITA_CHECK_MSG(it != queue_of_.end(), "flow of an unknown job");
     f->tier = it->second;
     f->weight = 1.0;
+  }
+}
+
+void StreamScheduler::save_state(snapshot::Writer& w) const {
+  std::vector<std::pair<JobId, int>> queues(queue_of_.begin(),
+                                            queue_of_.end());
+  std::sort(queues.begin(), queues.end());
+  w.u64(queues.size());
+  for (const auto& [jid, q] : queues) {
+    w.u64(jid.value());
+    w.i32(q);
+  }
+}
+
+void StreamScheduler::load_state(snapshot::Reader& r) {
+  queue_of_.clear();
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const JobId jid{r.u64()};
+    queue_of_.emplace(jid, r.i32());
   }
 }
 

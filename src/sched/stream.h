@@ -44,6 +44,11 @@ class StreamScheduler final : public Scheduler {
   bool on_tick(Time now) override;
   void on_job_arrival(const SimJob& job, Time now) override;
   void assign(Time now, const std::vector<SimFlow*>& active) override;
+  /// Checkpoint hooks (DESIGN.md §12): the stale per-job queue table,
+  /// serialized in sorted-key order (on_tick's per-entry updates are
+  /// order-independent, so the map itself may stay unordered).
+  void save_state(snapshot::Writer& w) const override;
+  void load_state(snapshot::Reader& r) override;
 
  private:
   Config config_;

@@ -49,6 +49,12 @@ class VarysScheduler final : public Scheduler {
     (void)now;
   }
 
+  /// Checkpoint hooks are intentional no-ops for the same reason: every
+  /// assign() derives Γ from engine state, so a snapshot carries nothing
+  /// and a restored Varys is trivially byte-identical.
+  void save_state(snapshot::Writer& w) const override { (void)w; }
+  void load_state(snapshot::Reader& r) override { (void)r; }
+
   /// Γ for a set of remaining per-flow demands grouped by src/dst host:
   /// max over ports of remaining bytes in/out at time `now` (residuals are
   /// extrapolated from each flow's lazy-drain settle point), divided by the

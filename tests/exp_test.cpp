@@ -4,6 +4,7 @@
 
 #include "exp/args.h"
 #include "exp/experiment.h"
+#include "fault/fault.h"
 #include "metrics/collector.h"
 
 namespace gurita {
@@ -68,9 +69,106 @@ TEST(Args, RejectsPositionalArgument) {
   EXPECT_THROW(parse({"300"}), std::logic_error);
 }
 
-TEST(Args, LastValueWins) {
-  const Args args = parse({"--jobs", "1", "--jobs", "2"});
-  EXPECT_EQ(args.get_int("jobs", 0), 2);
+TEST(Args, RejectsDuplicateFlags) {
+  // Last-write-wins is a silent trap in long sweep invocations; every
+  // repeated flag is reported in one aggregated ConfigError.
+  try {
+    parse({"--jobs", "1", "--jobs", "2", "--seed", "7", "--seed", "8",
+           "--num-jobs", "10"});
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    ASSERT_EQ(e.issues().size(), 2u);
+    EXPECT_EQ(e.issues()[0].where, "--jobs");
+    EXPECT_EQ(e.issues()[1].where, "--seed");
+    EXPECT_NE(std::string(e.what()).find("--jobs"), std::string::npos);
+  }
+}
+
+TEST(Args, KeysWithPrefix) {
+  const Args args =
+      parse({"--fault-horizon", "2", "--faults", "--fault-downtime", "0.5"});
+  const std::vector<std::string> keys = args.keys_with_prefix("fault-");
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "fault-downtime");
+  EXPECT_EQ(keys[1], "fault-horizon");
+}
+
+TEST(Args, FaultFlagsRejectUnknownNames) {
+  // A typo like --fault-host-rat must not silently run with default rates.
+  const Args args = parse({"--fault-host-rat", "0.5", "--fault-horizn", "2"});
+  ExperimentConfig config;
+  try {
+    apply_fault_flags(args, config);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    ASSERT_EQ(e.issues().size(), 2u);
+    EXPECT_EQ(e.issues()[0].where, "--fault-horizn");
+    EXPECT_EQ(e.issues()[1].where, "--fault-host-rat");
+  }
+  EXPECT_FALSE(config.faults.enabled);
+}
+
+TEST(Args, FaultFlagsStillApplyKnownNames) {
+  const Args args = parse({"--fault-horizon", "2.5", "--fault-downtime", "1"});
+  ExperimentConfig config;
+  apply_fault_flags(args, config);
+  EXPECT_TRUE(config.faults.enabled);
+  EXPECT_DOUBLE_EQ(config.faults.plan.horizon, 2.5);
+  EXPECT_DOUBLE_EQ(config.faults.plan.mean_downtime, 1.0);
+}
+
+TEST(Args, CheckpointFlagsApply) {
+  const Args args = parse({"--checkpoint-every", "0.25", "--checkpoint-dir",
+                           "ckpts", "--checkpoint-halt-after", "3"});
+  ExperimentConfig config;
+  apply_checkpoint_flags(args, config);
+  EXPECT_DOUBLE_EQ(config.checkpoint.every, 0.25);
+  EXPECT_EQ(config.checkpoint.dir, "ckpts");
+  EXPECT_FALSE(config.checkpoint.resume);
+  EXPECT_EQ(config.checkpoint.halt_after, 3);
+  EXPECT_TRUE(config.checkpoint.active());
+}
+
+TEST(Args, ResumeFromImpliesDirAndResume) {
+  const Args args = parse({"--resume-from", "ckpts"});
+  ExperimentConfig config;
+  apply_checkpoint_flags(args, config);
+  EXPECT_EQ(config.checkpoint.dir, "ckpts");
+  EXPECT_TRUE(config.checkpoint.resume);
+}
+
+TEST(Args, CheckpointFlagsAbsentLeaveConfigUntouched) {
+  const Args args = parse({"--num-jobs", "10"});
+  ExperimentConfig config;
+  apply_checkpoint_flags(args, config);
+  EXPECT_FALSE(config.checkpoint.active());
+  EXPECT_FALSE(config.checkpoint.resume);
+}
+
+TEST(Args, CheckpointFlagsAggregateProblems) {
+  const Args args = parse({"--checkpoint-every", "-1", "--checkpoint-halt-after",
+                           "0"});
+  ExperimentConfig config;
+  try {
+    apply_checkpoint_flags(args, config);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    // Non-positive cadence and non-positive halt count, reported together.
+    EXPECT_EQ(e.issues().size(), 2u);
+  }
+}
+
+TEST(Args, CheckpointFlagsRejectUnknownNames) {
+  const Args args = parse({"--checkpoint-evry", "1"});
+  ExperimentConfig config;
+  EXPECT_THROW(apply_checkpoint_flags(args, config), ConfigError);
+}
+
+TEST(Args, ResumeFromConflictingDirRejected) {
+  const Args args =
+      parse({"--resume-from", "a", "--checkpoint-dir", "b"});
+  ExperimentConfig config;
+  EXPECT_THROW(apply_checkpoint_flags(args, config), ConfigError);
 }
 
 // --------------------------------------------------------- per-job speedup
