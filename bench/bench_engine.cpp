@@ -146,19 +146,19 @@ BenchRow run_one(int flows, int groups, Time tick, bool ticking,
 }
 
 std::vector<int> parse_flow_counts(const std::string& csv) {
+  // Full-token validation (exp/args.h): a bad entry names itself instead
+  // of silently truncating the list.
   std::vector<int> counts;
-  std::stringstream ss(csv);
-  std::string item;
-  while (std::getline(ss, item, ',')) {
-    try {
-      counts.push_back(std::stoi(item));
-    } catch (const std::exception&) {
-      counts.clear();
-    }
-    if (counts.empty() || counts.back() <= 0) {
-      std::cerr << "--flows expects a comma-separated list of positive "
-                   "counts, got \""
-                << csv << "\"\n";
+  try {
+    counts = parse_int_list(csv);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "--flows: " << e.what() << "\n";
+    std::exit(1);
+  }
+  for (const int n : counts) {
+    if (n <= 0) {
+      std::cerr << "--flows wants positive flow counts, got " << n
+                << " in \"" << csv << "\"\n";
       std::exit(1);
     }
   }

@@ -11,17 +11,28 @@
 //
 //   ./bench_parallel [--num-jobs 120] [--replicates 16] [--seed 7]
 //                    [--jobs-list 1,2,4,8] [--out BENCH_parallel.json]
+//                    [--profile] [--speedup-guard 4]
+//
+// --profile attaches the engine phase profiler (obs/profiler.h) and prints
+// the pooled phase table per worker count — the before/after methodology
+// EXPERIMENTS.md's parallel section uses. --speedup-guard X fails the
+// bench (exit 1) if the largest worker count's speedup lands below X,
+// scaled by min(1, hardware_threads/8) so small CI runners are held to a
+// proportional bar; machines with fewer than 2 hardware threads skip the
+// guard (parallelism is unmeasurable there).
+#include <algorithm>
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
-#include <sstream>
 #include <vector>
 
 #include "common/atomic_file.h"
+#include "common/thread_pool.h"
 #include "exp/args.h"
 #include "exp/runner.h"
+#include "obs/profiler.h"
 
 namespace gurita {
 namespace {
@@ -65,19 +76,20 @@ struct BenchRow {
 };
 
 std::vector<int> parse_jobs_list(const std::string& csv) {
+  // parse_int_list validates every token fully (exp/args.h) — "4x8" or a
+  // late bad entry reports the offending token instead of silently running
+  // a truncated worker-count list.
   std::vector<int> counts;
-  std::stringstream ss(csv);
-  std::string item;
-  while (std::getline(ss, item, ',')) {
-    try {
-      counts.push_back(std::stoi(item));
-    } catch (const std::exception&) {
-      counts.clear();
-    }
-    if (counts.empty() || counts.back() <= 0) {
-      std::cerr << "--jobs-list expects comma-separated positive counts, "
-                   "got \""
-                << csv << "\"\n";
+  try {
+    counts = parse_int_list(csv);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "--jobs-list: " << e.what() << "\n";
+    std::exit(1);
+  }
+  for (const int n : counts) {
+    if (n <= 0) {
+      std::cerr << "--jobs-list wants positive worker counts, got " << n
+                << " in \"" << csv << "\"\n";
       std::exit(1);
     }
   }
@@ -88,7 +100,8 @@ bool write_json(const std::string& path, const std::vector<BenchRow>& rows,
                 int replicates, int num_jobs) try {
   write_file_atomic(path, /*binary=*/false, [&](std::ostream& out) {
   out << "{\n  \"bench\": \"parallel\",\n  \"replicates\": " << replicates
-      << ",\n  \"num_jobs\": " << num_jobs << ",\n  \"rows\": [\n";
+      << ",\n  \"num_jobs\": " << num_jobs << ",\n  \"hardware_threads\": "
+      << ThreadPool::hardware_threads() << ",\n  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const BenchRow& r = rows[i];
     out << "    {\"jobs\": " << r.jobs << ", \"wall_ms\": " << r.wall_ms
@@ -117,10 +130,12 @@ int main(int argc, char** argv) {
   const std::vector<int> jobs_list =
       parse_jobs_list(args.get_string("jobs-list", "1,2,4,8"));
   const std::string out_path = args.get_string("out", "BENCH_parallel.json");
+  const bool profile = args.get_bool("profile", false);
 
   SweepSpec sweep;
   sweep.experiment = "bench_parallel";
   sweep.configs = {trace_scenario(StructureKind::kTpcDs, num_jobs, seed)};
+  sweep.configs[0].obs.profile = profile;
   sweep.schedulers = {"gurita", "aalo", "pfs", "baraat"};
   sweep.replicates = replicates;
 
@@ -150,6 +165,16 @@ int main(int argc, char** argv) {
                 << " differ from --jobs " << rows[0].jobs << "\n";
       return 1;
     }
+    if (profile) {
+      // Phase timings pooled over every run of the sweep (absorb merges
+      // per-run snapshots in slot order); the wall attribution shows where
+      // the workers actually spend their time at this worker count.
+      obs::PhaseProfile pooled_profile;
+      for (const auto& [name, results] : pooled[0].results)
+        pooled_profile.merge(results.profile);
+      std::cout << "\n--- phase profile at --jobs " << jobs << " ---\n"
+                << pooled_profile.to_table() << "\n";
+    }
   }
 
   if (!write_json(out_path, rows, replicates, num_jobs)) {
@@ -157,5 +182,31 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::cout << "\nwrote " << out_path << "\n";
+
+  if (args.has("speedup-guard")) {
+    // Guard on the largest worker count's speedup, with the bar scaled to
+    // the machine: a 4-core CI runner cannot reach 4x, so it is held to
+    // 4 * (4/8) = 2x instead. Below 2 hardware threads there is no
+    // parallelism to measure — skip rather than fail.
+    const double guard = args.get_double("speedup-guard", 0.0);
+    const int hw = ThreadPool::hardware_threads();
+    const BenchRow& widest = *std::max_element(
+        rows.begin(), rows.end(),
+        [](const BenchRow& a, const BenchRow& b) { return a.jobs < b.jobs; });
+    if (hw < 2) {
+      std::cout << "\nspeedup guard skipped: " << hw
+                << " hardware thread(s), parallel speedup is unmeasurable\n";
+    } else {
+      const double effective = guard * std::min(1.0, hw / 8.0);
+      std::printf(
+          "\nspeedup guard: %.2fx at --jobs %d vs threshold %.2fx "
+          "(%.2fx scaled for %d hardware threads)\n",
+          widest.speedup, widest.jobs, effective, guard, hw);
+      if (widest.speedup < effective) {
+        std::cerr << "FATAL: parallel speedup regressed below the guard\n";
+        return 1;
+      }
+    }
+  }
   return 0;
 }

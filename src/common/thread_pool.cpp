@@ -1,6 +1,5 @@
 #include "common/thread_pool.h"
 
-#include <chrono>
 #include <exception>
 #include <utility>
 
@@ -9,9 +8,12 @@
 namespace gurita {
 
 namespace {
-/// Index of the worker the current thread runs as, or npos on foreign
-/// threads. Lets submit() route nested submissions to the submitter's own
-/// deque and lets waiting threads start stealing from a distinct victim.
+/// Pool and worker index the current thread runs as (nullptr / npos on
+/// foreign threads). Lets submit() route nested submissions to the
+/// submitter's own deque — but only for the pool being submitted to, so a
+/// worker of pool A submitting into a nested pool B falls back to B's
+/// round-robin instead of writing through A's index.
+thread_local const void* t_pool = nullptr;
 thread_local std::size_t t_worker_index = static_cast<std::size_t>(-1);
 }  // namespace
 
@@ -31,131 +33,243 @@ ThreadPool::ThreadPool(int threads) {
 }
 
 ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard<std::mutex> lock(idle_mutex_);
-    stop_ = true;
-  }
-  idle_cv_.notify_all();
+  stop_.store(true);  // seq_cst — see the shutdown protocol in the header
+  wake_sleepers(/*all=*/true);
   for (std::thread& t : threads_) t.join();
 }
 
-void ThreadPool::submit(std::function<void()> task) {
-  GURITA_CHECK_MSG(task != nullptr, "submitted an empty task");
-  const std::size_t self = t_worker_index;
-  std::size_t target;
-  {
-    std::lock_guard<std::mutex> lock(idle_mutex_);
-    GURITA_CHECK_MSG(!stop_, "submit on a stopping pool");
-    target = self < workers_.size() ? self : next_queue_++ % workers_.size();
-    ++queued_;
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats s;
+  for (const auto& w : workers_) {
+    s.executed += w->executed.load(std::memory_order_relaxed);
+    s.steals += w->steals.load(std::memory_order_relaxed);
+    s.failed_scans += w->failed_scans.load(std::memory_order_relaxed);
+    s.sleeps += w->sleeps.load(std::memory_order_relaxed);
   }
-  {
-    std::lock_guard<std::mutex> lock(workers_[target]->mutex);
-    workers_[target]->tasks.push_back(std::move(task));
-  }
-  idle_cv_.notify_one();
+  return s;
 }
 
-std::function<void()> ThreadPool::take_task(std::size_t self) {
+std::size_t ThreadPool::submitter_queue() {
+  if (t_pool == this && t_worker_index < workers_.size())
+    return t_worker_index;
+  return next_queue_.fetch_add(1, std::memory_order_relaxed) %
+         workers_.size();
+}
+
+void ThreadPool::wake_sleepers(bool all) {
+  if (sleepers_.load() == 0 && !all) return;
+  // The empty critical section orders this wake against a worker that has
+  // evaluated its wait predicate (under idle_mutex_) but not yet slept:
+  // either its predicate load saw our queued_/stop_ write, or it reaches
+  // the wait before we acquire the mutex and the notify lands.
+  { std::lock_guard<std::mutex> lock(idle_mutex_); }
+  if (all)
+    idle_cv_.notify_all();
+  else
+    idle_cv_.notify_one();
+}
+
+void ThreadPool::push_task(std::size_t target, TaskRef task) {
+  // Increment-before-stop-check: see the shutdown protocol in the header.
+  queued_.fetch_add(1);
+  if (stop_.load()) {
+    queued_.fetch_sub(1);
+    GURITA_CHECK_MSG(false, "submit on a stopping pool");
+  }
+  {
+    Worker& w = *workers_[target];
+    std::lock_guard<std::mutex> lock(w.mutex);
+    w.tasks.push_back(task);
+  }
+  wake_sleepers(/*all=*/false);
+}
+
+ThreadPool::TaskRef ThreadPool::take_task(std::size_t self) {
   const std::size_t n = workers_.size();
   // Own deque first (back = newest), then steal round the ring (front =
-  // oldest, the biggest pending piece of someone else's backlog).
-  if (self < n) {
+  // oldest, the biggest pending piece of someone else's backlog). queued_
+  // is decremented inside the deque lock, so it never counts a task that
+  // has already left every deque.
+  {
     Worker& own = *workers_[self];
     std::lock_guard<std::mutex> lock(own.mutex);
     if (!own.tasks.empty()) {
-      auto task = std::move(own.tasks.back());
+      TaskRef task = own.tasks.back();
       own.tasks.pop_back();
+      queued_.fetch_sub(1);
       return task;
     }
   }
-  for (std::size_t k = 0; k < n; ++k) {
-    const std::size_t victim = (self + 1 + k) % n;
-    if (victim == self) continue;
-    Worker& w = *workers_[victim];
-    std::lock_guard<std::mutex> lock(w.mutex);
-    if (!w.tasks.empty()) {
-      auto task = std::move(w.tasks.front());
-      w.tasks.pop_front();
+  for (std::size_t k = 1; k < n; ++k) {
+    Worker& victim = *workers_[(self + k) % n];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.tasks.empty()) {
+      TaskRef task = victim.tasks.front();
+      victim.tasks.pop_front();
+      queued_.fetch_sub(1);
+      workers_[self]->steals.fetch_add(1, std::memory_order_relaxed);
       return task;
     }
   }
   return {};
 }
 
-bool ThreadPool::try_help(std::size_t self) {
-  std::function<void()> task = take_task(self);
-  if (!task) return false;
-  {
-    std::lock_guard<std::mutex> lock(idle_mutex_);
-    --queued_;
+void ThreadPool::worker_loop(std::size_t self) {
+  t_pool = this;
+  t_worker_index = self;
+  Worker& me = *workers_[self];
+  int empty_scans = 0;
+  for (;;) {
+    if (TaskRef task = take_task(self); task.run != nullptr) {
+      empty_scans = 0;
+      me.executed.fetch_add(1, std::memory_order_relaxed);
+      task.run(task.ctx);
+      continue;
+    }
+    me.failed_scans.fetch_add(1, std::memory_order_relaxed);
+    // Drain-before-stop: exit only once no task remains anywhere (queued or
+    // mid-push), so the destructor's contract (every accepted task runs)
+    // holds.
+    if (stop_.load() && queued_.load() == 0) return;
+    if (queued_.load() > 0 && ++empty_scans < kMaxEmptyScans) {
+      // A task exists but the scan missed it (in-flight push, or a sibling
+      // popped it between our count read and the scan). Transient by
+      // construction — re-scan after yielding rather than parking.
+      std::this_thread::yield();
+      continue;
+    }
+    empty_scans = 0;
+    std::unique_lock<std::mutex> lock(idle_mutex_);
+    sleepers_.fetch_add(1);
+    me.sleeps.fetch_add(1, std::memory_order_relaxed);
+    // Predicate evaluated under idle_mutex_; paired with wake_sleepers'
+    // empty critical section and the seq_cst queued_/sleepers_ accesses
+    // (Dekker) so a wake is never lost.
+    idle_cv_.wait(lock, [this] {
+      return queued_.load() > 0 || stop_.load();
+    });
+    sleepers_.fetch_sub(1);
   }
-  task();
-  return true;
 }
 
-void ThreadPool::worker_loop(std::size_t self) {
-  t_worker_index = self;
-  for (;;) {
-    if (try_help(self)) continue;
-    std::unique_lock<std::mutex> lock(idle_mutex_);
-    // Drain-before-stop: exit only once no task remains anywhere, so the
-    // destructor's contract (every submitted task runs) holds.
-    if (stop_ && queued_ == 0) return;
-    if (queued_ == 0 && !stop_) idle_cv_.wait(lock);
+namespace {
+/// Heap node for a generic submit(); run once, then freed.
+struct FnTask {
+  std::function<void()> fn;
+  static void run(void* ctx) {
+    std::unique_ptr<FnTask> self(static_cast<FnTask*>(ctx));
+    self->fn();
   }
+};
+}  // namespace
+
+void ThreadPool::submit(std::function<void()> task) {
+  GURITA_CHECK_MSG(task != nullptr, "submitted an empty task");
+  auto node = std::make_unique<FnTask>(FnTask{std::move(task)});
+  push_task(submitter_queue(), TaskRef{&FnTask::run, node.get()});
+  // push_task throws on a stopping pool before publishing the node; the
+  // unique_ptr frees it. On success the queue owns it.
+  node.release();  // NOLINT(bugprone-unused-return-value)
 }
+
+/// Shared record of one parallel_for call: the workers and the caller
+/// split [0, n) through the `next` cursor, so the loop costs one heap
+/// allocation total (this record) instead of one task object per index.
+/// Freed by whoever drops the last reference — the caller plus one per
+/// queued handle — which may be a worker popping a handle long after the
+/// caller returned (every index is then already claimed, so `fn` is never
+/// dereferenced past the caller's lifetime).
+struct ThreadPool::Batch {
+  std::size_t n = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::atomic<std::size_t> next{0};     ///< index claim cursor
+  std::atomic<std::size_t> pending{0};  ///< iterations not yet completed
+  std::atomic<int> refs{0};             ///< queued handles + the caller
+  std::mutex mutex;                     ///< completion wait only
+  std::condition_variable done;
+  std::vector<std::exception_ptr> errors;  ///< slot i written only by task i
+
+  /// Claims and runs iterations until the cursor is exhausted. The thread
+  /// that completes the last iteration notifies the caller — real
+  /// completion signalling, no timed polling.
+  void drain() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        (*fn)(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+      if (pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        { std::lock_guard<std::mutex> lock(mutex); }
+        done.notify_all();
+      }
+    }
+  }
+
+  static void run_handle(void* ctx) {
+    Batch* batch = static_cast<Batch*>(ctx);
+    batch->drain();
+    batch->unref();
+  }
+
+  void unref() {
+    if (refs.fetch_sub(1, std::memory_order_acq_rel) == 1) delete this;
+  }
+};
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  GURITA_CHECK_MSG(!stop_.load(), "parallel_for on a stopping pool");
 
-  struct Join {
-    std::mutex mutex;
-    std::condition_variable done;
-    std::size_t remaining;
-    std::vector<std::exception_ptr> errors;  ///< slot i written only by task i
-  };
-  auto join = std::make_shared<Join>();
-  join->remaining = n;
-  join->errors.resize(n);
+  Batch* batch = new Batch;
+  batch->n = n;
+  batch->fn = &fn;
+  batch->pending.store(n, std::memory_order_relaxed);
+  batch->errors.resize(n);
+  // One handle per worker (fewer if the loop is shorter), posted directly
+  // to each worker's deque so every worker can join without stealing.
+  const std::size_t handles = std::min(workers_.size(), n);
+  batch->refs.store(static_cast<int>(handles) + 1,
+                    std::memory_order_relaxed);
+  std::size_t posted = 0;
+  try {
+    for (; posted < handles; ++posted)
+      push_task(posted, TaskRef{&Batch::run_handle, batch});
+  } catch (...) {
+    // Stopping pool (racing destructor): stop new claims, drop the refs of
+    // the unposted handles and fail loudly.
+    batch->next.store(batch->n);
+    batch->refs.fetch_sub(static_cast<int>(handles - posted));
+    batch->unref();
+    throw;
+  }
 
-  for (std::size_t i = 0; i < n; ++i) {
-    submit([join, &fn, i] {
-      try {
-        fn(i);
-      } catch (...) {
-        join->errors[i] = std::current_exception();
-      }
-      std::size_t left;
-      {
-        std::lock_guard<std::mutex> lock(join->mutex);
-        left = --join->remaining;
-      }
-      if (left == 0) join->done.notify_all();
+  // The caller claims indices like any worker — this is what makes nested
+  // parallel_for deadlock-free at every pool size: a blocked caller always
+  // has its own loop's unclaimed work to run.
+  batch->drain();
+  {
+    std::unique_lock<std::mutex> lock(batch->mutex);
+    batch->done.wait(lock, [&] {
+      return batch->pending.load(std::memory_order_acquire) == 0;
     });
   }
 
-  // Help while waiting: run queued tasks (this loop's or anyone's) instead
-  // of sleeping, so a worker blocked in a nested parallel_for still makes
-  // progress. The timed wait covers the window where the remaining tasks
-  // are all mid-execution on other threads.
-  const std::size_t self = t_worker_index;
-  for (;;) {
-    {
-      std::unique_lock<std::mutex> lock(join->mutex);
-      if (join->remaining == 0) break;
-    }
-    if (try_help(self)) continue;
-    std::unique_lock<std::mutex> lock(join->mutex);
-    join->done.wait_for(lock, std::chrono::milliseconds(1),
-                        [&] { return join->remaining == 0; });
-    if (join->remaining == 0) break;
-  }
-
+  // Move the error slots out before dropping our reference: the last
+  // reference may be a worker's late no-op handle, and its `delete` must
+  // not release exception objects the caller is about to rethrow and read
+  // (all slot writes happen-before the pending==0 acquire above, so the
+  // move is safe; the worker then destroys an empty vector).
+  std::vector<std::exception_ptr> errors = std::move(batch->errors);
+  batch->unref();
   // First failure by index, not by completion time: deterministic.
-  for (std::size_t i = 0; i < n; ++i)
-    if (join->errors[i]) std::rethrow_exception(join->errors[i]);
+  std::exception_ptr first;
+  for (std::size_t i = 0; i < n && !first; ++i)
+    if (errors[i]) first = errors[i];
+  if (first) std::rethrow_exception(first);
 }
 
 }  // namespace gurita

@@ -1,11 +1,43 @@
-// Work-stealing thread pool for embarrassingly parallel experiment sweeps.
+// Low-contention work-stealing thread pool for embarrassingly parallel
+// experiment sweeps.
 //
-// Each worker owns a deque guarded by its own mutex: it pops its newest task
-// from the back (LIFO keeps caches warm for recursively submitted work) and
-// steals the oldest task from the front of a sibling's deque when its own is
-// empty (FIFO stealing takes the largest pending subtrees first). External
-// submissions are distributed round-robin; submissions from inside a worker
-// go to that worker's own deque.
+// Each worker owns a deque guarded by its own (cache-line-isolated) mutex:
+// it pops its newest task from the back (LIFO keeps caches warm for
+// recursively submitted work) and steals the oldest task from the front of
+// a sibling's deque when its own is empty (FIFO stealing takes the largest
+// pending subtrees first). External submissions are distributed
+// round-robin; submissions from inside a worker go to that worker's own
+// deque.
+//
+// Contention design: the submit/take fast path touches NO global mutex.
+// The shared state is three atomics — `queued_` (tasks sitting in some
+// deque or mid-push), `stop_` and the round-robin cursor — plus the
+// per-worker deque mutexes, which only collide on an actual steal. The
+// global `idle_mutex_` exists solely for the sleep/wake slow path: a
+// worker that finds nothing after a bounded number of scan-and-yield
+// rounds parks on `idle_cv_`; submitters wake a sleeper only when
+// `sleepers_ > 0`. `queued_` is decremented at pop time (inside the deque
+// lock), so `queued_ > 0` with all deques empty can only happen during the
+// sub-microsecond window of an in-flight push — idle workers never spin
+// against a long-running task.
+//
+// Shutdown protocol (the destructor/worker drain race): `submit()`
+// increments `queued_` *before* checking `stop_`, and a worker exits only
+// on `stop_ && queued_ == 0` (both seq_cst). By the usual store/load
+// (Dekker) argument, a submit racing the stop flag either observes
+// `stop_` — it undoes the increment and fails loudly with a
+// std::logic_error — or its increment is ordered before every worker's
+// exit check, so no worker can exit while the task is queued or mid-push:
+// every accepted task runs before the destructor joins
+// (ThreadPoolTest.DestructorDrainsTasksStillQueuedWhenTeardownStarts).
+//
+// Lifetime rule: destruction follows normal C++ object rules — a foreign
+// thread must not still be inside submit()/parallel_for() when the
+// destructor *returns* (no design can fix that: even throwing "pool is
+// stopping" reads members). Submissions from worker tasks are exempt: the
+// destructor joins the workers, so a worker-side submit can race teardown
+// freely and gets the loud std::logic_error
+// (ThreadPoolTest.SubmitOnStoppingPoolThrowsLogicError, run under TSan).
 //
 // Determinism contract: the pool guarantees nothing about execution order —
 // callers that need reproducible results must make every task independent
@@ -15,13 +47,20 @@
 // completion time) is rethrown, so failures are as deterministic as
 // successes. exp/runner.h builds the experiment matrix on top of this.
 //
-// Blocking waits help: a thread waiting inside parallel_for() (including a
-// worker running a nested parallel_for) executes queued tasks instead of
-// sleeping, so nested parallelism cannot deadlock the pool.
+// parallel_for is batched: one shared heap record per loop, and the
+// workers split the index range through an atomic cursor — no per-index
+// task object, no per-index allocation, no per-index queue traffic. The
+// caller claims indices directly from the same cursor (so a worker blocked
+// in a nested parallel_for always makes progress on its own loop — nested
+// parallelism cannot deadlock the pool at any size) and then sleeps on a
+// real completion notification from the last finishing iteration; there is
+// no timed polling anywhere.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -39,7 +78,9 @@ class ThreadPool {
   explicit ThreadPool(int threads = 0);
 
   /// Drains every queued task, then joins the workers. Tasks submitted
-  /// during destruction are rejected.
+  /// during destruction are rejected loudly (std::logic_error); tasks
+  /// accepted before the rejection point are guaranteed to run (see the
+  /// shutdown protocol above).
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -47,12 +88,14 @@ class ThreadPool {
 
   [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
 
-  /// Enqueues a fire-and-forget task. Exceptions escaping `task` terminate
-  /// (wrap work that can throw via parallel_for, which captures them).
+  /// Enqueues a fire-and-forget task (one heap node per task — the batched
+  /// parallel_for path below does not pay this). Exceptions escaping `task`
+  /// terminate (wrap work that can throw via parallel_for, which captures
+  /// them). Throws std::logic_error on a stopping pool.
   void submit(std::function<void()> task);
 
   /// Runs fn(0) ... fn(n-1) across the pool and blocks until all complete.
-  /// The calling thread helps execute tasks while waiting. If any
+  /// The calling thread claims indices alongside the workers. If any
   /// invocations throw, the exception of the smallest failing index is
   /// rethrown (deterministic regardless of completion order); the remaining
   /// invocations still run to completion first.
@@ -61,28 +104,80 @@ class ThreadPool {
   /// Number of hardware threads, at least 1.
   [[nodiscard]] static int hardware_threads();
 
- private:
-  struct Worker {
-    std::mutex mutex;
-    std::deque<std::function<void()>> tasks;
+  /// Lifetime diagnostic counters, aggregated over all workers. Approximate
+  /// under concurrency (relaxed reads); exact once the pool is quiescent.
+  /// `failed_scans` is the bounded-idle-spinning observable: every take
+  /// that found no task anywhere counts one, and a worker parks after at
+  /// most kMaxEmptyScans consecutive failures, so failed scans are bounded
+  /// by executed work plus a small constant per wake-up (asserted by the
+  /// contention stress test).
+  struct Stats {
+    std::uint64_t executed = 0;      ///< tasks / batch handles run by workers
+    std::uint64_t steals = 0;        ///< takes served from a sibling's deque
+    std::uint64_t failed_scans = 0;  ///< takes that found nothing anywhere
+    std::uint64_t sleeps = 0;        ///< times a worker parked on idle_cv_
   };
+  [[nodiscard]] Stats stats() const;
+
+  /// Consecutive empty scans a worker tolerates (yielding between scans,
+  /// to ride out in-flight pushes) before parking on the idle CV.
+  static constexpr int kMaxEmptyScans = 16;
+
+ private:
+  /// 16-byte POD task handle: no allocation, no type erasure overhead in
+  /// the deques. Generic submissions wrap their std::function in one heap
+  /// node; batch handles point at the loop's shared record.
+  struct TaskRef {
+    void (*run)(void*) = nullptr;
+    void* ctx = nullptr;
+  };
+
+  /// Cache-line isolated so one worker's deque traffic (and diagnostic
+  /// counters) never false-shares with a sibling's.
+  struct alignas(64) Worker {
+    std::mutex mutex;
+    std::deque<TaskRef> tasks;
+    // Diagnostics (Stats): relaxed, owner-written except for steals.
+    std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> steals{0};
+    std::atomic<std::uint64_t> failed_scans{0};
+    std::atomic<std::uint64_t> sleeps{0};
+  };
+
+  struct Batch;  ///< shared per-parallel_for record (thread_pool.cpp)
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
 
+  // --- hot shared state (no mutex) ---
+  /// Tasks in some deque or mid-push. Incremented before the push (and
+  /// before the stop check — shutdown protocol), decremented at pop time
+  /// inside the deque lock. seq_cst: paired with stop_/sleepers_ by the
+  /// Dekker arguments above.
+  std::atomic<std::size_t> queued_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> next_queue_{0};  ///< round-robin cursor
+
+  // --- sleep/wake slow path only ---
   std::mutex idle_mutex_;
   std::condition_variable idle_cv_;
-  std::size_t queued_ = 0;  ///< tasks sitting in some deque (guarded by idle_mutex_)
-  bool stop_ = false;       ///< destructor has begun (guarded by idle_mutex_)
+  std::atomic<int> sleepers_{0};
 
-  std::size_t next_queue_ = 0;  ///< round-robin cursor (guarded by idle_mutex_)
-
-  void worker_loop(std::size_t self);
+  /// Pushes onto worker `target`'s deque and wakes a sleeper if any.
+  /// Throws std::logic_error (after undoing the queued_ increment) on a
+  /// stopping pool; ownership of `task.ctx` stays with the caller until
+  /// this returns.
+  void push_task(std::size_t target, TaskRef task);
+  /// Worker deque index for a task submitted by the current thread.
+  [[nodiscard]] std::size_t submitter_queue();
   /// Pops one task (own deque back first, then steals front-of-sibling
-  /// starting after `self`). Returns an empty function if none found.
-  std::function<void()> take_task(std::size_t self);
-  /// Runs one queued task if any is available; returns whether it did.
-  bool try_help(std::size_t self);
+  /// starting after `self`), decrementing queued_ at pop time. Returns
+  /// {nullptr, nullptr} if none found.
+  TaskRef take_task(std::size_t self);
+  void worker_loop(std::size_t self);
+  /// Wakes sleepers after a push (empty idle_mutex_ critical section closes
+  /// the check-then-sleep race).
+  void wake_sleepers(bool all);
 };
 
 }  // namespace gurita

@@ -1,0 +1,21 @@
+#include "exp/arena.h"
+
+namespace gurita {
+
+RunArena& RunArena::local() {
+  thread_local RunArena arena;
+  return arena;
+}
+
+const FatTree& RunArena::fabric(const FatTree::Config& config) {
+  for (const CachedFabric& cached : fabrics_) {
+    if (cached.config.k == config.k &&
+        cached.config.link_capacity == config.link_capacity &&
+        cached.config.ecmp_salt == config.ecmp_salt)
+      return *cached.tree;
+  }
+  fabrics_.push_back({config, std::make_unique<FatTree>(config)});
+  return *fabrics_.back().tree;
+}
+
+}  // namespace gurita

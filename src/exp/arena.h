@@ -1,0 +1,78 @@
+// Per-worker run arena: thread-local reusable state for the sharded
+// experiment runner.
+//
+// Every cell of a sweep used to rebuild its world from nothing — two
+// FatTree constructions (one in compare_schedulers for sizing, one in
+// run_one for simulation), a fresh JobSpec vector from the trace
+// generator, and a Simulator whose flow store, calendar and fault runtime
+// allocate (then free) several megabytes. Under the parallel runner that
+// churn hits the allocator's mmap/munmap path from every worker at once,
+// serializing them on kernel-side locks — the proximate cause of the
+// *negative* scaling this arena removes (DESIGN.md §9).
+//
+// The arena is strictly thread-local (RunArena::local()); nothing in it is
+// shared or locked. It caches:
+//   - constructed FatTree fabrics keyed by their full Config (k, capacity,
+//     ECMP salt) — immutable after construction, so reuse is trivially
+//     byte-identical;
+//   - a SimBufferPool (flowsim/simulator.h) that consecutive simulators on
+//     this worker adopt and return, recycling container *capacity* only —
+//     every adopted container is cleared before use;
+//   - a JobSpec buffer for generate_trace_into, reusing the outer trace
+//     vector across cells.
+//
+// Determinism contract: the arena only ever recycles capacity and caches
+// immutable objects, so results are byte-identical with or without it, at
+// any worker count, in any cell execution order. The 1/2/8-worker
+// byte-identity tests (parallel_runner_test.cpp) pin this down.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "coflow/job.h"
+#include "flowsim/simulator.h"
+#include "topology/fattree.h"
+
+namespace gurita {
+
+class RunArena {
+ public:
+  /// The calling thread's arena (thread_local singleton). Lives until the
+  /// thread exits; pool workers are long-lived, so cached state spans every
+  /// cell a worker executes.
+  static RunArena& local();
+
+  /// A fabric constructed with exactly `config`, cached across calls.
+  /// FatTree is immutable after construction, so the returned reference is
+  /// safe to share among all runs on this thread; it stays valid for the
+  /// thread's lifetime.
+  const FatTree& fabric(const FatTree::Config& config);
+
+  /// Recyclable simulator container pack; hand it to Simulator::Config::
+  /// recycle. One live borrower at a time is the intended shape — a nested
+  /// second simulator finds moved-from empty buffers and silently falls
+  /// back to fresh allocation.
+  [[nodiscard]] SimBufferPool& sim_buffers() { return sim_buffers_; }
+
+  /// Reusable JobSpec buffer for generate_trace_into. Contents are
+  /// whatever the previous cell left; the generator clears it first.
+  [[nodiscard]] std::vector<JobSpec>& job_buffer() { return jobs_; }
+
+  RunArena(const RunArena&) = delete;
+  RunArena& operator=(const RunArena&) = delete;
+
+ private:
+  RunArena() = default;
+
+  struct CachedFabric {
+    FatTree::Config config;
+    std::unique_ptr<FatTree> tree;
+  };
+  /// Linear scan: a sweep touches one or two distinct configs.
+  std::vector<CachedFabric> fabrics_;
+  SimBufferPool sim_buffers_;
+  std::vector<JobSpec> jobs_;
+};
+
+}  // namespace gurita

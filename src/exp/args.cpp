@@ -10,6 +10,72 @@
 
 namespace gurita {
 
+namespace {
+
+/// Wraps the std::sto* family with a full-token check: std::stoi("4x8")
+/// happily returns 4, which silently runs a different experiment than the
+/// one asked for.
+template <typename T, typename Parse>
+T parse_full_token(const std::string& text, const char* what, Parse parse) {
+  std::size_t consumed = 0;
+  T value{};
+  try {
+    value = parse(text, &consumed);
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string("not ") + what + ": \"" + text +
+                                "\"");
+  }
+  if (consumed != text.size())
+    throw std::invalid_argument(std::string("trailing garbage after ") +
+                                what + ": \"" + text + "\"");
+  return value;
+}
+
+}  // namespace
+
+int parse_int_strict(const std::string& text) {
+  return parse_full_token<int>(
+      text, "an integer",
+      [](const std::string& s, std::size_t* pos) { return std::stoi(s, pos); });
+}
+
+std::uint64_t parse_u64_strict(const std::string& text) {
+  // stoull accepts a leading '-' (wrapping); reject it explicitly.
+  if (!text.empty() && text[0] == '-')
+    throw std::invalid_argument("not an unsigned integer: \"" + text + "\"");
+  return parse_full_token<std::uint64_t>(
+      text, "an unsigned integer", [](const std::string& s, std::size_t* pos) {
+        return static_cast<std::uint64_t>(std::stoull(s, pos));
+      });
+}
+
+double parse_double_strict(const std::string& text) {
+  return parse_full_token<double>(
+      text, "a number",
+      [](const std::string& s, std::size_t* pos) { return std::stod(s, pos); });
+}
+
+std::vector<int> parse_int_list(const std::string& csv) {
+  // Validate every token fully before returning anything: a late bad token
+  // must report itself, not clobber (or ship) the already-parsed prefix.
+  std::vector<int> values;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string token = csv.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    try {
+      values.push_back(parse_int_strict(token));
+    } catch (const std::invalid_argument&) {
+      throw std::invalid_argument("bad list entry \"" + token + "\" in \"" +
+                                  csv + "\"");
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return values;
+}
+
 Args::Args(int argc, char** argv) {
   // Collect *every* repeated flag before throwing, so a long sweep command
   // line gets one complete report instead of a whack-a-mole loop.
@@ -47,19 +113,33 @@ std::vector<std::string> Args::keys_with_prefix(
 
 int Args::get_int(const std::string& key, int fallback) const {
   const auto it = values_.find(key);
-  return it == values_.end() ? fallback : std::stoi(it->second);
+  if (it == values_.end()) return fallback;
+  try {
+    return parse_int_strict(it->second);
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument("flag --" + key + ": " + e.what());
+  }
 }
 
 std::uint64_t Args::get_u64(const std::string& key,
                             std::uint64_t fallback) const {
   const auto it = values_.find(key);
-  return it == values_.end() ? fallback
-                             : static_cast<std::uint64_t>(std::stoull(it->second));
+  if (it == values_.end()) return fallback;
+  try {
+    return parse_u64_strict(it->second);
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument("flag --" + key + ": " + e.what());
+  }
 }
 
 double Args::get_double(const std::string& key, double fallback) const {
   const auto it = values_.find(key);
-  return it == values_.end() ? fallback : std::stod(it->second);
+  if (it == values_.end()) return fallback;
+  try {
+    return parse_double_strict(it->second);
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument("flag --" + key + ": " + e.what());
+  }
 }
 
 std::string Args::get_string(const std::string& key,

@@ -16,6 +16,20 @@
 
 namespace gurita {
 
+/// Strict full-token numeric parses: the whole token must be consumed, so
+/// trailing garbage ("4x8", "1.5.2", "7 beta") is an error instead of a
+/// silent truncation. Throw std::invalid_argument naming the offending
+/// token. The Args getters below and every bench list flag build on these.
+[[nodiscard]] int parse_int_strict(const std::string& text);
+[[nodiscard]] std::uint64_t parse_u64_strict(const std::string& text);
+[[nodiscard]] double parse_double_strict(const std::string& text);
+
+/// Parses a comma-separated integer list ("1,2,8"). Every token is
+/// validated fully before anything is accepted; on a bad token (including
+/// an empty one, or an empty list) throws std::invalid_argument naming the
+/// offending token — never a silently truncated prefix of the list.
+[[nodiscard]] std::vector<int> parse_int_list(const std::string& csv);
+
 class Args {
  public:
   /// Parses "--key value" pairs and bare "--flag" booleans (a flag followed

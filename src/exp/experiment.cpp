@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "common/check.h"
+#include "exp/arena.h"
 #include "exp/registry.h"
 #include "exp/runner.h"
 #include "snapshot/snapshot.h"
@@ -83,15 +84,19 @@ SimResults run_one(const ExperimentConfig& config,
     }
     std::filesystem::create_directories(config.checkpoint.dir);
   }
-  const FatTree fabric(FatTree::Config{config.fat_tree_k,
-                                       config.link_capacity,
-                                       config.ecmp_salt});
+  // The worker's arena caches the (immutable) fabric across cells and
+  // recycles the simulator's container capacity — rebuilding both per run
+  // is what made the sharded sweep allocator-bound (DESIGN.md §9).
+  RunArena& arena = RunArena::local();
+  const FatTree& fabric = arena.fabric(FatTree::Config{
+      config.fat_tree_k, config.link_capacity, config.ecmp_salt});
   // Per-run recorder/profiler on the stack: each run owns its telemetry and
   // the parallel runner pools the snapshots in slot order (absorb), so the
   // exported trace is byte-identical at any worker count.
   obs::TraceRecorder recorder(config.obs.trace_mask);
   obs::PhaseProfiler profiler;
   Simulator::Config sim_config;
+  sim_config.recycle = &arena.sim_buffers();
   if (config.obs.trace) sim_config.trace = &recorder;
   if (config.obs.profile) sim_config.profiler = &profiler;
   if (config.faults.enabled) {
@@ -139,10 +144,15 @@ ComparisonResult compare_schedulers(const ExperimentConfig& config,
                                     const std::vector<std::string>& names,
                                     const std::string& checkpoint_key) {
   TraceConfig trace = config.trace;
-  const FatTree fabric(
+  // Sizing only — but grabbing it from the arena (same worker, usually the
+  // same config run_one asks for) makes this lookup free instead of a
+  // second full FatTree construction per cell.
+  RunArena& arena = RunArena::local();
+  const FatTree& fabric = arena.fabric(
       FatTree::Config{config.fat_tree_k, config.link_capacity});
   trace.num_hosts = fabric.num_hosts();
-  const std::vector<JobSpec> jobs = generate_trace(trace);
+  std::vector<JobSpec>& jobs = arena.job_buffer();
+  generate_trace_into(trace, jobs);
 
   ComparisonResult out;
   for (const std::string& name : names) {

@@ -46,7 +46,7 @@ int resolve_jobs(const Args& args) {
   int jobs = 1;
   if (const char* env = std::getenv("GURITA_JOBS")) {
     try {
-      jobs = std::stoi(env);
+      jobs = parse_int_strict(env);
     } catch (const std::exception&) {
       GURITA_CHECK_MSG(false,
                        std::string("GURITA_JOBS is not an integer: ") + env);
@@ -73,13 +73,24 @@ void run_sharded(std::size_t n, int jobs,
 
 std::vector<ComparisonResult> run_matrix(const std::vector<ExperimentRun>& runs,
                                          int jobs) {
-  std::vector<ComparisonResult> results(runs.size());
+  // Result slots are cache-line aligned while the workers write them: a
+  // ComparisonResult is a pair of small maps, so adjacent slots of a plain
+  // vector share lines and concurrent writers false-share on the final
+  // move-assign of every run. The padded slots are moved into the plain
+  // return vector afterwards (serial, so no sharing by then).
+  struct alignas(64) Slot {
+    ComparisonResult value;
+  };
+  std::vector<Slot> slots(runs.size());
   run_sharded(runs.size(), jobs, [&](std::size_t i) {
-    results[i] = compare_schedulers(runs[i].config, runs[i].schedulers,
-                                    runs[i].checkpoint_key.empty()
-                                        ? "cell" + std::to_string(i)
-                                        : runs[i].checkpoint_key);
+    slots[i].value = compare_schedulers(runs[i].config, runs[i].schedulers,
+                                        runs[i].checkpoint_key.empty()
+                                            ? "cell" + std::to_string(i)
+                                            : runs[i].checkpoint_key);
   });
+  std::vector<ComparisonResult> results;
+  results.reserve(runs.size());
+  for (Slot& slot : slots) results.push_back(std::move(slot.value));
   return results;
 }
 

@@ -64,9 +64,79 @@ double SimResults::link_utilization(LinkId id, Rate capacity) const {
   return link_bytes[id.value()] / (capacity * makespan);
 }
 
+namespace {
+
+/// The adopt/return primitive of buffer recycling: `dst` takes over `src`'s
+/// allocation and is cleared — capacity is reused, values never are. `src`
+/// is left moved-from (empty), which is what makes a double-borrowed pool
+/// safe: the second borrower adopts nothing and allocates fresh.
+template <typename T>
+void adopt_cleared(std::vector<T>& dst, std::vector<T>& src) {
+  dst = std::move(src);
+  dst.clear();
+}
+
+}  // namespace
+
+void Simulator::adopt_buffers(SimBufferPool& pool) {
+  adopt_cleared(state_.flows_, pool.flows);
+  adopt_cleared(state_.coflows_, pool.coflows);
+  adopt_cleared(state_.jobs_, pool.jobs);
+  adopt_cleared(state_.aggregates_, pool.aggregates);
+  adopt_cleared(active_, pool.active);
+  adopt_cleared(pos_in_active_, pool.pos_in_active);
+  adopt_cleared(gen_, pool.gen);
+  adopt_cleared(rate_changes_, pool.rate_changes);
+  adopt_cleared(arrival_order_, pool.arrival_order);
+  adopt_cleared(disruptions_, pool.disruptions);
+  adopt_cleared(done_, pool.done);
+  adopt_cleared(capacities_, pool.capacities);
+  adopt_cleared(fault_events_, pool.fault_events);
+  adopt_cleared(host_down_, pool.host_down);
+  adopt_cleared(link_down_, pool.link_down);
+  adopt_cleared(straggler_, pool.straggler);
+  adopt_cleared(saved_capacity_, pool.saved_capacity);
+  adopt_cleared(parked_, pool.parked);
+  // Heaps restore a cleared array — an empty array is a valid layout.
+  pool.calendar.clear();
+  calendar_.restore(std::move(pool.calendar));
+  pool.retries.clear();
+  retries_.restore(std::move(pool.retries));
+}
+
+void Simulator::return_buffers(SimBufferPool& pool) {
+  pool.flows = std::move(state_.flows_);
+  pool.coflows = std::move(state_.coflows_);
+  pool.jobs = std::move(state_.jobs_);
+  pool.aggregates = std::move(state_.aggregates_);
+  pool.active = std::move(active_);
+  pool.pos_in_active = std::move(pos_in_active_);
+  pool.gen = std::move(gen_);
+  pool.rate_changes = std::move(rate_changes_);
+  pool.arrival_order = std::move(arrival_order_);
+  pool.disruptions = std::move(disruptions_);
+  pool.done = std::move(done_);
+  pool.capacities = std::move(capacities_);
+  pool.fault_events = std::move(fault_events_);
+  pool.host_down = std::move(host_down_);
+  pool.link_down = std::move(link_down_);
+  pool.straggler = std::move(straggler_);
+  pool.saved_capacity = std::move(saved_capacity_);
+  pool.parked = std::move(parked_);
+  pool.calendar = calendar_.take_container();
+  pool.retries = retries_.take_container();
+}
+
+Simulator::~Simulator() {
+  if (config_.recycle != nullptr) return_buffers(*config_.recycle);
+}
+
 Simulator::Simulator(const Fabric& fabric, Scheduler& scheduler,
                      Config config)
     : fabric_(&fabric), scheduler_(&scheduler), config_(std::move(config)) {
+  // Adopt before any container is touched so every resize/assign below
+  // lands in recycled capacity instead of a fresh multi-megabyte mmap.
+  if (config_.recycle != nullptr) adopt_buffers(*config_.recycle);
   capacities_.resize(fabric.topology().link_count());
   for (std::size_t i = 0; i < capacities_.size(); ++i)
     capacities_[i] = fabric.topology().link(LinkId{i}).capacity;

@@ -72,8 +72,17 @@ class SnapshotableHeap {
   /// The heap array in layout order (NOT sorted order) — serialize verbatim.
   [[nodiscard]] const std::vector<T>& container() const { return heap_; }
   /// Restores an array previously obtained from container(). The caller
-  /// must not reorder it: layout is state.
+  /// must not reorder it: layout is state. (Buffer recycling also enters
+  /// here, with a *cleared* vector whose capacity is being reused — an
+  /// empty array is trivially a valid layout.)
   void restore(std::vector<T> container) { heap_ = std::move(container); }
+  /// Moves the backing array out for buffer recycling, leaving the heap
+  /// empty and valid.
+  [[nodiscard]] std::vector<T> take_container() {
+    std::vector<T> out = std::move(heap_);
+    heap_.clear();
+    return out;
+  }
 
  private:
   std::vector<T> heap_;
@@ -189,6 +198,8 @@ struct SimResults {
   [[nodiscard]] double average_cct() const;
 };
 
+class SimBufferPool;
+
 class Simulator {
  public:
   struct Config {
@@ -224,6 +235,14 @@ class Simulator {
     /// Engine phase profiler (obs/profiler.h), or nullptr. Timing only —
     /// attaching a profiler never changes simulation results.
     obs::PhaseProfiler* profiler = nullptr;
+    /// Recycled container pack (SimBufferPool below), or nullptr. When set,
+    /// the simulator adopts the pool's emptied vectors at construction
+    /// (clearing them — values are never reused, only capacity) and returns
+    /// them at destruction, so consecutive runs on a worker skip the
+    /// multi-megabyte allocate/free cycle of the flow store, calendar and
+    /// fault runtime. Results are byte-identical with or without a pool.
+    /// Must outlive the simulator.
+    SimBufferPool* recycle = nullptr;
   };
 
   /// `fabric` and `scheduler` must outlive the simulator. Any Fabric
@@ -231,6 +250,9 @@ class Simulator {
   Simulator(const Fabric& fabric, Scheduler& scheduler, Config config);
   Simulator(const Fabric& fabric, Scheduler& scheduler)
       : Simulator(fabric, scheduler, Config{}) {}
+
+  /// Returns the adopted containers to Config::recycle, if one was set.
+  ~Simulator();
 
   /// Registers a job (validated against the fabric). All jobs must be
   /// submitted before run(). Returns the assigned job id.
@@ -280,6 +302,7 @@ class Simulator {
 
  private:
   friend class SnapshotCodec;  ///< snapshot/snapshot.cpp serializer
+  friend class SimBufferPool;  ///< recyclable container pack (below)
   /// One entry of the completion calendar: flow `flow` is projected to
   /// drain to zero at `key`. Entries are never updated in place; a rate
   /// change bumps the flow's generation counter and pushes a fresh entry,
@@ -436,6 +459,57 @@ class Simulator {
   SimResults collect();
   /// Applies due scheduled capacity changes (failure injection).
   void apply_due_disruptions();
+
+  /// Buffer recycling (Config::recycle): moves the pool's containers into
+  /// the members (clearing each — capacity reuse only, never values), and
+  /// back again at destruction. A pool borrowed twice concurrently (it
+  /// must not be shared across threads, but a second simulator on the same
+  /// thread is legal) simply finds moved-from empty containers and falls
+  /// back to fresh allocation — reuse degrades, correctness doesn't.
+  void adopt_buffers(SimBufferPool& pool);
+  void return_buffers(SimBufferPool& pool);
+};
+
+/// Recyclable pack of a Simulator's large per-run containers — the flow /
+/// coflow / job stores, calendar and retry heap arrays, active-set and
+/// fault-runtime vectors. One simulation over a 100k-flow trace allocates
+/// (and frees) several megabytes of these; when every run of a sharded
+/// sweep pays that, the allocator's mmap/munmap traffic serializes the
+/// workers and the parallel runner scales *negatively*. A per-worker pool
+/// (exp/arena.h) lets each run adopt its predecessor's capacity instead.
+///
+/// Ownership rules: a pool belongs to one thread (no internal locking) and
+/// to at most one live Simulator at a time; while borrowed, its containers
+/// are moved-from and empty. The simulator clears every adopted container
+/// before use, so pooled and fresh runs are byte-identical.
+class SimBufferPool {
+ public:
+  SimBufferPool() = default;
+  SimBufferPool(const SimBufferPool&) = delete;
+  SimBufferPool& operator=(const SimBufferPool&) = delete;
+
+ private:
+  friend class Simulator;
+  std::vector<SimFlow> flows;
+  std::vector<SimCoflow> coflows;
+  std::vector<SimJob> jobs;
+  std::vector<SimState::CoflowAggregate> aggregates;
+  std::vector<SimFlow*> active;
+  std::vector<std::uint32_t> pos_in_active;
+  std::vector<std::uint32_t> gen;
+  std::vector<Simulator::CalendarEntry> calendar;
+  std::vector<RateChange> rate_changes;
+  std::vector<JobId> arrival_order;
+  std::vector<CapacityChange> disruptions;
+  std::vector<FlowId> done;
+  std::vector<Rate> capacities;
+  std::vector<FaultEvent> fault_events;
+  std::vector<char> host_down;
+  std::vector<char> link_down;
+  std::vector<double> straggler;
+  std::vector<Rate> saved_capacity;
+  std::vector<FlowId> parked;
+  std::vector<Simulator::RetryEntry> retries;
 };
 
 }  // namespace gurita

@@ -65,4 +65,11 @@ struct TraceConfig {
 /// Generates `config.num_jobs` validated JobSpecs, sorted by arrival time.
 [[nodiscard]] std::vector<JobSpec> generate_trace(const TraceConfig& config);
 
+/// In-place variant: clears `out` and fills it with exactly the jobs
+/// generate_trace(config) would return, reusing the outer vector's capacity
+/// (per-job inner vectors still allocate — clear() destroys them). The
+/// per-worker run arena (exp/arena.h) threads its buffer through here so a
+/// sharded sweep doesn't reallocate the trace container every cell.
+void generate_trace_into(const TraceConfig& config, std::vector<JobSpec>& out);
+
 }  // namespace gurita

@@ -2,6 +2,10 @@
 // per-job speedup metric and scenario plumbing.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+#include <vector>
+
 #include "exp/args.h"
 #include "exp/experiment.h"
 #include "fault/fault.h"
@@ -81,6 +85,71 @@ TEST(Args, RejectsDuplicateFlags) {
     EXPECT_EQ(e.issues()[0].where, "--jobs");
     EXPECT_EQ(e.issues()[1].where, "--seed");
     EXPECT_NE(std::string(e.what()).find("--jobs"), std::string::npos);
+  }
+}
+
+// ------------------------------------------------- strict token parsing
+
+TEST(StrictParse, AcceptsFullTokens) {
+  EXPECT_EQ(parse_int_strict("42"), 42);
+  EXPECT_EQ(parse_int_strict("-7"), -7);
+  EXPECT_EQ(parse_u64_strict("18446744073709551615"),
+            18446744073709551615ULL);
+  EXPECT_DOUBLE_EQ(parse_double_strict("2.5e3"), 2500.0);
+}
+
+TEST(StrictParse, RejectsTrailingGarbage) {
+  // std::stoi("4x8") returns 4 — the historic bug that made --jobs-list
+  // silently run a different worker count than asked.
+  EXPECT_THROW(parse_int_strict("4x8"), std::invalid_argument);
+  EXPECT_THROW(parse_int_strict("7 "), std::invalid_argument);
+  EXPECT_THROW(parse_int_strict(""), std::invalid_argument);
+  EXPECT_THROW(parse_double_strict("1.5.2"), std::invalid_argument);
+  EXPECT_THROW(parse_u64_strict("9beta"), std::invalid_argument);
+}
+
+TEST(StrictParse, U64RejectsNegatives) {
+  // stoull wraps "-1" to 2^64-1 instead of failing.
+  EXPECT_THROW(parse_u64_strict("-1"), std::invalid_argument);
+}
+
+TEST(StrictParse, ErrorNamesOffendingToken) {
+  try {
+    parse_int_strict("4x8");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("4x8"), std::string::npos);
+  }
+}
+
+TEST(ParseIntList, ParsesValidLists) {
+  EXPECT_EQ(parse_int_list("1,2,8"), (std::vector<int>{1, 2, 8}));
+  EXPECT_EQ(parse_int_list("5"), (std::vector<int>{5}));
+}
+
+TEST(ParseIntList, LateBadTokenNamesItselfAndShipsNothing) {
+  // The old bench parser cleared the validated prefix on a late bad token
+  // and then reported "expects positive counts" against the whole list.
+  try {
+    parse_int_list("1,2,4x8");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("4x8"), std::string::npos);
+  }
+  EXPECT_THROW(parse_int_list(""), std::invalid_argument);
+  EXPECT_THROW(parse_int_list("1,,2"), std::invalid_argument);
+  EXPECT_THROW(parse_int_list("1,2,"), std::invalid_argument);
+}
+
+TEST(Args, GetIntRejectsTrailingGarbageNamingTheFlag) {
+  const Args args = parse({"--jobs", "4x8"});
+  try {
+    args.get_int("jobs", 0);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--jobs"), std::string::npos);
+    EXPECT_NE(what.find("4x8"), std::string::npos);
   }
 }
 
