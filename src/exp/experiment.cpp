@@ -96,6 +96,7 @@ SimResults run_one(const ExperimentConfig& config,
   obs::TraceRecorder recorder(config.obs.trace_mask);
   obs::PhaseProfiler profiler;
   Simulator::Config sim_config;
+  sim_config.allocator = config.allocator;
   sim_config.recycle = &arena.sim_buffers();
   if (config.obs.trace) sim_config.trace = &recorder;
   if (config.obs.profile) sim_config.profiler = &profiler;

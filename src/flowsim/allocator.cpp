@@ -1,41 +1,85 @@
 #include "flowsim/allocator.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <limits>
 
 namespace gurita {
 
-void waterfill(const Topology& topo, std::vector<SimFlow*>& group,
-               std::vector<Rate>& residual) {
-  GURITA_CHECK_MSG(residual.size() == topo.link_count(),
-                   "residual vector must cover every link");
+const char* to_string(AllocatorKind kind) {
+  switch (kind) {
+    case AllocatorKind::kIncremental: return "incremental";
+    case AllocatorKind::kOracle: return "oracle";
+  }
+  return "?";
+}
 
-  // Per-link: sum of weights and count of unfrozen flows, plus the flows
-  // crossing it. Only links actually touched by this group are tracked.
-  // The integer count, not the floating weight, decides whether a link is
-  // still active — repeated subtraction can leave a nonzero weight residue
-  // on a link whose flows are all frozen, which must not become a
-  // "bottleneck" nothing can be frozen against.
-  std::vector<double> link_weight(topo.link_count(), 0.0);
-  std::vector<std::uint32_t> link_unfrozen(topo.link_count(), 0);
-  std::vector<std::vector<std::uint32_t>> link_flows(topo.link_count());
-  std::vector<LinkId> touched;
+AllocatorKind default_allocator_kind() {
+  static const AllocatorKind kind = [] {
+    const char* v = std::getenv("GURITA_ALLOCATOR");
+    if (v == nullptr || *v == '\0') v = std::getenv("ALLOCATOR");
+    if (v != nullptr && std::strcmp(v, "oracle") == 0)
+      return AllocatorKind::kOracle;
+    return AllocatorKind::kIncremental;
+  }();
+  return kind;
+}
 
-  for (std::uint32_t i = 0; i < group.size(); ++i) {
+void WaterfillScratch::ensure(std::size_t links) {
+  if (link_weight.size() < links) {
+    link_weight.resize(links, 0.0);
+    link_unfrozen.resize(links, 0);
+    link_nflows.resize(links, 0);
+    link_off.resize(links, 0);
+    link_cur.resize(links, 0);
+    residual.resize(links, 0.0);
+    residual_init.resize(links, 0);
+  }
+}
+
+namespace {
+
+/// One tier group's progressive filling. `group[0..n)` all share one tier;
+/// `residual` (indexed by LinkId value) must be valid for every link the
+/// group touches and is consumed in place. The arithmetic — including the
+/// bottleneck tolerance clauses — is the original allocator's verbatim, so
+/// rates are bit-identical to the historical implementation whenever the
+/// bottleneck shares are not within one part in 10^12 of each other across
+/// components (exact ties produce the exact same share either way).
+void waterfill_group(SimFlow* const* group, std::size_t n, Rate* residual,
+                     WaterfillScratch& s) {
+  // CSR build, two passes in flow order: count flows per link, assign
+  // slices in first-touch order, fill. Iteration order over both links
+  // (s.touched) and each link's flows (csr slice) matches the old
+  // vector-of-vectors exactly.
+  s.touched.clear();
+  for (std::size_t i = 0; i < n; ++i) {
     SimFlow* f = group[i];
     GURITA_CHECK_MSG(!f->path.empty(), "active flow with empty path");
     GURITA_CHECK_MSG(f->weight > 0, "flow weight must be positive");
     f->rate = 0;
     for (LinkId l : f->path) {
-      if (link_flows[l.value()].empty()) touched.push_back(l);
-      link_flows[l.value()].push_back(i);
-      link_weight[l.value()] += f->weight;
-      ++link_unfrozen[l.value()];
+      if (s.link_nflows[l.value()] == 0) s.touched.push_back(l);
+      ++s.link_nflows[l.value()];
+      s.link_weight[l.value()] += f->weight;
+      ++s.link_unfrozen[l.value()];
     }
   }
+  std::uint32_t base = 0;
+  for (LinkId l : s.touched) {
+    s.link_off[l.value()] = base;
+    s.link_cur[l.value()] = base;
+    base += s.link_nflows[l.value()];
+  }
+  if (s.csr.size() < base) s.csr.resize(base);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (LinkId l : group[i]->path)
+      s.csr[s.link_cur[l.value()]++] = static_cast<std::uint32_t>(i);
+  }
 
-  std::vector<bool> frozen(group.size(), false);
-  std::size_t remaining = group.size();
+  s.frozen.assign(n, 0);
+  std::size_t remaining = n;
 
   // Progressive filling: each round finds the bottleneck share, freezes
   // every flow crossing a bottleneck link, consumes capacity, repeats.
@@ -43,9 +87,9 @@ void waterfill(const Topology& topo, std::vector<SimFlow*>& group,
   // total is O(rounds * links + flows * path length).
   while (remaining > 0) {
     double best_share = std::numeric_limits<double>::infinity();
-    for (LinkId l : touched) {
-      if (link_unfrozen[l.value()] == 0) continue;
-      const double w = std::max(link_weight[l.value()], 1e-300);
+    for (LinkId l : s.touched) {
+      if (s.link_unfrozen[l.value()] == 0) continue;
+      const double w = std::max(s.link_weight[l.value()], 1e-300);
       best_share = std::min(best_share, residual[l.value()] / w);
     }
     GURITA_CHECK_MSG(best_share < std::numeric_limits<double>::infinity(),
@@ -56,22 +100,25 @@ void waterfill(const Topology& topo, std::vector<SimFlow*>& group,
     // (weight and capacity leave together), so collecting the bottleneck
     // links once per round is sound.
     bool froze_any = false;
-    for (LinkId l : touched) {
-      if (link_unfrozen[l.value()] == 0) continue;
-      const double w = std::max(link_weight[l.value()], 1e-300);
+    for (LinkId l : s.touched) {
+      if (s.link_unfrozen[l.value()] == 0) continue;
+      const double w = std::max(s.link_weight[l.value()], 1e-300);
       if (residual[l.value()] / w > best_share * (1 + 1e-12) &&
           residual[l.value()] > 1e-9)
         continue;
-      for (std::uint32_t idx : link_flows[l.value()]) {
-        if (frozen[idx]) continue;
+      const std::uint32_t off = s.link_off[l.value()];
+      const std::uint32_t cnt = s.link_nflows[l.value()];
+      for (std::uint32_t k = 0; k < cnt; ++k) {
+        const std::uint32_t idx = s.csr[off + k];
+        if (s.frozen[idx]) continue;
         SimFlow* f = group[idx];
         f->rate = f->weight * best_share;
-        frozen[idx] = true;
+        s.frozen[idx] = 1;
         froze_any = true;
         --remaining;
         for (LinkId pl : f->path) {
-          link_weight[pl.value()] -= f->weight;
-          --link_unfrozen[pl.value()];
+          s.link_weight[pl.value()] -= f->weight;
+          --s.link_unfrozen[pl.value()];
           residual[pl.value()] -= f->rate;
           if (residual[pl.value()] < 0) residual[pl.value()] = 0;
         }
@@ -79,15 +126,73 @@ void waterfill(const Topology& topo, std::vector<SimFlow*>& group,
     }
     GURITA_CHECK_MSG(froze_any, "waterfill failed to make progress");
   }
+
+  // Reset the per-link accumulators for the next group. link_weight can
+  // carry a floating-point residue from the subtractions above; zero it.
+  for (LinkId l : s.touched) {
+    s.link_weight[l.value()] = 0.0;
+    s.link_unfrozen[l.value()] = 0;
+    s.link_nflows[l.value()] = 0;
+  }
+  s.touched.clear();
 }
+
+}  // namespace
+
+void solve_component(const Topology& topo, SimFlow* const* flows,
+                     std::size_t n, const std::vector<Rate>& capacities,
+                     WaterfillScratch& scratch) {
+  scratch.ensure(topo.link_count());
+  // Residual capacity, initialized lazily for just this component's links
+  // and carried across its tier groups (SPQ: lower tiers consume first).
+  for (std::size_t i = 0; i < n; ++i) {
+    for (LinkId l : flows[i]->path) {
+      if (scratch.residual_init[l.value()]) continue;
+      scratch.residual_init[l.value()] = 1;
+      scratch.residual[l.value()] = capacities[l.value()];
+      scratch.residual_links.push_back(l);
+    }
+  }
+  std::size_t i = 0;
+  while (i < n) {
+    const std::size_t start = i;
+    const Tier tier = flows[i]->tier;
+    while (i < n && flows[i]->tier == tier) ++i;
+    waterfill_group(flows + start, i - start, scratch.residual.data(),
+                    scratch);
+  }
+  for (LinkId l : scratch.residual_links)
+    scratch.residual_init[l.value()] = 0;
+  scratch.residual_links.clear();
+}
+
+void waterfill(const Topology& topo, std::vector<SimFlow*>& group,
+               std::vector<Rate>& residual) {
+  GURITA_CHECK_MSG(residual.size() == topo.link_count(),
+                   "residual vector must cover every link");
+  WaterfillScratch scratch;
+  scratch.ensure(topo.link_count());
+  waterfill_group(group.data(), group.size(), residual.data(), scratch);
+}
+
+namespace {
+
+std::uint32_t uf_find(std::vector<std::uint32_t>& parent, std::uint32_t x) {
+  while (parent[x] != x) {
+    parent[x] = parent[parent[x]];
+    x = parent[x];
+  }
+  return x;
+}
+
+}  // namespace
 
 void allocate_rates(const Topology& topo, const std::vector<Rate>& capacities,
                     const std::vector<SimFlow*>& flows,
-                    std::vector<RateChange>* changed) {
+                    std::vector<RateChange>* changed, AllocStats* stats) {
   GURITA_CHECK_MSG(capacities.size() == topo.link_count(),
                    "capacity vector must cover every link");
   for (Rate c : capacities) GURITA_CHECK_MSG(c >= 0, "negative capacity");
-  std::vector<Rate> residual = capacities;
 
   std::vector<Rate> old_rates;
   if (changed != nullptr) {
@@ -106,13 +211,48 @@ void allocate_rates(const Topology& topo, const std::vector<Rate>& capacities,
     return a->id < b->id;
   });
 
-  std::vector<SimFlow*> group;
-  std::size_t i = 0;
-  while (i < order.size()) {
-    group.clear();
-    const Tier tier = order[i]->tier;
-    while (i < order.size() && order[i]->tier == tier) group.push_back(order[i++]);
-    waterfill(topo, group, residual);
+  // Link-connected components via union-find: flows sharing any link share
+  // a component. Bucketing in `order` keeps each component (tier, id)
+  // sorted, as solve_component requires.
+  const std::uint32_t n = static_cast<std::uint32_t>(order.size());
+  std::vector<std::uint32_t> parent(n);
+  for (std::uint32_t i = 0; i < n; ++i) parent[i] = i;
+  constexpr std::uint32_t kNone = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> link_first(topo.link_count(), kNone);
+  std::uint64_t used_links = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (LinkId l : order[i]->path) {
+      std::uint32_t& first = link_first[l.value()];
+      if (first == kNone) {
+        first = i;
+        ++used_links;
+      } else {
+        const std::uint32_t a = uf_find(parent, i);
+        const std::uint32_t b = uf_find(parent, first);
+        if (a != b) parent[a] = b;
+      }
+    }
+  }
+  std::vector<std::uint32_t> comp_of_root(n, kNone);
+  std::vector<std::vector<SimFlow*>> comps;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t r = uf_find(parent, i);
+    if (comp_of_root[r] == kNone) {
+      comp_of_root[r] = static_cast<std::uint32_t>(comps.size());
+      comps.emplace_back();
+    }
+    comps[comp_of_root[r]].push_back(order[i]);
+  }
+
+  WaterfillScratch scratch;
+  for (std::vector<SimFlow*>& comp : comps)
+    solve_component(topo, comp.data(), comp.size(), capacities, scratch);
+
+  if (stats != nullptr) {
+    ++stats->allocations;
+    stats->flows_solved += flows.size();
+    stats->components_solved += comps.size();
+    stats->dirty_links += used_links;
   }
 
   if (changed != nullptr) {
@@ -128,6 +268,225 @@ void allocate_rates(const Topology& topo, const std::vector<SimFlow*>& flows) {
   for (std::size_t i = 0; i < capacities.size(); ++i)
     capacities[i] = topo.link(LinkId{i}).capacity;
   allocate_rates(topo, capacities, flows);
+}
+
+// --- RateAllocator -----------------------------------------------------------
+
+void RateAllocator::reset(const Topology* topo, AllocatorKind kind,
+                          std::size_t flow_capacity) {
+  topo_ = topo;
+  kind_ = kind;
+  stats_ = AllocStats{};
+  const std::size_t links = topo->link_count();
+  head_.assign(links, kNil);
+  link_dirty_.assign(links, 0);
+  link_claimed_.assign(links, 0);
+  dirty_list_.clear();
+  claimed_links_.clear();
+  ent_flow_.clear();
+  ent_next_.clear();
+  ent_prev_.clear();
+  slot_offset_.clear();
+  in_.clear();
+  tier_mirror_.clear();
+  weight_mirror_.clear();
+  old_rate_.clear();
+  flow_mark_.clear();
+  affected_.clear();
+  component_.clear();
+  if (kind_ == AllocatorKind::kOracle) return;
+  slot_offset_.reserve(flow_capacity);
+  in_.reserve(flow_capacity);
+  tier_mirror_.reserve(flow_capacity);
+  weight_mirror_.reserve(flow_capacity);
+  old_rate_.reserve(flow_capacity);
+  flow_mark_.reserve(flow_capacity);
+  scratch_.ensure(links);
+}
+
+void RateAllocator::ensure_flow(std::size_t fid) {
+  if (fid < in_.size()) return;
+  const std::size_t n = std::max(fid + 1, in_.size() * 2);
+  in_.resize(n, 0);
+  slot_offset_.resize(n, kNil);
+  tier_mirror_.resize(n, 0);
+  weight_mirror_.resize(n, 0.0);
+  old_rate_.resize(n, 0.0);
+  flow_mark_.resize(n, 0);
+}
+
+void RateAllocator::dirty_link(LinkId link) {
+  if (kind_ == AllocatorKind::kOracle) return;
+  if (link_dirty_[link.value()]) return;
+  link_dirty_[link.value()] = 1;
+  dirty_list_.push_back(link);
+}
+
+void RateAllocator::add_flow(SimFlow* flow) {
+  if (kind_ == AllocatorKind::kOracle) return;
+  const std::size_t fid = flow->id.value();
+  ensure_flow(fid);
+  std::int32_t slot = slot_offset_[fid];
+  if (slot == kNil) {
+    slot = static_cast<std::int32_t>(ent_flow_.size());
+    slot_offset_[fid] = slot;
+    ent_flow_.resize(ent_flow_.size() + flow->path.size(), nullptr);
+    ent_next_.resize(ent_flow_.size(), kNil);
+    ent_prev_.resize(ent_flow_.size(), kNil);
+  }
+  for (std::size_t k = 0; k < flow->path.size(); ++k) {
+    const std::int32_t e = slot + static_cast<std::int32_t>(k);
+    const std::size_t l = flow->path[k].value();
+    ent_flow_[e] = flow;
+    ent_prev_[e] = kNil;
+    ent_next_[e] = head_[l];
+    if (head_[l] != kNil) ent_prev_[head_[l]] = e;
+    head_[l] = e;
+    dirty_link(flow->path[k]);
+  }
+  in_[fid] = 1;
+  tier_mirror_[fid] = flow->tier;
+  weight_mirror_[fid] = flow->weight;
+}
+
+void RateAllocator::remove_flow(SimFlow* flow) {
+  if (kind_ == AllocatorKind::kOracle) return;
+  const std::size_t fid = flow->id.value();
+  if (fid >= in_.size() || !in_[fid]) return;
+  const std::int32_t slot = slot_offset_[fid];
+  for (std::size_t k = 0; k < flow->path.size(); ++k) {
+    const std::int32_t e = slot + static_cast<std::int32_t>(k);
+    const std::size_t l = flow->path[k].value();
+    if (ent_prev_[e] != kNil)
+      ent_next_[ent_prev_[e]] = ent_next_[e];
+    else
+      head_[l] = ent_next_[e];
+    if (ent_next_[e] != kNil) ent_prev_[ent_next_[e]] = ent_prev_[e];
+    ent_next_[e] = kNil;
+    ent_prev_[e] = kNil;
+    dirty_link(flow->path[k]);
+  }
+  in_[fid] = 0;
+}
+
+void RateAllocator::touch_flow(SimFlow* flow) {
+  if (kind_ == AllocatorKind::kOracle) return;
+  const std::size_t fid = flow->id.value();
+  if (fid >= in_.size() || !in_[fid]) return;
+  for (LinkId l : flow->path) dirty_link(l);
+}
+
+void RateAllocator::rebuild(const std::vector<SimFlow*>& active) {
+  if (kind_ == AllocatorKind::kOracle) return;
+  std::fill(head_.begin(), head_.end(), kNil);
+  std::fill(link_dirty_.begin(), link_dirty_.end(), 0);
+  dirty_list_.clear();
+  ent_flow_.clear();
+  ent_next_.clear();
+  ent_prev_.clear();
+  std::fill(in_.begin(), in_.end(), 0);
+  std::fill(slot_offset_.begin(), slot_offset_.end(), kNil);
+  std::fill(flow_mark_.begin(), flow_mark_.end(), 0);
+  for (SimFlow* f : active) add_flow(f);
+}
+
+void RateAllocator::allocate(const std::vector<Rate>& capacities,
+                             const std::vector<SimFlow*>& active,
+                             std::vector<RateChange>* changed,
+                             obs::PhaseProfiler* profiler) {
+  if (kind_ == AllocatorKind::kOracle) {
+    obs::ScopedPhase converge(profiler, obs::Phase::kAllocConverge);
+    allocate_rates(*topo_, capacities, active, changed, &stats_);
+    return;
+  }
+  ++stats_.allocations;
+
+  {
+    obs::ScopedPhase frontier(profiler, obs::Phase::kAllocFrontier);
+    // Priority rewrites leave no event trail of their own: schedulers
+    // mutate tier/weight in place during assign(). One O(active) mirror
+    // scan per recomputation catches them — still O(1) per flow, versus
+    // the oracle's full sort + re-solve.
+    for (SimFlow* f : active) {
+      const std::size_t fid = f->id.value();
+      if (f->tier != tier_mirror_[fid] || f->weight != weight_mirror_[fid]) {
+        tier_mirror_[fid] = f->tier;
+        weight_mirror_[fid] = f->weight;
+        for (LinkId l : f->path) dirty_link(l);
+      }
+    }
+    // Frontier closure: a dirty link re-solves its flows; a re-solved flow
+    // re-solves every link it crosses (its share there may shift). The
+    // fixpoint is the union of the link-connected components containing
+    // any seed — exactly the set whose rates can legally change.
+    for (std::size_t i = 0; i < dirty_list_.size(); ++i) {
+      const std::size_t l = dirty_list_[i].value();
+      for (std::int32_t e = head_[l]; e != kNil; e = ent_next_[e]) {
+        SimFlow* f = ent_flow_[e];
+        const std::size_t fid = f->id.value();
+        if (flow_mark_[fid] != 0) continue;
+        flow_mark_[fid] = 1;
+        old_rate_[fid] = f->rate;
+        affected_.push_back(f);
+        for (LinkId pl : f->path) dirty_link(pl);
+      }
+    }
+    stats_.dirty_links += dirty_list_.size();
+    stats_.flows_solved += affected_.size();
+  }
+
+  {
+    obs::ScopedPhase converge(profiler, obs::Phase::kAllocConverge);
+    // Split the affected set into its components (the closure above pulled
+    // in every member of each) and re-solve each with the shared kernel.
+    for (SimFlow* seed : affected_) {
+      if (flow_mark_[seed->id.value()] != 1) continue;
+      component_.clear();
+      component_.push_back(seed);
+      flow_mark_[seed->id.value()] = 2;
+      for (std::size_t i = 0; i < component_.size(); ++i) {
+        for (LinkId l : component_[i]->path) {
+          if (link_claimed_[l.value()]) continue;
+          link_claimed_[l.value()] = 1;
+          claimed_links_.push_back(l);
+          for (std::int32_t e = head_[l.value()]; e != kNil;
+               e = ent_next_[e]) {
+            SimFlow* f = ent_flow_[e];
+            if (flow_mark_[f->id.value()] != 1) continue;
+            flow_mark_[f->id.value()] = 2;
+            component_.push_back(f);
+          }
+        }
+      }
+      std::sort(component_.begin(), component_.end(),
+                [](const SimFlow* a, const SimFlow* b) {
+                  if (a->tier != b->tier) return a->tier < b->tier;
+                  return a->id < b->id;
+                });
+      solve_component(*topo_, component_.data(), component_.size(),
+                      capacities, scratch_);
+      ++stats_.components_solved;
+    }
+
+    // Changed flows, in active order — the exact list (content and order)
+    // the oracle reports: an unaffected flow's cached rate is bitwise what
+    // a re-solve would produce, so it cannot have "changed".
+    if (changed != nullptr) {
+      changed->clear();
+      for (SimFlow* f : active) {
+        const std::size_t fid = f->id.value();
+        if (flow_mark_[fid] != 0 && f->rate != old_rate_[fid])
+          changed->push_back(RateChange{f, old_rate_[fid]});
+      }
+    }
+
+    for (const SimFlow* f : affected_) flow_mark_[f->id.value()] = 0;
+    affected_.clear();
+    for (LinkId l : claimed_links_) link_claimed_[l.value()] = 0;
+    claimed_links_.clear();
+    for (LinkId l : dirty_list_) link_dirty_[l.value()] = 0;
+    dirty_list_.clear();
+  }
 }
 
 }  // namespace gurita

@@ -16,11 +16,27 @@
 //
 // The result is work-conserving: no link with an unfrozen flow is left with
 // spare capacity.
+//
+// Two implementations share one convergence kernel (solve_component):
+//
+//   * allocate_rates — the *oracle*: re-solves every link-connected
+//     component of the whole active set from scratch. Simple, obviously
+//     correct, and the reference the incremental allocator is held
+//     byte-identical to (DESIGN.md §13).
+//   * RateAllocator — the *incremental* allocator the engine uses by
+//     default: event hooks (flow add/remove, link capacity change, priority
+//     change) seed a dirty-link frontier; allocate() closes the frontier
+//     over shared-bottleneck dependencies and re-solves only the affected
+//     components. Unaffected flows keep their cached rates, which purity
+//     (rates are a function of (component flows, tiers, weights, caps)
+//     only) guarantees are the bits a full re-solve would produce.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "flowsim/state.h"
+#include "obs/profiler.h"
 #include "topology/graph.h"
 
 namespace gurita {
@@ -34,6 +50,62 @@ struct RateChange {
   Rate old_rate = 0;
 };
 
+/// Which allocator implementation the engine drives (Simulator::Config).
+enum class AllocatorKind : std::uint8_t {
+  kIncremental = 0,  ///< dirty-link frontier + cached component rates
+  kOracle = 1,       ///< full from-scratch re-solve every recomputation
+};
+
+[[nodiscard]] const char* to_string(AllocatorKind kind);
+
+/// Process-wide default: the GURITA_ALLOCATOR environment variable (falling
+/// back to ALLOCATOR) set to "oracle" selects AllocatorKind::kOracle; any
+/// other value — including unset — selects the incremental allocator. Read
+/// once and cached, so every Simulator::Config in the process agrees.
+[[nodiscard]] AllocatorKind default_allocator_kind();
+
+/// Work counters for one run's allocations. Diagnostic only: they are not
+/// part of the determinism contract (a restored run re-solves everything on
+/// its first allocation, so its counters differ from the uninterrupted
+/// run's even though every simulation byte matches) and therefore live
+/// outside SimResults, like the phase profiler.
+struct AllocStats {
+  std::uint64_t allocations = 0;       ///< allocate() calls
+  std::uint64_t flows_solved = 0;      ///< flows passed through the kernel
+  std::uint64_t components_solved = 0; ///< components re-converged
+  std::uint64_t dirty_links = 0;       ///< frontier size after closure
+};
+
+/// Reusable scratch for the water-filling kernel: per-link accumulators
+/// (sized to the topology, reset via touched-link lists so a solve costs
+/// O(component), not O(links)) plus the CSR flow-list arrays that replace
+/// the old per-link node containers.
+struct WaterfillScratch {
+  std::vector<double> link_weight;         ///< sum of unfrozen weights
+  std::vector<std::uint32_t> link_unfrozen;///< count of unfrozen flows
+  std::vector<std::uint32_t> link_nflows;  ///< CSR: flows crossing the link
+  std::vector<std::uint32_t> link_off;     ///< CSR: slice start in `csr`
+  std::vector<std::uint32_t> link_cur;     ///< CSR: fill cursor
+  std::vector<std::uint32_t> csr;          ///< flow indices, link-major
+  std::vector<LinkId> touched;             ///< links used by this group
+  std::vector<char> frozen;                ///< per-flow freeze bit
+  std::vector<Rate> residual;              ///< per-link residual capacity
+  std::vector<char> residual_init;         ///< residual[l] is initialized
+  std::vector<LinkId> residual_links;      ///< links with residual_init set
+
+  /// Sizes the per-link arrays for `links`; values are maintained by the
+  /// kernel's touched-list resets, so this is cheap after the first call.
+  void ensure(std::size_t links);
+};
+
+/// Solves one link-connected component: `flows[0..n)` sorted by (tier, id),
+/// tier groups filled in order with each group consuming the residual the
+/// previous groups left (SPQ). Residual capacity starts at `capacities` for
+/// every link the component touches. Writes flow rates.
+void solve_component(const Topology& topo, SimFlow* const* flows,
+                     std::size_t n, const std::vector<Rate>& capacities,
+                     WaterfillScratch& scratch);
+
 /// Computes and writes `rate` for every flow in `flows` (all must be
 /// active, with non-empty paths). Rates of flows not in `flows` are not
 /// touched; the order of `flows` is preserved. `capacities` overrides the
@@ -45,9 +117,14 @@ struct RateChange {
 /// bit-identical rates, so an event that does not disturb the allocation
 /// reports no changes — the hook the event-calendar engine uses to touch
 /// only flows whose projected finish time shifted.
+///
+/// This is the oracle: link-connected components are split out and each is
+/// solved independently by the shared kernel, so its bits are — by
+/// construction — the ones RateAllocator's partial re-solves produce.
 void allocate_rates(const Topology& topo, const std::vector<Rate>& capacities,
                     const std::vector<SimFlow*>& flows,
-                    std::vector<RateChange>* changed = nullptr);
+                    std::vector<RateChange>* changed = nullptr,
+                    AllocStats* stats = nullptr);
 
 /// Convenience overload using the topology's nominal capacities.
 void allocate_rates(const Topology& topo, const std::vector<SimFlow*>& flows);
@@ -57,5 +134,110 @@ void allocate_rates(const Topology& topo, const std::vector<SimFlow*>& flows);
 /// flow rates. Exposed separately for unit testing.
 void waterfill(const Topology& topo, std::vector<SimFlow*>& group,
                std::vector<Rate>& residual);
+
+/// Incremental water-filling allocator (DESIGN.md §13).
+///
+/// The engine notifies it of every event that can change an allocation:
+/// flow arrival/finish/abort (add_flow/remove_flow), link capacity changes
+/// (dirty_link) and direct rate caps (touch_flow); scheduler priority
+/// rewrites are caught by allocate()'s tier/weight mirror scan. allocate()
+/// then closes the dirty-link frontier over the link <-> flow adjacency
+/// (flat SoA membership lists), re-solves only the affected components with
+/// the shared kernel, and reports exactly the flows whose rate moved — in
+/// active-list order, bitwise identical to what the oracle would report.
+///
+/// In AllocatorKind::kOracle mode every hook is a no-op and allocate()
+/// delegates to allocate_rates(), which is what makes the two engines
+/// differentially comparable at zero risk of shared state.
+///
+/// The class owns no simulation state that cannot be rebuilt: a restored
+/// simulator calls rebuild(active) and the first allocation re-solves
+/// everything (purity makes that byte-identical to the uninterrupted run),
+/// so snapshots need not serialize any of this.
+class RateAllocator {
+ public:
+  RateAllocator() = default;
+  RateAllocator(RateAllocator&&) = default;
+  RateAllocator& operator=(RateAllocator&&) = default;
+  RateAllocator(const RateAllocator&) = delete;
+  RateAllocator& operator=(const RateAllocator&) = delete;
+
+  /// (Re-)initializes for a run: sizes per-link arrays, clears membership
+  /// and the frontier, reserves per-flow arrays for `flow_capacity` ids.
+  /// Reuses existing vector capacity, so pooled reuse allocates nothing.
+  void reset(const Topology* topo, AllocatorKind kind,
+             std::size_t flow_capacity);
+
+  [[nodiscard]] AllocatorKind kind() const { return kind_; }
+  [[nodiscard]] const AllocStats& stats() const { return stats_; }
+
+  /// Flow entered the active set: links into every path link's membership
+  /// list (O(path)) and dirties those links. Entry slots are assigned once
+  /// per flow id and reused on retry re-entry (the path is stable).
+  void add_flow(SimFlow* flow);
+  /// Flow left the active set (finish/abort/cancel): unlinks and dirties.
+  void remove_flow(SimFlow* flow);
+  /// The flow's stored rate was changed outside the allocator (straggler
+  /// caps) or differs from its pure allocation (TCP ramp / straggler
+  /// windows): dirty its links so the next allocate() re-reports it.
+  void touch_flow(SimFlow* flow);
+  /// The link's capacity changed (disruption, link fault): seed the
+  /// frontier with it.
+  void dirty_link(LinkId link);
+
+  /// Recomputes rates. Incremental mode: mirror-scans `active` for
+  /// tier/weight changes, closes the dirty frontier, re-solves affected
+  /// components, and fills `changed` (cleared first) with the flows whose
+  /// rate moved, in `active` order — the same list allocate_rates() would
+  /// produce. Oracle mode: delegates to allocate_rates(). `profiler` (may
+  /// be null) receives the kAllocFrontier / kAllocConverge sub-phases.
+  void allocate(const std::vector<Rate>& capacities,
+                const std::vector<SimFlow*>& active,
+                std::vector<RateChange>* changed,
+                obs::PhaseProfiler* profiler);
+
+  /// Rebuilds membership from scratch after a snapshot restore: re-adds
+  /// every active flow, leaving all their links dirty, so the next
+  /// allocate() re-solves the full active set. Purity makes the result —
+  /// and the reported changes — byte-identical to the uninterrupted run's.
+  void rebuild(const std::vector<SimFlow*>& active);
+
+ private:
+  static constexpr std::int32_t kNil = -1;
+
+  /// Grows the per-flow-id arrays to cover `fid`.
+  void ensure_flow(std::size_t fid);
+
+  const Topology* topo_ = nullptr;
+  AllocatorKind kind_ = AllocatorKind::kIncremental;
+  AllocStats stats_;
+
+  // --- flat SoA membership: per link an intrusive doubly-linked list of
+  // entries, one entry per (flow, path link). A flow's entries occupy the
+  // contiguous slot range [slot_offset_[fid], slot_offset_[fid] + path
+  // length), assigned at first add and reused on retry re-entry.
+  std::vector<std::int32_t> head_;       ///< per link: first entry or kNil
+  std::vector<SimFlow*> ent_flow_;       ///< entry -> flow
+  std::vector<std::int32_t> ent_next_;   ///< entry -> next on same link
+  std::vector<std::int32_t> ent_prev_;   ///< entry -> previous on same link
+
+  // --- per-flow-id state (grown on demand) ---
+  std::vector<std::int32_t> slot_offset_;///< first entry slot, kNil if none
+  std::vector<char> in_;                 ///< currently a member
+  std::vector<Tier> tier_mirror_;        ///< tier at last allocation
+  std::vector<double> weight_mirror_;    ///< weight at last allocation
+  std::vector<Rate> old_rate_;           ///< rate when marked affected
+  std::vector<std::uint8_t> flow_mark_;  ///< 0 clean / 1 affected / 2 claimed
+
+  // --- dirty frontier + per-allocation worklists ---
+  std::vector<char> link_dirty_;         ///< link is in dirty_list_
+  std::vector<LinkId> dirty_list_;
+  std::vector<SimFlow*> affected_;       ///< closure of the frontier
+  std::vector<SimFlow*> component_;      ///< one component, sorted (tier,id)
+  std::vector<char> link_claimed_;       ///< link visited by component BFS
+  std::vector<LinkId> claimed_links_;
+
+  WaterfillScratch scratch_;
+};
 
 }  // namespace gurita

@@ -97,6 +97,11 @@ void Simulator::adopt_buffers(SimBufferPool& pool) {
   adopt_cleared(straggler_, pool.straggler);
   adopt_cleared(saved_capacity_, pool.saved_capacity);
   adopt_cleared(parked_, pool.parked);
+  adopt_cleared(capped_, pool.capped);
+  // The allocator recycles whole: reset() (prepare_structures) clears it
+  // while reusing its per-link and per-flow array capacity.
+  alloc_ = std::move(pool.allocator);
+  pool.allocator = RateAllocator{};
   // Heaps restore a cleared array — an empty array is a valid layout.
   pool.calendar.clear();
   calendar_.restore(std::move(pool.calendar));
@@ -123,6 +128,8 @@ void Simulator::return_buffers(SimBufferPool& pool) {
   pool.straggler = std::move(straggler_);
   pool.saved_capacity = std::move(saved_capacity_);
   pool.parked = std::move(parked_);
+  pool.capped = std::move(capped_);
+  pool.allocator = std::move(alloc_);
   pool.calendar = calendar_.take_container();
   pool.retries = retries_.take_container();
 }
@@ -244,6 +251,9 @@ void Simulator::remove_from_active(SimFlow& flow) {
   active_[pos] = last;
   pos_in_active_[last->id.value()] = pos;
   active_.pop_back();
+  // Every departure path (finish, abort, job failure) funnels through
+  // here, so this is the single point the allocator learns a flow left.
+  alloc_.remove_flow(&flow);
 }
 
 void Simulator::release_coflow(SimCoflow& coflow) {
@@ -288,6 +298,7 @@ void Simulator::release_coflow(SimCoflow& coflow) {
     pos_in_active_.push_back(static_cast<std::uint32_t>(active_.size()));
     gen_.push_back(0);
     active_.push_back(&stored);
+    alloc_.add_flow(&stored);
     ++agg.open_connections;
     push_key(stored);
     ++live_results_->flow_touches;
@@ -466,6 +477,8 @@ void Simulator::prepare_structures() {
   state_.flows_.reserve(total_flows);
   pos_in_active_.reserve(total_flows);
   gen_.reserve(total_flows);
+  alloc_.reset(&fabric_->topology(), config_.allocator, total_flows);
+  capped_.clear();
 
   arrival_order_.clear();
   arrival_order_.reserve(state_.jobs_.size());
@@ -515,6 +528,7 @@ void Simulator::apply_due_disruptions() {
          disruptions_[next_disruption_].time <= now_ + kTimeEpsilon) {
     const CapacityChange& change = disruptions_[next_disruption_++];
     capacities_[change.link.value()] = change.new_capacity;
+    alloc_.dirty_link(change.link);
     if (config_.trace &&
         config_.trace->wants(obs::TraceEventKind::kCapacityChange)) {
       obs::TraceRecord r;
@@ -589,13 +603,21 @@ void Simulator::step() {
       scheduler_->assign(now_, active_);
     }
     obs::ScopedPhase alloc_phase(prof, obs::Phase::kAllocator);
-    allocate_rates(fabric_->topology(), capacities_, active_, &rate_changes_);
+    // Capped flows carry a stored rate below their pure allocation, so
+    // the unchanged-component cache must not skip them: re-dirty their
+    // links so the allocator re-reports them (allocation != stored rate),
+    // exactly as the from-scratch oracle does every recomputation.
+    for (const FlowId fid : capped_)
+      alloc_.touch_flow(&state_.flows_[fid.value()]);
+    capped_.clear();
+    alloc_.allocate(capacities_, active_, &rate_changes_, prof);
     ++results_.rate_recomputations;
     // Only flows whose rate actually moved need settling and a new
     // calendar entry; everything else keeps draining on its old line.
     for (const RateChange& rc : rate_changes_) {
       SimFlow& f = *rc.flow;
-      Rate target = f.rate;  // the allocator's output
+      const Rate allocated = f.rate;  // the allocator's pure output
+      Rate target = allocated;
       f.rate = rc.old_rate;  // restore: the flow drained at the old rate
       settle(f);
       // Straggler windows cap a touching flow at factor × allocation.
@@ -623,6 +645,7 @@ void Simulator::step() {
       }
       set_rate(f, target);
       push_key(f);
+      if (target != allocated) capped_.push_back(f.id);
       ++results_.flow_touches;
       if (config_.trace &&
           config_.trace->wants(obs::TraceEventKind::kFlowRateChange)) {
@@ -977,6 +1000,7 @@ void Simulator::fire_due_retries() {
     ++agg.open_connections;
     pos_in_active_[f.id.value()] = static_cast<std::uint32_t>(active_.size());
     active_.push_back(&f);
+    alloc_.add_flow(&f);
     push_key(f);
     --outstanding_;
     ++live_results_->flow_retries;
@@ -1042,6 +1066,7 @@ void Simulator::apply_fault(const FaultEvent& event) {
       link_down_[l] = 1;
       saved_capacity_[l] = capacities_[l];
       capacities_[l] = 0.0;
+      alloc_.dirty_link(event.link);
       for (const SimFlow* f : active_) {
         for (LinkId pl : f->path) {
           if (pl.value() == l) {
@@ -1060,6 +1085,7 @@ void Simulator::apply_fault(const FaultEvent& event) {
       const std::size_t l = event.link.value();
       link_down_[l] = 0;
       capacities_[l] = saved_capacity_[l];
+      alloc_.dirty_link(event.link);
       break;
     }
     case FaultKind::kStragglerStart: {
@@ -1078,6 +1104,10 @@ void Simulator::apply_fault(const FaultEvent& event) {
         settle(f);
         set_rate(f, f.rate * event.factor);
         push_key(f);
+        // The cap bypassed the allocator (no rate_changes_ entry), so the
+        // stored rate now disagrees with the cached allocation: dirty the
+        // flow's links or the next recomputation would never re-report it.
+        alloc_.touch_flow(&f);
         ++live_results_->flow_touches;
       }
       break;

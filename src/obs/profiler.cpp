@@ -18,6 +18,8 @@ const char* phase_name(Phase phase) {
     case Phase::kTick: return "tick";
     case Phase::kResults: return "results";
     case Phase::kFault: return "fault";
+    case Phase::kAllocFrontier: return "alloc_frontier";
+    case Phase::kAllocConverge: return "alloc_converge";
   }
   return "?";
 }

@@ -41,9 +41,11 @@ enum class Phase : int {
   kTick = 7,            ///< Scheduler::on_tick coordination rounds
   kResults = 8,         ///< end-of-run result assembly
   kFault = 9,           ///< fault application, aborts, retries (fault/)
+  kAllocFrontier = 10,  ///< incremental allocator: mirror scan + closure
+  kAllocConverge = 11,  ///< water-filling kernel over affected components
 };
 
-inline constexpr int kNumPhases = 10;
+inline constexpr int kNumPhases = 12;
 
 [[nodiscard]] const char* phase_name(Phase phase);
 

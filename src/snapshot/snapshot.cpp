@@ -446,6 +446,12 @@ void Simulator::restore(snapshot::Reader& r) {
   prepare_structures();
   SnapshotCodec::verify_fingerprint(*this, r);
   SnapshotCodec::load(*this, r);
+  // The incremental allocator's membership/frontier state is not
+  // serialized: rebuilding it from the restored active set leaves every
+  // member link dirty, so the first allocation re-solves the whole set —
+  // byte-identical to the cached rates an uninterrupted run carries,
+  // because allocation is a pure function of (flows, tiers, weights, caps).
+  alloc_.rebuild(active_);
   ran_ = true;
   prepared_ = true;
   if (prof != nullptr) prof->leave(setup_prev);

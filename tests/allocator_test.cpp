@@ -219,6 +219,36 @@ TEST(Waterfill, EmptyGroupIsNoop) {
   EXPECT_NO_THROW(allocate_rates(fx.topo, ptrs));
 }
 
+TEST(Waterfill, PureFunctionOfFlowSet) {
+  // The allocation depends only on the flow *set* and the capacities, not
+  // on the order flows are presented in: components are solved over a
+  // (tier, id)-sorted copy, so any permutation yields bitwise equal rates.
+  const FatTree ft(FatTree::Config{4, 100.0});
+  const EcmpRouter router(ft, 3);
+  auto make_population = [&] {
+    std::vector<SimFlow> flows;
+    for (std::uint64_t i = 0; i < 24; ++i) {
+      const int src = static_cast<int>(i % 16);
+      const int dst = static_cast<int>((i * 7 + 5) % 16);
+      if (src == dst) continue;
+      flows.push_back(make_flow(i, router.route(FlowId{i}, src, dst),
+                                static_cast<Tier>(i % 3),
+                                1.0 + static_cast<double>(i % 5)));
+    }
+    return flows;
+  };
+  std::vector<SimFlow> forward = make_population();
+  std::vector<SimFlow> backward = make_population();
+  std::vector<SimFlow*> fwd, bwd;
+  for (auto& f : forward) fwd.push_back(&f);
+  for (auto it = backward.rbegin(); it != backward.rend(); ++it)
+    bwd.push_back(&*it);
+  allocate_rates(ft.topology(), fwd);
+  allocate_rates(ft.topology(), bwd);
+  for (std::size_t i = 0; i < forward.size(); ++i)
+    EXPECT_EQ(forward[i].rate, backward[i].rate) << "flow " << i;
+}
+
 // Property sweep: random flows on a fat-tree; check capacity, non-negative
 // rates, and that no unfrozen flow could be raised (max-min optimality
 // witness: every flow has at least one saturated link on its path).
