@@ -16,12 +16,14 @@
 // (obs/profiler.h). Writes BENCH_engine.json for cross-PR tracking.
 //
 // Telemetry overhead guard: with --overhead-guard (default on), the first
-// configured flow count is re-run twice — without any obs wiring, and with
-// a TraceRecorder attached whose kind mask is empty (the disabled-tracing
-// hot path: one null check + one bit test per emission site). Min-of-5
-// trials each; the run breaches if the disabled path is > 2% slower AND
-// more than 0.5 ms absolute — both recorded in BENCH_engine.json, nonzero
-// exit on breach.
+// configured flow count is re-run three ways — without any obs wiring,
+// with a TraceRecorder attached whose kind mask is empty (the
+// disabled-tracing hot path: one null check + one bit test per emission
+// site), and additionally with an interval sampler whose first boundary
+// lies past the makespan (the disabled-sampling hot path: one comparison
+// per event). Min-of-5 trials each; the run breaches if either telemetry
+// path is > 2% slower AND more than 0.5 ms absolute — all recorded in
+// BENCH_engine.json, nonzero exit on breach.
 //
 // Allocator matrix: --allocator both (default) runs every configuration
 // under the incremental allocator AND the from-scratch oracle, tagging each
@@ -47,6 +49,7 @@
 #include "exp/args.h"
 #include "flowsim/simulator.h"
 #include "obs/profiler.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
 #include "sched/pfs.h"
 #include "topology/big_switch.h"
@@ -131,6 +134,7 @@ JobSpec disjoint_pairs_job(int flows, int groups) {
 enum class ObsWiring {
   kNone,             ///< no recorder, no profiler (the pre-obs hot path)
   kDisabledRecorder, ///< recorder attached with an empty kind mask
+  kIdleSampler,      ///< empty-mask recorder + sampler that never fires
   kProfile,          ///< phase profiler attached
 };
 
@@ -144,10 +148,16 @@ BenchRow run_one(int flows, int groups, Time tick, bool ticking,
       ticking ? static_cast<Scheduler&>(ticking_pfs) : pfs;
   obs::TraceRecorder disabled_recorder(/*mask=*/0);
   obs::PhaseProfiler profiler;
+  // A sampler whose first boundary lies far past any makespan this bench
+  // reaches: the per-event cost is exactly the attached-but-idle poll (one
+  // null check + one comparison).
+  obs::IntervalSampler idle_sampler(obs::IntervalSampler::Config{1e18});
   Simulator::Config config;
   config.allocator = kind;
-  if (wiring == ObsWiring::kDisabledRecorder)
+  if (wiring == ObsWiring::kDisabledRecorder ||
+      wiring == ObsWiring::kIdleSampler)
     config.trace = &disabled_recorder;
+  if (wiring == ObsWiring::kIdleSampler) config.sampler = &idle_sampler;
   if (wiring == ObsWiring::kProfile) config.profiler = &profiler;
   Simulator sim(fabric, scheduler, config);
   sim.submit(disjoint_pairs_job(flows, groups));
@@ -198,23 +208,31 @@ struct OverheadGuard {
   bool ran = false;
   double baseline_ms = 0;   ///< min-of-trials, no obs wiring
   double disabled_ms = 0;   ///< min-of-trials, empty-mask recorder attached
+  double sampler_ms = 0;    ///< min-of-trials, never-firing sampler attached
   bool breached = false;
 
   [[nodiscard]] double ratio() const {
     return baseline_ms <= 0 ? 0.0 : disabled_ms / baseline_ms;
   }
+  [[nodiscard]] double sampler_ratio() const {
+    return baseline_ms <= 0 ? 0.0 : sampler_ms / baseline_ms;
+  }
 };
 
-/// Disabled-tracing hot-path cost: min-of-`trials` wall time with no obs
-/// wiring vs with an empty-mask recorder attached. A breach requires both a
-/// > 2% ratio AND > 0.5 ms absolute regression, so sub-millisecond timing
-/// noise on tiny configs cannot trip it.
+/// Disabled-telemetry hot-path cost: min-of-`trials` wall time with no obs
+/// wiring vs (a) an empty-mask recorder attached (disabled tracing — one
+/// null check + one bit test per emission site, plus the sampler null check
+/// in step()) and (b) additionally an interval sampler that never fires
+/// (disabled sampling — the poll is one comparison). A breach requires both
+/// a > 2% ratio AND > 0.5 ms absolute regression on either leg, so
+/// sub-millisecond timing noise on tiny configs cannot trip it.
 OverheadGuard run_overhead_guard(int flows, int groups, Time tick,
                                  int trials) {
   OverheadGuard guard;
   guard.ran = true;
   double base = std::numeric_limits<double>::infinity();
   double disabled = std::numeric_limits<double>::infinity();
+  double sampler = std::numeric_limits<double>::infinity();
   for (int t = 0; t < trials; ++t) {
     base = std::min(
         base,
@@ -223,11 +241,17 @@ OverheadGuard run_overhead_guard(int flows, int groups, Time tick,
         disabled,
         run_one(flows, groups, tick, false, ObsWiring::kDisabledRecorder)
             .wall_ms);
+    sampler = std::min(
+        sampler,
+        run_one(flows, groups, tick, false, ObsWiring::kIdleSampler)
+            .wall_ms);
   }
   guard.baseline_ms = base;
   guard.disabled_ms = disabled;
+  guard.sampler_ms = sampler;
   guard.breached =
-      disabled > base * 1.02 && disabled - base > 0.5;
+      (disabled > base * 1.02 && disabled - base > 0.5) ||
+      (sampler > base * 1.02 && sampler - base > 0.5);
   return guard;
 }
 
@@ -329,6 +353,8 @@ bool write_json(const std::string& path, const std::vector<BenchRow>& rows,
     out << ",\n  \"overhead_guard\": {\"baseline_ms\": " << guard.baseline_ms
         << ", \"disabled_tracing_ms\": " << guard.disabled_ms
         << ", \"ratio\": " << guard.ratio()
+        << ", \"disabled_sampling_ms\": " << guard.sampler_ms
+        << ", \"sampling_ratio\": " << guard.sampler_ratio()
         << ", \"breached\": " << (guard.breached ? "true" : "false") << "}";
   }
   if (alloc_guard.ran) {
@@ -416,10 +442,11 @@ int main(int argc, char** argv) {
                                guard_trials);
     std::printf(
         "\noverhead guard (flows=%d, min of %d): baseline %.2f ms, "
-        "disabled-tracing %.2f ms, ratio %.4f -> %s\n",
+        "disabled-tracing %.2f ms (ratio %.4f), disabled-sampling %.2f ms "
+        "(ratio %.4f) -> %s\n",
         flow_counts.front(), guard_trials, guard.baseline_ms,
-        guard.disabled_ms, guard.ratio(),
-        guard.breached ? "BREACH" : "ok");
+        guard.disabled_ms, guard.ratio(), guard.sampler_ms,
+        guard.sampler_ratio(), guard.breached ? "BREACH" : "ok");
   }
 
   AllocatorGuard alloc_guard;

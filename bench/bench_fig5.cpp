@@ -18,6 +18,16 @@
 //                       kind names — see obs/trace.h)
 //   --trace-binary      write the compact binary format instead of JSONL
 //   --profile           print the engine phase profile summed over all runs
+//   --timeline          deterministic interval sampler: periodic kSample /
+//                       kMemSample records in the trace (byte-identical at
+//                       any --jobs; defaults the export to timeline.jsonl
+//                       when --trace is absent)
+//   --timeline-every T  sampling cadence in simulated seconds (default 0.05)
+//   --timeline-wall     opt-in wall-clock samples (NOT deterministic)
+//   --chrome-trace FILE Chrome Trace Event JSON (phase spans + sampler
+//                       tracks) for ui.perfetto.dev / chrome://tracing
+//   --diagnostics       non-deterministic run health (allocator work,
+//                       memory peaks, pool stats) in the summary JSON
 //   --log-level LVL     debug|info|warn|error|off
 //
 // Checkpoint/restore (exp/args.h; DESIGN.md §12): --checkpoint-every,
@@ -54,15 +64,26 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = args.get_u64("seed", 7);
   const int bursty_pods = args.get_int("pods", 8);
   const int jobs = resolve_jobs(args);
-  const std::string trace_path = args.get_string("trace", "");
+  std::string trace_path = args.get_string("trace", "");
   const bool trace_binary = args.get_bool("trace-binary", false);
   const bool profile = args.get_bool("profile", false);
+  const std::string chrome_path = args.get_string("chrome-trace", "");
 
   ExperimentConfig::ObsOptions obs_options;
   obs_options.trace = !trace_path.empty();
   obs_options.trace_mask =
       obs::parse_trace_filter(args.get_string("trace-filter", "default"));
   obs_options.profile = profile;
+  obs_options.spans = !chrome_path.empty();
+  {
+    ExperimentConfig scratch;
+    scratch.obs = obs_options;
+    apply_timeline_flags(args, scratch);
+    obs_options = scratch.obs;
+  }
+  // A timeline without an export path still needs a file to land in.
+  if (obs_options.timeline_every > 0 && trace_path.empty())
+    trace_path = "timeline.jsonl";
 
   const std::vector<std::string> others = {"baraat", "pfs", "stream", "aalo"};
   std::vector<std::string> all = others;
@@ -86,9 +107,10 @@ int main(int argc, char** argv) {
     apply_checkpoint_flags(args, run.config);
   }
 
+  ThreadPool::Stats pool_stats;
   std::vector<ComparisonResult> results;
   try {
-    results = run_matrix(runs, jobs);
+    results = run_matrix(runs, jobs, &pool_stats);
   } catch (const snapshot::HaltedError& e) {
     // Deliberate --checkpoint-halt-after crash: distinct exit status so CI
     // can assert the halt happened and then re-invoke with --resume-from.
@@ -116,13 +138,22 @@ int main(int argc, char** argv) {
   // schedulers in map (name) order within a run — the same walk at any
   // --jobs, so the file is byte-identical at any worker count. Both files
   // are written atomically (tmp + rename).
+  std::vector<std::string> labels;
+  for (const ExperimentRun& run : runs) labels.push_back(run.label);
   if (!trace_path.empty()) {
-    std::vector<std::string> labels;
-    for (const ExperimentRun& run : runs) labels.push_back(run.label);
+    ExportOptions export_options;
+    export_options.diagnostics = obs_options.diagnostics;
+    export_options.pool_stats = pool_stats;
     const std::size_t total_records =
-        export_traces(labels, results, trace_path, trace_binary);
+        export_traces(labels, results, trace_path, trace_binary,
+                      export_options);
     std::cout << "trace: " << total_records << " records -> " << trace_path
               << " (summary: " << trace_path << ".summary.json)\n";
+  }
+  if (!chrome_path.empty()) {
+    export_chrome_trace(labels, results, chrome_path);
+    std::cout << "chrome trace -> " << chrome_path
+              << " (load at ui.perfetto.dev)\n";
   }
 
   if (profile) {

@@ -21,7 +21,9 @@
 //   --trace FILE   structured trace of every run × scheduler (exp/export.h;
 //                  includes fault / flow_abort / flow_retry / job_fail
 //                  records), plus FILE.summary.json
-//   --trace-filter CSV, --trace-binary, --log-level as everywhere else.
+//   --trace-filter CSV, --trace-binary, --log-level as everywhere else;
+//   --timeline / --timeline-every / --timeline-wall / --chrome-trace /
+//   --diagnostics as in bench_fig5.
 //
 // Checkpoint/restore (exp/args.h; DESIGN.md §12): --checkpoint-every,
 // --checkpoint-dir, --resume-from, --checkpoint-halt-after. A deliberate
@@ -76,14 +78,19 @@ int main(int argc, char** argv) {
   const std::vector<double> rates =
       parse_rates(args.get_string("rates", "0,0.5,1,2,4"));
   const std::string json_path = args.get_string("json", "");
-  const std::string trace_path = args.get_string("trace", "");
+  std::string trace_path = args.get_string("trace", "");
   const bool trace_binary = args.get_bool("trace-binary", false);
+  const std::string chrome_path = args.get_string("chrome-trace", "");
 
   ExperimentConfig base = trace_scenario(StructureKind::kFbTao, num_jobs, seed);
   base.fat_tree_k = pods;
   base.obs.trace = !trace_path.empty();
   base.obs.trace_mask =
       obs::parse_trace_filter(args.get_string("trace-filter", "default"));
+  base.obs.spans = !chrome_path.empty();
+  apply_timeline_flags(args, base);
+  if (base.obs.timeline_every > 0 && trace_path.empty())
+    trace_path = "timeline.jsonl";
   // The shared --fault-* flags tune the base plan; the rate factors below
   // scale its four event rates together.
   base.faults.plan.host_crash_rate = 2.0;
@@ -110,9 +117,10 @@ int main(int argc, char** argv) {
     runs.push_back(std::move(run));
   }
 
+  ThreadPool::Stats pool_stats;
   std::vector<ComparisonResult> results;
   try {
-    results = run_matrix(runs, jobs);
+    results = run_matrix(runs, jobs, &pool_stats);
   } catch (const snapshot::HaltedError& e) {
     // Deliberate --checkpoint-halt-after crash: distinct exit status so CI
     // can assert the halt happened and then re-invoke with --resume-from.
@@ -182,13 +190,22 @@ int main(int argc, char** argv) {
     std::cout << "curves -> " << json_path << "\n";
   }
 
+  std::vector<std::string> labels;
+  for (const ExperimentRun& run : runs) labels.push_back(run.label);
   if (!trace_path.empty()) {
-    std::vector<std::string> labels;
-    for (const ExperimentRun& run : runs) labels.push_back(run.label);
+    ExportOptions export_options;
+    export_options.diagnostics = base.obs.diagnostics;
+    export_options.pool_stats = pool_stats;
     const std::size_t total =
-        export_traces(labels, results, trace_path, trace_binary);
+        export_traces(labels, results, trace_path, trace_binary,
+                      export_options);
     std::cout << "trace: " << total << " records -> " << trace_path
               << " (summary: " << trace_path << ".summary.json)\n";
+  }
+  if (!chrome_path.empty()) {
+    export_chrome_trace(labels, results, chrome_path);
+    std::cout << "chrome trace -> " << chrome_path
+              << " (load at ui.perfetto.dev)\n";
   }
   return 0;
 }

@@ -13,8 +13,12 @@
 // file ends in .bin — see obs/trace.h) and summarize the scheduler's
 // behavior: per-kind record counts, the coflow queue-transition matrix with
 // transition causes, Ψ̈ decision-value statistics, and per-queue residency.
+// When the trace carries interval-sampler records (a bench driver's
+// --timeline flag; obs/sampler.h) a per-section timeline summary is printed
+// too — peak live entities, peak calendar size, and peak accounted memory.
 //
 //   ./trace_explorer --trace trace.jsonl [--section LABEL-SUBSTRING]
+//                    [--timeline]   # also dump the sample series row by row
 #include <algorithm>
 #include <fstream>
 #include <iostream>
@@ -48,7 +52,63 @@ const char* cause_name(int cause) {
   return "?";
 }
 
-int explore_trace(const std::string& path, const std::string& section_filter) {
+/// Per-section rollup of the interval-sampler records (kSample /
+/// kMemSample; obs/sampler.h). Field layout per obs/trace.cpp: kSample
+/// carries live-entity counts in i0..i2 and engine counters in v0..v5;
+/// kMemSample carries per-subsystem byte counts in v0..v4 and their total
+/// in v5.
+struct TimelineSummary {
+  std::size_t samples = 0;
+  double first_time = 0, last_time = 0;
+  std::int32_t peak_flows = 0, peak_coflows = 0, peak_jobs = 0;
+  double peak_calendar = 0;
+  double peak_mem_bytes = 0;
+
+  void add(const obs::TraceRecord& r) {
+    if (r.kind == obs::TraceEventKind::kSample) {
+      if (samples == 0) first_time = r.time;
+      last_time = r.time;
+      ++samples;
+      peak_flows = std::max(peak_flows, r.i0);
+      peak_coflows = std::max(peak_coflows, r.i1);
+      peak_jobs = std::max(peak_jobs, r.i2);
+      peak_calendar = std::max(peak_calendar, r.v2);
+    } else if (r.kind == obs::TraceEventKind::kMemSample) {
+      peak_mem_bytes = std::max(peak_mem_bytes, r.v5);
+    }
+  }
+};
+
+void print_sample_series(const std::vector<obs::TraceSection>& sections) {
+  for (const obs::TraceSection& section : sections) {
+    TextTable rows({"t (s)", "flows", "coflows", "jobs", "events", "events/s",
+                    "calendar", "mem (MB)"});
+    // A boundary's kMemSample carries the same timestamp as its kSample
+    // (both are stamped with the exact boundary k*every), so the byte total
+    // can be joined by time.
+    std::map<double, double> mem_at;
+    for (const obs::TraceRecord& r : section.records)
+      if (r.kind == obs::TraceEventKind::kMemSample) mem_at[r.time] = r.v5;
+    bool any = false;
+    for (const obs::TraceRecord& r : section.records) {
+      if (r.kind != obs::TraceEventKind::kSample) continue;
+      any = true;
+      const auto mem = mem_at.find(r.time);
+      rows.add_row({TextTable::num(r.time), std::to_string(r.i0),
+                    std::to_string(r.i1), std::to_string(r.i2),
+                    TextTable::num(r.v0), TextTable::num(r.v1),
+                    TextTable::num(r.v2),
+                    mem == mem_at.end() ? std::string("-")
+                                        : TextTable::num(mem->second / 1e6)});
+    }
+    if (any)
+      std::cout << "Timeline for \"" << section.label << "\":\n"
+                << rows.to_string() << "\n";
+  }
+}
+
+int explore_trace(const std::string& path, const std::string& section_filter,
+                  bool dump_timeline) {
   std::ifstream in(path, ends_with(path, ".bin")
                              ? std::ios::in | std::ios::binary
                              : std::ios::in);
@@ -70,6 +130,7 @@ int explore_trace(const std::string& path, const std::string& section_filter) {
 
   std::size_t total = 0;
   std::uint64_t kind_count[obs::kNumTraceEventKinds] = {};
+  std::vector<TimelineSummary> timelines(sections.size());
   // Queue transitions: (old, new) -> count, plus per-cause counts. old = -1
   // is the release-time assignment into the top queue.
   std::map<std::pair<int, int>, std::uint64_t> transitions;
@@ -77,10 +138,12 @@ int explore_trace(const std::string& path, const std::string& section_filter) {
   RunningStats psi;
   // Residency: records seen per new-queue value (a cheap occupancy proxy).
   std::map<int, std::uint64_t> entered_queue;
-  for (const obs::TraceSection& section : sections) {
+  for (std::size_t s = 0; s < sections.size(); ++s) {
+    const obs::TraceSection& section = sections[s];
     total += section.records.size();
     for (const obs::TraceRecord& r : section.records) {
       ++kind_count[static_cast<int>(r.kind)];
+      timelines[s].add(r);
       if (r.kind != obs::TraceEventKind::kQueueChange) continue;
       ++transitions[{r.i0, r.i1}];
       ++cause_count[r.i2];
@@ -121,6 +184,29 @@ int explore_trace(const std::string& path, const std::string& section_filter) {
       entered.add_row({std::to_string(queue), std::to_string(count)});
     std::cout << "Queue entries (residency proxy):\n"
               << entered.to_string() << "\n";
+  }
+  bool any_timeline = false;
+  for (const TimelineSummary& t : timelines) any_timeline |= t.samples > 0;
+  if (any_timeline) {
+    TextTable timeline({"section", "samples", "span (s)", "peak flows",
+                        "peak coflows", "peak jobs", "peak calendar",
+                        "peak mem (MB)"});
+    for (std::size_t s = 0; s < sections.size(); ++s) {
+      const TimelineSummary& t = timelines[s];
+      if (t.samples == 0) continue;
+      timeline.add_row(
+          {sections[s].label, std::to_string(t.samples),
+           TextTable::num(t.first_time) + " - " + TextTable::num(t.last_time),
+           std::to_string(t.peak_flows), std::to_string(t.peak_coflows),
+           std::to_string(t.peak_jobs), TextTable::num(t.peak_calendar),
+           TextTable::num(t.peak_mem_bytes / 1e6)});
+    }
+    std::cout << "Interval-sampler timelines (obs/sampler.h):\n"
+              << timeline.to_string() << "\n";
+    if (dump_timeline) print_sample_series(sections);
+  } else if (dump_timeline) {
+    std::cout << "No interval-sampler records in this trace — re-export with "
+                 "a bench driver's --timeline flag.\n\n";
   }
   if (psi.count() > 0) {
     std::cout << "Psi decision values (demotions with a factor breakdown): "
@@ -198,6 +284,7 @@ int main(int argc, char** argv) {
   apply_log_level(args);
   const std::string trace_path = args.get_string("trace", "");
   if (!trace_path.empty())
-    return explore_trace(trace_path, args.get_string("section", ""));
+    return explore_trace(trace_path, args.get_string("section", ""),
+                         args.get_bool("timeline", false));
   return explore_workload(args);
 }

@@ -9,7 +9,10 @@ Checks, in order:
   2. kQueueChange records carry the queue transition (old/new/cause) and, for
      Gurita HR decisions, the full Psi factor breakdown (omega, epsilon,
      ell_max, n, cp_discount, psi); fault-model records (fault, flow_abort,
-     flow_retry, job_fail) carry their typed fields;
+     flow_retry, job_fail) carry their typed fields; interval-sampler
+     records (sample, mem_sample, wall_sample — a bench driver's --timeline
+     flag) carry theirs, and mem_sample's total_bytes equals the sum of its
+     per-subsystem fields;
   3. the event stream pairs up, fault-aware:
        job_arrival    == job_finish + job_fail
        coflow_release == coflow_finish + sum(job_fail.cancelled_coflows)
@@ -36,7 +39,17 @@ KNOWN_KINDS = {
     "flow_finish", "coflow_finish", "stage_complete", "job_finish",
     "queue_change", "starvation_weights", "capacity_change", "heavy_mark",
     "fault", "flow_abort", "flow_retry", "job_fail",
+    "sample", "mem_sample", "wall_sample",
 }
+# Interval-sampler record fields (obs/sampler.h; --timeline in the bench
+# drivers). kSample counts live entities and engine counters; kMemSample
+# carries logical per-subsystem byte totals.
+SAMPLE_INT_FIELDS = ("active_flows", "active_coflows", "active_jobs")
+SAMPLE_NUM_FIELDS = ("events", "events_per_sec", "calendar", "flow_touches",
+                     "rate_recomputations", "trace_records")
+MEM_SAMPLE_FIELDS = ("state_bytes", "calendar_bytes", "retry_bytes",
+                     "trace_bytes", "active_set_bytes", "total_bytes")
+WALL_SAMPLE_FIELDS = ("wall_ms", "events", "events_per_wall_sec")
 # FaultKind enum range (fault/fault.h).
 NUM_FAULT_KINDS = 7
 # QueueChangeCause::kHrDecision — the cause whose records must carry the
@@ -102,6 +115,30 @@ def validate_line(lineno, line, counts, tallies):
                      "cancelled_parked"), minimum=0)
         tallies["cancelled_coflows"] += rec["cancelled_coflows"]
         tallies["cancelled_running"] += rec["cancelled_running"]
+    elif kind == "sample":
+        require_int(rec, lineno, line, kind, SAMPLE_INT_FIELDS, minimum=0)
+        for field in SAMPLE_NUM_FIELDS:
+            value = rec.get(field)
+            if not isinstance(value, (int, float)) or value < 0:
+                fail(f"line {lineno} sample lacks non-negative '{field}': "
+                     f"{line[:120]}")
+    elif kind == "mem_sample":
+        total = 0
+        for field in MEM_SAMPLE_FIELDS:
+            value = rec.get(field)
+            if not isinstance(value, (int, float)) or value < 0:
+                fail(f"line {lineno} mem_sample lacks non-negative "
+                     f"'{field}': {line[:120]}")
+            if field != "total_bytes":
+                total += value
+        if rec["total_bytes"] != total:
+            fail(f"line {lineno} mem_sample total_bytes={rec['total_bytes']} "
+                 f"!= sum of subsystems {total}: {line[:120]}")
+    elif kind == "wall_sample":
+        for field in WALL_SAMPLE_FIELDS:
+            if not isinstance(rec.get(field), (int, float)):
+                fail(f"line {lineno} wall_sample lacks numeric '{field}': "
+                     f"{line[:120]}")
 
 
 def read_sections(path):

@@ -8,6 +8,15 @@
 
 namespace gurita {
 
+std::size_t percentile_rank_index(double p, std::size_t n) {
+  GURITA_CHECK_MSG(n > 0, "percentile of empty collection");
+  GURITA_CHECK_MSG(p >= 0.0 && p <= 100.0, "percentile out of range");
+  if (p <= 0.0) return 0;
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(n)));
+  return std::min(rank == 0 ? 0 : rank - 1, n - 1);
+}
+
 void RunningStats::add(double x) {
   ++n_;
   sum_ += x;
@@ -64,12 +73,8 @@ void Samples::ensure_sorted() const {
 
 double Samples::percentile(double p) const {
   GURITA_CHECK_MSG(!xs_.empty(), "percentile of empty sample set");
-  GURITA_CHECK_MSG(p >= 0.0 && p <= 100.0, "percentile out of range");
   ensure_sorted();
-  if (p <= 0.0) return xs_.front();
-  const auto rank = static_cast<std::size_t>(
-      std::ceil(p / 100.0 * static_cast<double>(xs_.size())));
-  return xs_[std::min(rank == 0 ? 0 : rank - 1, xs_.size() - 1)];
+  return xs_[percentile_rank_index(p, xs_.size())];
 }
 
 LogHistogram::LogHistogram(double base) : base_(base) {
@@ -79,6 +84,26 @@ LogHistogram::LogHistogram(double base) : base_(base) {
 int LogHistogram::bucket_index(double x) const {
   GURITA_CHECK_MSG(x > 0.0, "log histogram needs positive values");
   return static_cast<int>(std::floor(std::log(x) / std::log(base_)));
+}
+
+double LogHistogram::percentile(double p) const {
+  const std::size_t idx = percentile_rank_index(p, total_);
+  if (idx < zeros_) return 0.0;
+  std::size_t seen = zeros_;
+  for (const auto& [i, c] : buckets_) {
+    seen += c;
+    if (idx < seen) return std::pow(base_, i + 1);
+  }
+  GURITA_CHECK_MSG(false, "log histogram bucket counts disagree with total");
+  return 0.0;
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  GURITA_CHECK_MSG(base_ == other.base_,
+                   "merging log histograms with different bases");
+  total_ += other.total_;
+  zeros_ += other.zeros_;
+  for (const auto& [i, c] : other.buckets_) *find_or_insert(i) += c;
 }
 
 std::size_t* LogHistogram::find_or_insert(int idx) {
@@ -91,7 +116,12 @@ std::size_t* LogHistogram::find_or_insert(int idx) {
 }
 
 void LogHistogram::add(double x) {
-  ++*find_or_insert(bucket_index(x));
+  GURITA_CHECK_MSG(x >= 0.0, "log histogram needs non-negative values");
+  if (x == 0.0) {
+    ++zeros_;
+  } else {
+    ++*find_or_insert(bucket_index(x));
+  }
   ++total_;
 }
 

@@ -8,6 +8,12 @@
 
 namespace gurita {
 
+/// The single nearest-rank percentile kernel every percentile query in the
+/// repo routes through (Samples, LogHistogram, metrics collectors): for a
+/// sorted collection of `n > 0` elements, the percentile `p` in [0, 100] is
+/// the element at this index (rank = ceil(p/100 * n), clamped to [0, n-1]).
+[[nodiscard]] std::size_t percentile_rank_index(double p, std::size_t n);
+
 /// Welford online accumulator: mean / variance / min / max / count.
 class RunningStats {
  public:
@@ -45,6 +51,10 @@ class Samples {
   [[nodiscard]] double mean() const;
   /// Nearest-rank percentile; `p` in [0, 100]. Requires non-empty.
   [[nodiscard]] double percentile(double p) const;
+  /// Empty-safe percentile: `fallback` when no samples were recorded.
+  [[nodiscard]] double percentile_or(double p, double fallback) const {
+    return xs_.empty() ? fallback : percentile(p);
+  }
   [[nodiscard]] const std::vector<double>& values() const { return xs_; }
 
   /// Appends `other`'s samples in their insertion order, so merging shard
@@ -58,7 +68,10 @@ class Samples {
   void ensure_sorted() const;
 };
 
-/// Log-spaced histogram over (0, +inf); useful for heavy-tailed sizes.
+/// Log-spaced histogram over [0, +inf); useful for heavy-tailed sizes.
+/// Zero values (e.g. a coflow released the instant its job arrived, so its
+/// queue wait is exactly 0) land in a dedicated zero bucket rather than
+/// crashing the log. Negative values are rejected.
 class LogHistogram {
  public:
   /// Buckets are [base^i, base^(i+1)); `base` > 1.
@@ -66,14 +79,34 @@ class LogHistogram {
 
   void add(double x);
   [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] std::size_t zeros() const { return zeros_; }
+  [[nodiscard]] double base() const { return base_; }
+  /// Sorted (bucket index -> count) pairs; indices can be negative for
+  /// x < 1. Excludes the zero bucket (see zeros()).
+  [[nodiscard]] const std::vector<std::pair<int, std::size_t>>& buckets()
+      const {
+    return buckets_;
+  }
   /// Human-readable dump, one bucket per line.
   [[nodiscard]] std::string to_string() const;
   /// Count in bucket containing x.
   [[nodiscard]] std::size_t count_in_bucket_of(double x) const;
 
+  /// Nearest-rank percentile over the bucketed distribution; `p` in
+  /// [0, 100]. Returns the *upper edge* base^(i+1) of the bucket holding
+  /// the nearest-rank sample (an upper bound on the true percentile, so
+  /// tail reports never understate), or 0 when that sample is a recorded
+  /// zero. Requires total() > 0.
+  [[nodiscard]] double percentile(double p) const;
+
+  /// Commutative, order-independent merge (bucket-count sums). Requires
+  /// identical base: merging differently-spaced histograms is a bug.
+  void merge(const LogHistogram& other);
+
  private:
   double base_;
   std::size_t total_ = 0;
+  std::size_t zeros_ = 0;
   // bucket index -> count; indices can be negative for x < 1.
   std::vector<std::pair<int, std::size_t>> buckets_;
   [[nodiscard]] int bucket_index(double x) const;

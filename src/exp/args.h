@@ -103,4 +103,18 @@ void apply_fault_flags(const Args& args, ExperimentConfig& config);
 /// --checkpoint-dir/--resume-from directories.
 void apply_checkpoint_flags(const Args& args, ExperimentConfig& config);
 
+/// Applies the shared timeline/diagnostics telemetry flags to `config.obs`
+/// (experiment.h; DESIGN.md §14):
+///   --timeline            attach the deterministic interval sampler at the
+///                         default cadence (0.05 simulated seconds)
+///   --timeline-every T    sampling cadence in simulated seconds (> 0;
+///                         implies --timeline)
+///   --timeline-wall       also emit wall-clock samples (kWallSample) —
+///                         NON-deterministic, excluded from fingerprints
+///   --diagnostics         non-deterministic run health (allocator work,
+///                         memory peaks, pool stats) in the summary JSON
+/// Throws ConfigError on unknown "--timeline-*" flags or a non-positive
+/// cadence.
+void apply_timeline_flags(const Args& args, ExperimentConfig& config);
+
 }  // namespace gurita

@@ -90,16 +90,31 @@ SimResults run_one(const ExperimentConfig& config,
   RunArena& arena = RunArena::local();
   const FatTree& fabric = arena.fabric(FatTree::Config{
       config.fat_tree_k, config.link_capacity, config.ecmp_salt});
-  // Per-run recorder/profiler on the stack: each run owns its telemetry and
-  // the parallel runner pools the snapshots in slot order (absorb), so the
-  // exported trace is byte-identical at any worker count.
-  obs::TraceRecorder recorder(config.obs.trace_mask);
+  // Per-run recorder/profiler/sampler on the stack: each run owns its
+  // telemetry and the parallel runner pools the snapshots in slot order
+  // (absorb), so the exported trace is byte-identical at any worker count.
+  const bool timeline = config.obs.timeline_every > 0;
+  std::uint32_t mask = config.obs.trace_mask;
+  if (timeline) {
+    mask |= obs::TraceRecorder::kTimelineKinds;
+    if (config.obs.timeline_wall)
+      mask |= obs::mask_of(obs::TraceEventKind::kWallSample);
+  }
+  obs::TraceRecorder recorder(mask);
   obs::PhaseProfiler profiler;
+  if (config.obs.spans) profiler.enable_spans();
+  obs::IntervalSampler sampler(obs::IntervalSampler::Config{
+      timeline ? config.obs.timeline_every : 1.0,
+      /*memory=*/true, config.obs.timeline_wall});
+  obs::MemoryAccountant accountant;
   Simulator::Config sim_config;
   sim_config.allocator = config.allocator;
   sim_config.recycle = &arena.sim_buffers();
-  if (config.obs.trace) sim_config.trace = &recorder;
-  if (config.obs.profile) sim_config.profiler = &profiler;
+  if (config.obs.trace || timeline) sim_config.trace = &recorder;
+  if (config.obs.profile || config.obs.spans)
+    sim_config.profiler = &profiler;
+  if (timeline) sim_config.sampler = &sampler;
+  if (config.obs.diagnostics) sim_config.memory = &accountant;
   if (config.faults.enabled) {
     // The plan seed derives from the trace seed through a stable key, so
     // fault schedules replicate exactly wherever this workload runs.
@@ -129,8 +144,16 @@ SimResults run_one(const ExperimentConfig& config,
   } else {
     results = sim.run();
   }
-  if (config.obs.trace) results.trace = recorder.take();
-  if (config.obs.profile) results.profile = profiler.snapshot();
+  if (config.obs.trace || timeline) results.trace = recorder.take();
+  if (config.obs.profile || config.obs.spans)
+    results.profile = profiler.snapshot();
+  if (config.obs.spans) results.spans = profiler.take_spans();
+  if (config.obs.diagnostics) {
+    // Non-deterministic run health; stays out of the .done results cache
+    // (a cached shard reports zero diagnostics, like the profile).
+    results.diagnostics.alloc = sim.allocator_stats();
+    results.diagnostics.memory = accountant;
+  }
   if (checkpointing) {
     // Record the finished shard so a later resume skips it entirely.
     snapshot::Writer w;
@@ -197,6 +220,11 @@ void ComparisonResult::absorb(const ComparisonResult& other) {
       dst.trace.push_back(r);
     }
     dst.profile.merge(src.profile);
+    // Spans concatenate in replicate order; diagnostics merge (counter
+    // sums, peak maxes). Both are wall-clock/diagnostic telemetry outside
+    // the determinism contract.
+    dst.spans.insert(dst.spans.end(), src.spans.begin(), src.spans.end());
+    dst.diagnostics.merge(src.diagnostics);
     dst.merge_counters(src);
   }
 }

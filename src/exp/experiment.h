@@ -26,12 +26,28 @@ struct ExperimentConfig {
   /// testing and the ALLOCATOR=oracle CI leg.
   AllocatorKind allocator = default_allocator_kind();
 
-  /// Telemetry switches (obs/). Both default off, so the hot path keeps its
-  /// zero-cost contract; bench drivers flip them from --trace / --profile.
+  /// Telemetry switches (obs/). All default off, so the hot path keeps its
+  /// zero-cost contract; bench drivers flip them from --trace / --profile /
+  /// --timeline / --chrome-trace / --diagnostics.
   struct ObsOptions {
     bool trace = false;  ///< record a structured trace into SimResults::trace
     std::uint32_t trace_mask = obs::TraceRecorder::kDefaultKinds;
     bool profile = false;  ///< fill SimResults::profile with phase timings
+    /// > 0: attach a deterministic interval sampler at this sim-time
+    /// cadence (obs/sampler.h). Implies a trace recorder (kSample /
+    /// kMemSample are OR-ed into the mask); the resulting timeline is
+    /// byte-identical at any worker count (DESIGN.md §14).
+    double timeline_every = 0;
+    /// Also emit opt-in wall-clock samples (kWallSample) at each boundary.
+    /// NOT deterministic — excluded from fingerprints and determinism legs.
+    bool timeline_wall = false;
+    /// Capture per-slice phase spans into SimResults::spans for
+    /// Chrome-trace export (implies profile). Wall-clock telemetry.
+    bool spans = false;
+    /// Harvest non-deterministic run health (allocator work counters,
+    /// reserved memory footprint) into SimResults::diagnostics. Kept out
+    /// of determinism fingerprints, result caches and snapshots.
+    bool diagnostics = false;
   };
   ObsOptions obs;
 

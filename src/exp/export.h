@@ -13,19 +13,45 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "exp/experiment.h"
 
 namespace gurita {
 
+/// Optional extras for export_traces.
+struct ExportOptions {
+  /// Splice a "diagnostics" object into the summary JSON: the pooled
+  /// allocator work counters (component-size percentiles included), the
+  /// per-subsystem reserved-memory peaks and the thread-pool work-stealing
+  /// counters. Everything under that key is NON-deterministic (wall-clock,
+  /// capacity and contention dependent) and is deliberately excluded from
+  /// the determinism fingerprint legs, which never pass --diagnostics.
+  bool diagnostics = false;
+  /// Pool counters to report (run_sharded's out-param); all-zero for
+  /// serial runs.
+  ThreadPool::Stats pool_stats{};
+};
+
 /// Exports the traces of `results` to `path` (JSONL, or the compact binary
 /// format when `binary`), one section per run × scheduler labeled
 /// "<labels[i]>/<scheduler>", plus `<path>.summary.json` holding per-kind
-/// record counts and the engine cost counters pooled over every run. The
-/// walk is slot order then map (name) order — the same at any worker
-/// count, so the files are byte-identical at any --jobs. `labels` must be
+/// record counts, the engine cost counters pooled over every run, and
+/// deterministic latency histograms ("jct", "queue_wait", "retry_backoff")
+/// with p50/p95/p99. The walk is slot order then map (name) order — the
+/// same at any worker count, so the files are byte-identical at any
+/// --jobs (diagnostics excepted; see ExportOptions). `labels` must be
 /// parallel to `results`. Returns the total record count written.
 std::size_t export_traces(const std::vector<std::string>& labels,
                           const std::vector<ComparisonResult>& results,
-                          const std::string& path, bool binary);
+                          const std::string& path, bool binary,
+                          const ExportOptions& options = {});
+
+/// Exports phase spans (SimResults::spans) and sampler records as a Chrome
+/// Trace Event Format JSON (obs/chrome_trace.h) at `path`, one track per
+/// run × scheduler. Load it at ui.perfetto.dev or chrome://tracing.
+/// Wall-clock telemetry; never part of determinism checks.
+void export_chrome_trace(const std::vector<std::string>& labels,
+                         const std::vector<ComparisonResult>& results,
+                         const std::string& path);
 
 }  // namespace gurita

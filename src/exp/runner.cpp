@@ -58,7 +58,8 @@ int resolve_jobs(const Args& args) {
 }
 
 void run_sharded(std::size_t n, int jobs,
-                 const std::function<void(std::size_t)>& fn) {
+                 const std::function<void(std::size_t)>& fn,
+                 ThreadPool::Stats* pool_stats) {
   if (n == 0) return;
   if (jobs <= 1) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
@@ -69,10 +70,20 @@ void run_sharded(std::size_t n, int jobs,
   ThreadPool pool(static_cast<int>(
       std::min<std::size_t>(static_cast<std::size_t>(jobs), n)));
   pool.parallel_for(n, fn);
+  // Harvest before destruction; stats accumulate across run_sharded calls
+  // of the same sweep when the caller reuses one Stats out-param.
+  if (pool_stats != nullptr) {
+    const ThreadPool::Stats s = pool.stats();
+    pool_stats->executed += s.executed;
+    pool_stats->steals += s.steals;
+    pool_stats->failed_scans += s.failed_scans;
+    pool_stats->sleeps += s.sleeps;
+  }
 }
 
 std::vector<ComparisonResult> run_matrix(const std::vector<ExperimentRun>& runs,
-                                         int jobs) {
+                                         int jobs,
+                                         ThreadPool::Stats* pool_stats) {
   // Result slots are cache-line aligned while the workers write them: a
   // ComparisonResult is a pair of small maps, so adjacent slots of a plain
   // vector share lines and concurrent writers false-share on the final
@@ -87,14 +98,15 @@ std::vector<ComparisonResult> run_matrix(const std::vector<ExperimentRun>& runs,
                                         runs[i].checkpoint_key.empty()
                                             ? "cell" + std::to_string(i)
                                             : runs[i].checkpoint_key);
-  });
+  }, pool_stats);
   std::vector<ComparisonResult> results;
   results.reserve(runs.size());
   for (Slot& slot : slots) results.push_back(std::move(slot.value));
   return results;
 }
 
-std::vector<ComparisonResult> run_sweep(const SweepSpec& sweep, int jobs) {
+std::vector<ComparisonResult> run_sweep(const SweepSpec& sweep, int jobs,
+                                        ThreadPool::Stats* pool_stats) {
   GURITA_CHECK_MSG(sweep.replicates >= 1, "need at least one replicate");
   GURITA_CHECK_MSG(!sweep.configs.empty(), "sweep has no configs");
 
@@ -114,7 +126,7 @@ std::vector<ComparisonResult> run_sweep(const SweepSpec& sweep, int jobs) {
     }
   }
 
-  std::vector<ComparisonResult> flat = run_matrix(cells, jobs);
+  std::vector<ComparisonResult> flat = run_matrix(cells, jobs, pool_stats);
 
   std::vector<ComparisonResult> pooled(sweep.configs.size());
   for (std::size_t c = 0; c < sweep.configs.size(); ++c)

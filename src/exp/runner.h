@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "exp/args.h"
 #include "exp/experiment.h"
 
@@ -52,9 +53,13 @@ namespace gurita {
 /// loop, no threads). Every invocation must be self-contained — own RNG,
 /// own fabric/scheduler instances, results written only to slot i of a
 /// caller-owned, pre-sized container. If invocations throw, the exception
-/// of the smallest failing index propagates.
+/// of the smallest failing index propagates. `pool_stats`, when non-null,
+/// receives the pool's work-stealing counters (common/thread_pool.h) —
+/// non-deterministic diagnostics (all-zero on the serial path), reported
+/// only behind --diagnostics and never fingerprinted.
 void run_sharded(std::size_t n, int jobs,
-                 const std::function<void(std::size_t)>& fn);
+                 const std::function<void(std::size_t)>& fn,
+                 ThreadPool::Stats* pool_stats = nullptr);
 
 /// One fully-specified cell of an experiment matrix: a workload (the
 /// config's trace seed is final — no derivation) replayed under each named
@@ -73,9 +78,10 @@ struct ExperimentRun {
 
 /// Executes every run, sharded over `jobs` workers; slot i of the returned
 /// vector holds run i's result. Bit-identical to calling
-/// compare_schedulers() in a loop.
+/// compare_schedulers() in a loop. `pool_stats` as in run_sharded.
 [[nodiscard]] std::vector<ComparisonResult> run_matrix(
-    const std::vector<ExperimentRun>& runs, int jobs);
+    const std::vector<ExperimentRun>& runs, int jobs,
+    ThreadPool::Stats* pool_stats = nullptr);
 
 /// A replicated sweep: every config is run `replicates` times, the trace
 /// seed of cell (config c, replicate r) being
@@ -89,8 +95,9 @@ struct SweepSpec {
 
 /// Runs the sweep and pools the replicates of each config in replicate
 /// order (ComparisonResult::absorb): out[c] aggregates configs[c]'s
-/// replicates. Deterministic at any `jobs`.
-[[nodiscard]] std::vector<ComparisonResult> run_sweep(const SweepSpec& sweep,
-                                                      int jobs);
+/// replicates. Deterministic at any `jobs`. `pool_stats` as in run_sharded.
+[[nodiscard]] std::vector<ComparisonResult> run_sweep(
+    const SweepSpec& sweep, int jobs,
+    ThreadPool::Stats* pool_stats = nullptr);
 
 }  // namespace gurita

@@ -253,6 +253,8 @@ void allocate_rates(const Topology& topo, const std::vector<Rate>& capacities,
     stats->flows_solved += flows.size();
     stats->components_solved += comps.size();
     stats->dirty_links += used_links;
+    for (const std::vector<SimFlow*>& comp : comps)
+      stats->component_flows.add(static_cast<double>(comp.size()));
   }
 
   if (changed != nullptr) {
@@ -466,6 +468,7 @@ void RateAllocator::allocate(const std::vector<Rate>& capacities,
       solve_component(*topo_, component_.data(), component_.size(),
                       capacities, scratch_);
       ++stats_.components_solved;
+      stats_.component_flows.add(static_cast<double>(component_.size()));
     }
 
     // Changed flows, in active order — the exact list (content and order)
@@ -487,6 +490,34 @@ void RateAllocator::allocate(const std::vector<Rate>& capacities,
     for (LinkId l : dirty_list_) link_dirty_[l.value()] = 0;
     dirty_list_.clear();
   }
+}
+
+namespace {
+
+template <typename T>
+std::size_t vec_bytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+}  // namespace
+
+std::size_t WaterfillScratch::memory_bytes() const {
+  return vec_bytes(link_weight) + vec_bytes(link_unfrozen) +
+         vec_bytes(link_nflows) + vec_bytes(link_off) + vec_bytes(link_cur) +
+         vec_bytes(csr) + vec_bytes(touched) + vec_bytes(frozen) +
+         vec_bytes(residual) + vec_bytes(residual_init) +
+         vec_bytes(residual_links);
+}
+
+std::size_t RateAllocator::memory_bytes() const {
+  return vec_bytes(head_) + vec_bytes(ent_flow_) + vec_bytes(ent_next_) +
+         vec_bytes(ent_prev_) + vec_bytes(slot_offset_) + vec_bytes(in_) +
+         vec_bytes(tier_mirror_) + vec_bytes(weight_mirror_) +
+         vec_bytes(old_rate_) + vec_bytes(flow_mark_) +
+         vec_bytes(link_dirty_) + vec_bytes(dirty_list_) +
+         vec_bytes(affected_) + vec_bytes(component_) +
+         vec_bytes(link_claimed_) + vec_bytes(claimed_links_) +
+         scratch_.memory_bytes();
 }
 
 }  // namespace gurita

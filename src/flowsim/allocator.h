@@ -35,6 +35,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/stats.h"
 #include "flowsim/state.h"
 #include "obs/profiler.h"
 #include "topology/graph.h"
@@ -74,6 +75,21 @@ struct AllocStats {
   std::uint64_t flows_solved = 0;      ///< flows passed through the kernel
   std::uint64_t components_solved = 0; ///< components re-converged
   std::uint64_t dirty_links = 0;       ///< frontier size after closure
+  /// Distribution of re-converged component sizes (flows per
+  /// solve_component call), log2-bucketed. Like the counters above this is
+  /// diagnostic only — it surfaces through the --diagnostics export, never
+  /// through fingerprinted registries.
+  LogHistogram component_flows{2.0};
+
+  /// Sums another run's counters and component-size distribution in (the
+  /// diagnostics pooling ComparisonResult::absorb performs).
+  void merge(const AllocStats& other) {
+    allocations += other.allocations;
+    flows_solved += other.flows_solved;
+    components_solved += other.components_solved;
+    dirty_links += other.dirty_links;
+    component_flows.merge(other.component_flows);
+  }
 };
 
 /// Reusable scratch for the water-filling kernel: per-link accumulators
@@ -96,6 +112,9 @@ struct WaterfillScratch {
   /// Sizes the per-link arrays for `links`; values are maintained by the
   /// kernel's touched-list resets, so this is cheap after the first call.
   void ensure(std::size_t links);
+
+  /// Reserved bytes across all scratch arrays (obs/memory.h accounting).
+  [[nodiscard]] std::size_t memory_bytes() const;
 };
 
 /// Solves one link-connected component: `flows[0..n)` sorted by (tier, id),
@@ -170,6 +189,11 @@ class RateAllocator {
 
   [[nodiscard]] AllocatorKind kind() const { return kind_; }
   [[nodiscard]] const AllocStats& stats() const { return stats_; }
+
+  /// Reserved bytes of the membership lists, per-flow arrays, worklists and
+  /// kernel scratch — the allocator's real footprint for the memory
+  /// accountant (obs/memory.h). Diagnostic only.
+  [[nodiscard]] std::size_t memory_bytes() const;
 
   /// Flow entered the active set: links into every path link's membership
   /// list (O(path)) and dirties those links. Entry slots are assigned once

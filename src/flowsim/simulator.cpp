@@ -506,8 +506,11 @@ void Simulator::prepare_structures() {
 
 void Simulator::prepare() {
   GURITA_CHECK_MSG(!ran_, "run() called twice");
+  GURITA_CHECK_MSG(config_.sampler == nullptr || config_.trace != nullptr,
+                   "interval sampler requires a trace recorder");
   ran_ = true;
   prepared_ = true;
+  if (config_.sampler != nullptr) config_.sampler->start_wall();
   obs::PhaseProfiler* prof = config_.profiler;
   if (prof != nullptr) prof->begin_run();
   const int setup_prev =
@@ -543,6 +546,13 @@ void Simulator::apply_due_disruptions() {
 }
 
 void Simulator::step() {
+  step_impl();
+  // Poll outside the event body so every exit path (the idle-branch early
+  // returns included) hits the same poll point an uninterrupted run does.
+  if (config_.sampler != nullptr) poll_sampler();
+}
+
+void Simulator::step_impl() {
   obs::PhaseProfiler* prof = config_.profiler;
   if (++iterations_ > config_.max_iterations) {
     std::ostringstream os;
@@ -787,9 +797,95 @@ void Simulator::step() {
   }
 }
 
+void Simulator::poll_sampler() {
+  obs::IntervalSampler& sampler = *config_.sampler;
+  if (sampler.next_due() > now_) return;
+  obs::ScopedPhase sample_phase(config_.profiler, obs::Phase::kSampling);
+
+  // Every field below is a pure function of (serialized state, now_):
+  // counters from results_, logical container sizes and live-entity counts
+  // — identical across worker counts and checkpoint/restore splits.
+  obs::IntervalSampler::SimSample sim;
+  sim.events = results_.events;
+  sim.flow_touches = results_.flow_touches;
+  sim.rate_recomputations = results_.rate_recomputations;
+  sim.active_flows = active_.size();
+  for (const SimCoflow& c : state_.coflows_)
+    if (c.released() && !c.finished()) ++sim.active_coflows;
+  for (const SimJob& j : state_.jobs_)
+    if (j.arrival_time <= now_ + kTimeEpsilon && !j.finished())
+      ++sim.active_jobs;
+  sim.calendar_entries = calendar_.size();
+  sim.trace_records = config_.trace->records().size();
+
+  obs::IntervalSampler::MemSample mem;
+  mem.state_bytes = state_.flows_.size() * sizeof(SimFlow) +
+                    state_.coflows_.size() * sizeof(SimCoflow) +
+                    state_.jobs_.size() * sizeof(SimJob) +
+                    state_.aggregates_.size() *
+                        sizeof(SimState::CoflowAggregate);
+  mem.calendar_bytes = calendar_.size() * sizeof(CalendarEntry);
+  mem.retry_bytes = retries_.size() * sizeof(RetryEntry) +
+                    parked_.size() * sizeof(FlowId);
+  mem.active_set_bytes = active_.size() * sizeof(SimFlow*) +
+                         pos_in_active_.size() * sizeof(std::uint32_t) +
+                         gen_.size() * sizeof(std::uint32_t);
+
+  // The clock can jump several boundaries in one event (idle gaps); each
+  // gets its own sample, stamped at its grid time. Trace size moves as
+  // samples are emitted, so it is refreshed per boundary.
+  while (sampler.next_due() <= now_) {
+    mem.trace_bytes =
+        config_.trace->records().size() * sizeof(obs::TraceRecord);
+    sim.trace_records = config_.trace->records().size();
+    sampler.emit(*config_.trace, sim, mem);
+  }
+  if (config_.memory != nullptr) account_memory();
+}
+
+void Simulator::account_memory() {
+  obs::MemoryAccountant& acct = *config_.memory;
+  using S = obs::MemoryAccountant::Subsystem;
+
+  std::size_t state_bytes =
+      state_.flows_.capacity() * sizeof(SimFlow) +
+      state_.coflows_.capacity() * sizeof(SimCoflow) +
+      state_.jobs_.capacity() * sizeof(SimJob) +
+      state_.aggregates_.capacity() * sizeof(SimState::CoflowAggregate);
+  for (const SimFlow& f : state_.flows_)
+    state_bytes += f.path.capacity() * sizeof(LinkId);
+  for (const SimCoflow& c : state_.coflows_)
+    state_bytes += c.flows.capacity() * sizeof(FlowId);
+  acct.observe(S::kState, state_bytes);
+
+  acct.observe(S::kCalendar,
+               calendar_.container().capacity() * sizeof(CalendarEntry));
+  acct.observe(S::kAllocator, alloc_.memory_bytes());
+  acct.observe(S::kTrace,
+               config_.trace != nullptr
+                   ? config_.trace->records().capacity() *
+                         sizeof(obs::TraceRecord)
+                   : 0);
+  acct.observe(S::kActiveSet,
+               active_.capacity() * sizeof(SimFlow*) +
+                   pos_in_active_.capacity() * sizeof(std::uint32_t) +
+                   gen_.capacity() * sizeof(std::uint32_t) +
+                   done_.capacity() * sizeof(FlowId) +
+                   capped_.capacity() * sizeof(FlowId) +
+                   rate_changes_.capacity() * sizeof(RateChange));
+  acct.observe(S::kFaultRuntime,
+               fault_events_.capacity() * sizeof(FaultEvent) +
+                   host_down_.capacity() + link_down_.capacity() +
+                   straggler_.capacity() * sizeof(double) +
+                   saved_capacity_.capacity() * sizeof(Rate) +
+                   parked_.capacity() * sizeof(FlowId) +
+                   retries_.container().capacity() * sizeof(RetryEntry));
+}
+
 SimResults Simulator::collect() {
   GURITA_CHECK_MSG(prepared_ && !collected_, "collect before the run drained");
   collected_ = true;
+  if (config_.memory != nullptr) account_memory();
   obs::PhaseProfiler* prof = config_.profiler;
   const int results_prev =
       prof != nullptr ? prof->enter(obs::Phase::kResults) : -1;

@@ -32,8 +32,10 @@
 #include "flowsim/allocator.h"
 #include "flowsim/scheduler.h"
 #include "flowsim/state.h"
+#include "obs/memory.h"
 #include "obs/profiler.h"
 #include "obs/registry.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
 #include "topology/fabric.h"
 
@@ -166,6 +168,27 @@ struct SimResults {
   /// Phase-time breakdown of the run (obs/profiler.h); all-zero unless a
   /// profiler was attached. absorb() sums profiles across runs.
   obs::PhaseProfile profile;
+  /// Individual phase slices (obs/profiler.h); empty unless the attached
+  /// profiler had span capture enabled. Wall-clock telemetry, outside the
+  /// determinism contract: never serialized, never fingerprinted. absorb()
+  /// concatenates spans in replicate order.
+  std::vector<obs::PhaseSpan> spans;
+
+  /// Non-deterministic run health (allocator work counters, reserved
+  /// memory footprint). Populated by the experiment harness only when
+  /// diagnostics are requested; excluded from determinism fingerprints,
+  /// result caches and snapshots — a restored run re-solves everything on
+  /// its first allocation, so these legitimately differ between a resumed
+  /// and an uninterrupted run whose simulation bytes are identical.
+  struct Diagnostics {
+    AllocStats alloc;
+    obs::MemoryAccountant memory;
+    void merge(const Diagnostics& other) {
+      alloc.merge(other.alloc);
+      memory.merge(other.memory);
+    }
+  };
+  Diagnostics diagnostics;
 
   /// Utilization of link `id` given its capacity: carried bytes divided by
   /// capacity × makespan. Requires link stats collection.
@@ -250,6 +273,19 @@ class Simulator {
     /// fault runtime. Results are byte-identical with or without a pool.
     /// Must outlive the simulator.
     SimBufferPool* recycle = nullptr;
+    /// Deterministic interval sampler (obs/sampler.h), or nullptr. Requires
+    /// Config::trace: samples are emitted into the recorder as kSample /
+    /// kMemSample (and opt-in kWallSample) records. Polled after every
+    /// processed event; sim-time sample fields are pure functions of the
+    /// serialized engine state, so timelines are byte-identical across
+    /// worker counts and checkpoint/restore splits (DESIGN.md §14). Must
+    /// outlive run().
+    obs::IntervalSampler* sampler = nullptr;
+    /// Reserved-footprint accountant (obs/memory.h), or nullptr.
+    /// Capacity-based diagnostics only — excluded from determinism
+    /// fingerprints. Observed at every sampler boundary (if a sampler is
+    /// set) and once at collect(). Must outlive run().
+    obs::MemoryAccountant* memory = nullptr;
   };
 
   /// `fabric` and `scheduler` must outlive the simulator. Any Fabric
@@ -483,8 +519,16 @@ class Simulator {
     return next_arrival_ < arrival_order_.size() || !active_.empty() ||
            outstanding_ > 0;
   }
-  /// One main-loop iteration (one event).
+  /// One main-loop iteration (one event). Thin wrapper over step_impl()
+  /// that polls the interval sampler afterwards, so every exit path of the
+  /// event body (idle early-outs included) is sampled.
   void step();
+  void step_impl();
+  /// Emits due kSample/kMemSample/kWallSample records (Config::sampler) and
+  /// refreshes the memory accountant. Called after every event.
+  void poll_sampler();
+  /// Observes the current reserved footprint into Config::memory.
+  void account_memory();
   /// Harvests results_ after the loop drains; may be called once.
   SimResults collect();
   /// Applies due scheduled capacity changes (failure injection).

@@ -30,9 +30,7 @@ std::size_t JctCollector::jobs(int category) const {
   return by_category_[static_cast<std::size_t>(category)].count();
 }
 
-double JctCollector::p95_jct() const {
-  return all_.empty() ? 0.0 : all_.percentile(95);
-}
+double JctCollector::p95_jct() const { return all_.percentile_or(95, 0.0); }
 
 double mean_per_job_speedup(const SimResults& reference,
                             const SimResults& other, int category) {

@@ -15,9 +15,7 @@ void CctCollector::add(const SimResults& results) {
   }
 }
 
-double CctCollector::p95_cct() const {
-  return all_.empty() ? 0.0 : all_.percentile(95);
-}
+double CctCollector::p95_cct() const { return all_.percentile_or(95, 0.0); }
 
 double CctCollector::average_cct_at_stage(int stage) const {
   GURITA_CHECK_MSG(stage >= 1, "coflow stages are 1-based");

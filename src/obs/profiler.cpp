@@ -20,6 +20,7 @@ const char* phase_name(Phase phase) {
     case Phase::kFault: return "fault";
     case Phase::kAllocFrontier: return "alloc_frontier";
     case Phase::kAllocConverge: return "alloc_converge";
+    case Phase::kSampling: return "sampling";
   }
   return "?";
 }

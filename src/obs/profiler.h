@@ -24,6 +24,7 @@
 #include <chrono>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace gurita::obs {
 
@@ -43,11 +44,23 @@ enum class Phase : int {
   kFault = 9,           ///< fault application, aborts, retries (fault/)
   kAllocFrontier = 10,  ///< incremental allocator: mirror scan + closure
   kAllocConverge = 11,  ///< water-filling kernel over affected components
+  kSampling = 12,       ///< interval sampler polls (obs/sampler.h)
 };
 
-inline constexpr int kNumPhases = 12;
+inline constexpr int kNumPhases = 13;
 
 [[nodiscard]] const char* phase_name(Phase phase);
+
+/// One exclusive-attribution slice of wall time spent in a phase, captured
+/// only when span recording is enabled (obs/chrome_trace.h renders these as
+/// Perfetto "complete" events). Times are ns since the profiler's first
+/// begin_run(). Wall-clock telemetry: outside the determinism contract,
+/// never serialized into snapshots or fingerprinted exports.
+struct PhaseSpan {
+  std::int32_t phase = -1;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+};
 
 /// Mergeable snapshot of one or more profiled runs.
 struct PhaseProfile {
@@ -91,6 +104,10 @@ class PhaseProfiler {
     mark_ = run_start_;
     current_ = -1;
     ++profile_.runs;
+    if (!have_epoch_) {
+      epoch_ = run_start_;
+      have_epoch_ = true;
+    }
   }
 
   /// Marks the end of a run, folding its wall time into the snapshot.
@@ -123,6 +140,23 @@ class PhaseProfiler {
 
   [[nodiscard]] const PhaseProfile& snapshot() const { return profile_; }
 
+  /// Turns on per-slice span capture (for Chrome-trace export); at most
+  /// `cap` spans are kept, further slices are counted as dropped. Disabled
+  /// capture costs nothing beyond the existing accrue() work.
+  void enable_spans(std::size_t cap = kDefaultSpanCap) {
+    spans_enabled_ = true;
+    span_cap_ = cap;
+  }
+  /// Moves the captured spans out (the profiler keeps recording afterwards).
+  [[nodiscard]] std::vector<PhaseSpan> take_spans() {
+    std::vector<PhaseSpan> out = std::move(spans_);
+    spans_.clear();
+    return out;
+  }
+  [[nodiscard]] std::uint64_t spans_dropped() const { return spans_dropped_; }
+
+  static constexpr std::size_t kDefaultSpanCap = 1 << 20;
+
  private:
   /// Attributes the time since the last switch point to the current phase.
   void accrue(Clock::time_point now) {
@@ -131,14 +165,35 @@ class PhaseProfiler {
           static_cast<std::uint64_t>(
               std::chrono::duration_cast<std::chrono::nanoseconds>(now - mark_)
                   .count());
+      if (spans_enabled_ && now > mark_) record_span(now);
     }
     mark_ = now;
+  }
+
+  void record_span(Clock::time_point now) {
+    if (spans_.size() >= span_cap_) {
+      ++spans_dropped_;
+      return;
+    }
+    const auto since = [this](Clock::time_point t) {
+      return static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t - epoch_)
+              .count());
+    };
+    spans_.push_back(PhaseSpan{current_, since(mark_), since(now)});
   }
 
   PhaseProfile profile_;
   int current_ = -1;
   Clock::time_point mark_{};
   Clock::time_point run_start_{};
+  bool spans_enabled_ = false;
+  std::size_t span_cap_ = 0;
+  std::vector<PhaseSpan> spans_;
+  std::uint64_t spans_dropped_ = 0;
+  /// Zero point of span timestamps: the first begin_run().
+  Clock::time_point epoch_{};
+  bool have_epoch_ = false;
 };
 
 /// RAII phase scope. A null profiler makes construction and destruction

@@ -12,6 +12,10 @@ void Registry::merge(const Registry& other) {
     auto [it, inserted] = gauges_.emplace(name, value);
     if (!inserted) it->second = std::max(it->second, value);
   }
+  for (const auto& [name, h] : other.histograms_) {
+    auto [it, inserted] = histograms_.try_emplace(name, h);
+    if (!inserted) it->second.merge(h);
+  }
 }
 
 std::string Registry::to_json() const {
@@ -31,6 +35,43 @@ std::string Registry::to_json() const {
     std::snprintf(buf, sizeof(buf), "%.17g", value);
     out += first ? "\n" : ",\n";
     out += "    \"" + name + "\": " + buf;
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  const auto append_double = [&](double v) {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += buf;
+  };
+  for (const auto& [name, h] : histograms_) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + name + "\": {\"base\": ";
+    append_double(h.base());
+    std::snprintf(buf, sizeof(buf), ", \"count\": %" PRIu64,
+                  static_cast<std::uint64_t>(h.total()));
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ", \"zeros\": %" PRIu64,
+                  static_cast<std::uint64_t>(h.zeros()));
+    out += buf;
+    // Empty histograms report 0 percentiles (the kernel requires samples).
+    const bool have = h.total() > 0;
+    out += ", \"p50\": ";
+    append_double(have ? h.percentile(50) : 0.0);
+    out += ", \"p95\": ";
+    append_double(have ? h.percentile(95) : 0.0);
+    out += ", \"p99\": ";
+    append_double(have ? h.percentile(99) : 0.0);
+    out += ", \"buckets\": [";
+    bool first_bucket = true;
+    for (const auto& [i, c] : h.buckets()) {
+      if (!first_bucket) out += ", ";
+      std::snprintf(buf, sizeof(buf), "[%d, %" PRIu64 "]", i,
+                    static_cast<std::uint64_t>(c));
+      out += buf;
+      first_bucket = false;
+    }
+    out += "]}";
     first = false;
   }
   out += first ? "}\n}\n" : "\n  }\n}\n";

@@ -13,11 +13,20 @@
 // Names are dot-scoped by convention ("engine.events", "trace.queue_change",
 // "profile.allocator.ns"); storage is a std::map so every iteration,
 // export and merge is deterministic in name order.
+//
+// Histograms (common/stats LogHistogram) are the third member kind:
+// log-bucketed distributions (JCT, queue wait, retry backoff, allocator
+// component sizes) whose merge — bucket-count summation — is commutative
+// and associative like the counters', so pooled exports are byte-identical
+// at any worker count. Every JSON export carries p50/p95/p99 per histogram.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <string>
+
+#include "common/check.h"
+#include "common/stats.h"
 
 namespace gurita::obs {
 
@@ -43,26 +52,45 @@ class Registry {
     return it == gauges_.end() ? 0.0 : it->second;
   }
 
+  /// Histogram `name`, created with log base `base` on first use. A later
+  /// call with a different base is a bug (checked): histogram spacing is
+  /// part of the metric's identity.
+  LogHistogram& histogram(const std::string& name, double base = 10.0) {
+    auto [it, inserted] = histograms_.try_emplace(name, base);
+    GURITA_CHECK_MSG(inserted || it->second.base() == base,
+                     "histogram re-declared with a different base: " + name);
+    return it->second;
+  }
+  /// Records `x` into histogram `name` (creating it with the default base).
+  void observe(const std::string& name, double x) { histogram(name).add(x); }
+
   [[nodiscard]] const std::map<std::string, std::uint64_t>& counters() const {
     return counters_;
   }
   [[nodiscard]] const std::map<std::string, double>& gauges() const {
     return gauges_;
   }
+  [[nodiscard]] const std::map<std::string, LogHistogram>& histograms() const {
+    return histograms_;
+  }
 
-  /// Folds another registry in: counters sum, gauges take the max. Both
-  /// operations are commutative and associative, so any merge order over
-  /// the same shard set yields the same registry; pooling in shard order
-  /// additionally matches SimResults::merge_counters byte for byte.
+  /// Folds another registry in: counters sum, gauges take the max,
+  /// histograms sum bucket counts. All three operations are commutative
+  /// and associative, so any merge order over the same shard set yields
+  /// the same registry; pooling in shard order additionally matches
+  /// SimResults::merge_counters byte for byte.
   void merge(const Registry& other);
 
-  /// Deterministic JSON object: {"counters": {...}, "gauges": {...}},
-  /// keys in name order, doubles at full round-trip precision.
+  /// Deterministic JSON object:
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}}, keys in
+  /// name order, doubles at full round-trip precision. Each histogram
+  /// carries base/count/zeros, p50/p95/p99 and the sparse bucket table.
   [[nodiscard]] std::string to_json() const;
 
  private:
   std::map<std::string, std::uint64_t> counters_;
   std::map<std::string, double> gauges_;
+  std::map<std::string, LogHistogram> histograms_;
 };
 
 }  // namespace gurita::obs

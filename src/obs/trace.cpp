@@ -100,6 +100,37 @@ const KindSpec& kind_spec(TraceEventKind kind) {
         {"cancelled_running", kI1},
         {"cancelled_parked", kI2},
         {"arrival", kV0}}},
+      /* kSample */
+      {"sample",
+       false,
+       false,
+       false,
+       {{"active_flows", kI0},
+        {"active_coflows", kI1},
+        {"active_jobs", kI2},
+        {"events", kV0},
+        {"events_per_sec", kV1},
+        {"calendar", kV2},
+        {"flow_touches", kV3},
+        {"rate_recomputations", kV4},
+        {"trace_records", kV5}}},
+      /* kMemSample */
+      {"mem_sample",
+       false,
+       false,
+       false,
+       {{"state_bytes", kV0},
+        {"calendar_bytes", kV1},
+        {"retry_bytes", kV2},
+        {"trace_bytes", kV3},
+        {"active_set_bytes", kV4},
+        {"total_bytes", kV5}}},
+      /* kWallSample */
+      {"wall_sample",
+       false,
+       false,
+       false,
+       {{"wall_ms", kV0}, {"events", kV1}, {"events_per_wall_sec", kV2}}},
   };
   const auto index = static_cast<std::size_t>(kind);
   GURITA_CHECK_MSG(index < specs.size(), "unknown trace event kind");

@@ -47,9 +47,12 @@ enum class TraceEventKind : std::uint8_t {
   kFlowAbort = 13,        ///< a fault aborted a flow; in-flight bytes lost
   kFlowRetry = 14,        ///< an aborted flow restarted from byte zero
   kJobFail = 15,          ///< a job exhausted retries and was abandoned
+  kSample = 16,           ///< periodic run-health sample (obs/sampler.h)
+  kMemSample = 17,        ///< periodic per-subsystem memory sample
+  kWallSample = 18,       ///< opt-in wall-clock sample; NOT deterministic
 };
 
-inline constexpr int kNumTraceEventKinds = 16;
+inline constexpr int kNumTraceEventKinds = 19;
 
 /// Why a scheduler changed a coflow's queue (TraceRecord::i2 of
 /// kQueueChange records).
@@ -109,10 +112,19 @@ class TraceRecorder {
       (1u << kNumTraceEventKinds) - 1u;
   /// Every kind except the two per-recomputation firehoses (flow rate
   /// changes and WRR weight snapshots), which dominate trace volume without
-  /// carrying scheduling decisions. Opt in via --trace-filter.
+  /// carrying scheduling decisions, and the periodic sampler kinds, which
+  /// only fire when an IntervalSampler is attached (--timeline /
+  /// --timeline-wall opt into their mask bits). Opt in via --trace-filter.
   static constexpr std::uint32_t kDefaultKinds =
       kAllKinds & ~mask_of(TraceEventKind::kFlowRateChange) &
-      ~mask_of(TraceEventKind::kStarvationWeights);
+      ~mask_of(TraceEventKind::kStarvationWeights) &
+      ~mask_of(TraceEventKind::kSample) &
+      ~mask_of(TraceEventKind::kMemSample) &
+      ~mask_of(TraceEventKind::kWallSample);
+  /// The sim-time-driven sampler kinds (deterministic; fingerprinted like
+  /// any other trace record).
+  static constexpr std::uint32_t kTimelineKinds =
+      mask_of(TraceEventKind::kSample) | mask_of(TraceEventKind::kMemSample);
 
   explicit TraceRecorder(std::uint32_t mask = kDefaultKinds,
                          std::size_t max_records = 0)

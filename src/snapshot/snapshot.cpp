@@ -55,6 +55,14 @@ class SnapshotCodec {
     w.f64(s.config_.tcp_initial_window);
     w.boolean(s.config_.trace != nullptr);
     w.u32(s.config_.trace != nullptr ? s.config_.trace->mask() : 0);
+    // Sampler presence + config: a resumed run with a different sampling
+    // grid would interleave different kSample records into the trace, so
+    // it is structure, not just telemetry.
+    const obs::IntervalSampler* sampler = s.config_.sampler;
+    w.boolean(sampler != nullptr);
+    w.f64(sampler != nullptr ? sampler->config().every : 0.0);
+    w.boolean(sampler != nullptr && sampler->config().memory);
+    w.boolean(sampler != nullptr && sampler->config().wall);
     w.u64(static_fingerprint(s));
     w.end_section(token);
   }
@@ -78,6 +86,15 @@ class SnapshotCodec {
     check(r.u32() ==
               (s.config_.trace != nullptr ? s.config_.trace->mask() : 0),
           "trace filter mask mismatch");
+    const obs::IntervalSampler* sampler = s.config_.sampler;
+    check(r.boolean() == (sampler != nullptr),
+          "interval sampler attached on one side only");
+    check(r.f64() == (sampler != nullptr ? sampler->config().every : 0.0),
+          "sampler interval mismatch");
+    check(r.boolean() == (sampler != nullptr && sampler->config().memory),
+          "sampler memory setting mismatch");
+    check(r.boolean() == (sampler != nullptr && sampler->config().wall),
+          "sampler wall setting mismatch");
     check(r.u64() == static_fingerprint(s),
           "job/disruption/fault inputs mismatch");
     r.end_section(end);
@@ -86,6 +103,7 @@ class SnapshotCodec {
   static void save(const Simulator& s, Writer& w) {
     save_engine(s, w);
     save_trace(s, w);
+    save_sampler(s, w);
     const std::size_t token = w.begin_section();
     s.scheduler_->save_state(w);
     w.end_section(token);
@@ -94,6 +112,7 @@ class SnapshotCodec {
   static void load(Simulator& s, Reader& r) {
     load_engine(s, r);
     load_trace(s, r);
+    load_sampler(s, r);
     const std::size_t end = r.begin_section();
     s.scheduler_->load_state(r);
     r.end_section(end);
@@ -420,6 +439,37 @@ class SnapshotCodec {
     }
     r.end_section(end);
   }
+
+  /// Sampler boundary cursor: grid index and the event count at the last
+  /// emitted boundary. Already-emitted sample records ride the trace
+  /// section; the cursor makes the *next* boundary land exactly where the
+  /// uninterrupted run's would. Wall-clock state is deliberately absent
+  /// (DESIGN.md §14).
+  static void save_sampler(const Simulator& s, Writer& w) {
+    const std::size_t token = w.begin_section();
+    const obs::IntervalSampler* sampler = s.config_.sampler;
+    w.boolean(sampler != nullptr);
+    if (sampler != nullptr) {
+      const obs::IntervalSampler::Cursor c = sampler->cursor();
+      w.u64(c.k);
+      w.u64(c.last_events);
+    }
+    w.end_section(token);
+  }
+
+  static void load_sampler(Simulator& s, Reader& r) {
+    const std::size_t end = r.begin_section();
+    const bool attached = r.boolean();
+    check(attached == (s.config_.sampler != nullptr),
+          "interval sampler presence");
+    if (attached) {
+      obs::IntervalSampler::Cursor c;
+      c.k = r.u64();
+      c.last_events = r.u64();
+      s.config_.sampler->restore_cursor(c);
+    }
+    r.end_section(end);
+  }
 };
 
 void Simulator::checkpoint(snapshot::Writer& w) const {
@@ -454,6 +504,9 @@ void Simulator::restore(snapshot::Reader& r) {
   alloc_.rebuild(active_);
   ran_ = true;
   prepared_ = true;
+  // Wall deltas restart from the resume point (wall state is not part of
+  // the snapshot; only sim-time samples are deterministic).
+  if (config_.sampler != nullptr) config_.sampler->start_wall();
   if (prof != nullptr) prof->leave(setup_prev);
 }
 

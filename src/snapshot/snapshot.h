@@ -34,7 +34,8 @@ namespace gurita::snapshot {
 
 /// "GSNP" little-endian.
 inline constexpr std::uint32_t kMagic = 0x504e5347u;
-inline constexpr std::uint32_t kFormatVersion = 1;
+/// v2: added the interval-sampler fingerprint fields and cursor section.
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 /// Payload kind byte following the header.
 enum class PayloadKind : std::uint8_t {

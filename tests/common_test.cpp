@@ -312,15 +312,71 @@ TEST(LogHistogram, CountsBucketed) {
   EXPECT_EQ(h.count_in_bucket_of(1e6), 0u);
 }
 
-TEST(LogHistogram, RejectsNonPositive) {
+TEST(LogHistogram, ZeroLandsInZeroBucketNegativeThrows) {
   LogHistogram h;
-  EXPECT_THROW(h.add(0.0), std::logic_error);
+  h.add(0.0);
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.zeros(), 1u);
+  EXPECT_TRUE(h.buckets().empty());
   EXPECT_THROW(h.add(-1.0), std::logic_error);
 }
 
 TEST(LogHistogram, RejectsBadBase) {
   EXPECT_THROW(LogHistogram(1.0), std::logic_error);
   EXPECT_THROW(LogHistogram(0.5), std::logic_error);
+}
+
+TEST(LogHistogram, PercentileReturnsBucketUpperEdge) {
+  LogHistogram h(10.0);
+  for (int i = 0; i < 90; ++i) h.add(5.0);    // [1, 10) -> edge 10
+  for (int i = 0; i < 9; ++i) h.add(50.0);    // [10, 100) -> edge 100
+  h.add(5000.0);                              // [1000, 10000) -> edge 10000
+  EXPECT_DOUBLE_EQ(h.percentile(50), 10.0);
+  EXPECT_DOUBLE_EQ(h.percentile(95), 100.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 10000.0);
+}
+
+TEST(LogHistogram, PercentileCountsZerosFirst) {
+  LogHistogram h(10.0);
+  for (int i = 0; i < 60; ++i) h.add(0.0);
+  for (int i = 0; i < 40; ++i) h.add(5.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(95), 10.0);
+  EXPECT_THROW(LogHistogram().percentile(50), std::logic_error);
+}
+
+TEST(LogHistogram, MergeIsCommutativeAndSums) {
+  LogHistogram a(10.0), b(10.0);
+  a.add(5.0);
+  a.add(0.0);
+  b.add(5.0);
+  b.add(500.0);
+  LogHistogram ab = a, ba = b;
+  ab.merge(b);
+  ba.merge(a);
+  EXPECT_EQ(ab.total(), 4u);
+  EXPECT_EQ(ab.zeros(), 1u);
+  EXPECT_EQ(ab.count_in_bucket_of(5.0), 2u);
+  EXPECT_EQ(ab.count_in_bucket_of(500.0), 1u);
+  EXPECT_EQ(ab.to_string(), ba.to_string());
+  EXPECT_DOUBLE_EQ(ab.percentile(99), ba.percentile(99));
+
+  LogHistogram other_base(2.0);
+  EXPECT_THROW(ab.merge(other_base), std::logic_error);
+}
+
+TEST(PercentileRankIndex, NearestRankKernel) {
+  // The shared kernel behind Samples, LogHistogram and the metrics
+  // collectors: rank = ceil(p/100 * n), clamped to [0, n-1].
+  EXPECT_EQ(percentile_rank_index(0, 100), 0u);
+  EXPECT_EQ(percentile_rank_index(50, 100), 49u);
+  EXPECT_EQ(percentile_rank_index(95, 100), 94u);
+  EXPECT_EQ(percentile_rank_index(99, 100), 98u);
+  EXPECT_EQ(percentile_rank_index(100, 100), 99u);
+  EXPECT_EQ(percentile_rank_index(50, 1), 0u);
+  EXPECT_THROW(percentile_rank_index(50, 0), std::logic_error);
+  EXPECT_THROW(percentile_rank_index(-1, 10), std::logic_error);
+  EXPECT_THROW(percentile_rank_index(101, 10), std::logic_error);
 }
 
 TEST(LogHistogram, ToStringListsBuckets) {

@@ -10,9 +10,13 @@
 //  * differential check: the event-calendar engine and the reference oracle
 //    (tests/oracle_sim.h) drive a scheduler through the *same ordered
 //    sequence* of coflow queue-transition records;
-//  * the phase profiler accounts for the run without perturbing it.
+//  * the phase profiler accounts for the run without perturbing it;
+//  * registry histograms pool byte-identically at 1/2/8 workers, and the
+//    interval sampler emits a deterministic timeline on an exact sim-time
+//    grid without perturbing the run (DESIGN.md §14).
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -21,8 +25,10 @@
 #include "exp/experiment.h"
 #include "exp/registry.h"
 #include "flowsim/simulator.h"
+#include "obs/memory.h"
 #include "obs/profiler.h"
 #include "obs/registry.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
 #include "oracle_sim.h"
 #include "topology/big_switch.h"
@@ -516,6 +522,214 @@ TEST(Profiler, CoversEngineRunWithoutPerturbingIt) {
   p.export_to(reg);
   EXPECT_EQ(reg.counter("profile.run_wall_ns"), p.run_wall_ns);
   EXPECT_GT(reg.gauge("profile.coverage"), 0.0);
+}
+
+// ------------------------------------------------- registry histograms
+
+TEST(RegistryHistograms, ObserveAndJsonPercentiles) {
+  obs::Registry reg;
+  for (int i = 0; i < 99; ++i) reg.observe("jct", 5.0);
+  reg.observe("jct", 5000.0);
+  reg.observe("queue_wait", 0.0);
+
+  EXPECT_EQ(reg.histograms().at("jct").total(), 100u);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"jct\""), std::string::npos);
+  EXPECT_NE(json.find("\"queue_wait\""), std::string::npos);
+  for (const char* key : {"\"p50\"", "\"p95\"", "\"p99\""})
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  // p50/p95 sit in [1, 10) -> upper edge 10; p99 lands in the top bucket.
+  EXPECT_DOUBLE_EQ(reg.histogram("jct").percentile(50), 10.0);
+  EXPECT_DOUBLE_EQ(reg.histogram("jct").percentile(95), 10.0);
+  EXPECT_DOUBLE_EQ(reg.histogram("jct").percentile(100), 10000.0);
+  // Re-declaring with a different base is a bug, not a silent resplit.
+  EXPECT_THROW(reg.histogram("jct", 2.0), std::logic_error);
+}
+
+TEST(RegistryHistograms, MergeSumsBucketsCommutatively) {
+  obs::Registry a, b;
+  a.observe("jct", 5.0);
+  a.observe("only_a", 1.0);
+  b.observe("jct", 50.0);
+  b.observe("jct", 0.0);
+  obs::Registry ab = a, ba = b;
+  ab.merge(b);
+  ba.merge(a);
+  EXPECT_EQ(ab.to_json(), ba.to_json());
+  EXPECT_EQ(ab.histograms().at("jct").total(), 3u);
+  EXPECT_EQ(ab.histograms().at("jct").zeros(), 1u);
+  EXPECT_EQ(ab.histograms().at("only_a").total(), 1u);
+}
+
+// The export-layer projection: pooled results observed into latency
+// histograms must serialize identically at 1, 2 and 8 workers (the
+// replicate-order pooling of DESIGN.md §9 carried through to percentiles).
+std::string pooled_histogram_json(int jobs) {
+  const ComparisonResult result = compare_schedulers_seeds(
+      small_config(17), {"gurita", "aalo"}, /*num_seeds=*/4, jobs);
+  obs::Registry reg;
+  for (const auto& [name, res] : result.results) {
+    for (const SimResults::JobResult& j : res.jobs)
+      if (!j.failed) reg.observe(name + ".jct", j.jct());
+    for (const SimResults::CoflowResult& c : res.coflows) {
+      if (c.failed || c.release < 0) continue;
+      reg.observe(name + ".queue_wait",
+                  c.release - res.jobs[c.job.value()].arrival);
+    }
+  }
+  return reg.to_json();
+}
+
+TEST(RegistryHistograms, WorkerCountInvariant) {
+  const std::string serial = pooled_histogram_json(1);
+  EXPECT_NE(serial.find("\"gurita.jct\""), std::string::npos);
+  EXPECT_EQ(serial, pooled_histogram_json(2)) << "1 worker vs 2 workers";
+  EXPECT_EQ(serial, pooled_histogram_json(8)) << "1 worker vs 8 workers";
+}
+
+// ------------------------------------------------------ interval sampler
+
+TEST(Sampler, BoundariesAreGridMultiples) {
+  obs::IntervalSampler sampler(obs::IntervalSampler::Config{0.5});
+  TraceRecorder rec(TraceRecorder::kAllKinds);
+  EXPECT_DOUBLE_EQ(sampler.next_due(), 0.5);
+  obs::IntervalSampler::SimSample sim;
+  obs::IntervalSampler::MemSample mem;
+  sim.events = 10;
+  mem.state_bytes = 100;
+  sampler.emit(rec, sim, mem);
+  EXPECT_DOUBLE_EQ(sampler.next_due(), 1.0);
+  sim.events = 30;
+  sampler.emit(rec, sim, mem);
+  // 1.5, not 0.5 + 0.5 + 0.5 accumulated: boundaries come from k * every.
+  EXPECT_DOUBLE_EQ(sampler.next_due(), 3 * 0.5);
+
+  ASSERT_EQ(rec.records().size(), 4u);  // (kSample, kMemSample) x 2
+  const TraceRecord& s0 = rec.records()[0];
+  EXPECT_EQ(s0.kind, TraceEventKind::kSample);
+  EXPECT_DOUBLE_EQ(s0.time, 0.5);
+  EXPECT_DOUBLE_EQ(s0.v0, 10.0);              // events
+  EXPECT_DOUBLE_EQ(s0.v1, 10.0 / 0.5);        // events/s over the interval
+  EXPECT_EQ(rec.records()[1].kind, TraceEventKind::kMemSample);
+  EXPECT_DOUBLE_EQ(rec.records()[1].v5, 100.0);  // total
+  const TraceRecord& s1 = rec.records()[2];
+  EXPECT_DOUBLE_EQ(s1.time, 1.0);
+  EXPECT_DOUBLE_EQ(s1.v1, (30.0 - 10.0) / 0.5);  // delta since last boundary
+}
+
+TEST(Sampler, CursorRoundTripResumesTheGrid) {
+  obs::IntervalSampler a(obs::IntervalSampler::Config{0.25});
+  TraceRecorder rec(TraceRecorder::kAllKinds);
+  obs::IntervalSampler::SimSample sim;
+  obs::IntervalSampler::MemSample mem;
+  sim.events = 7;
+  a.emit(rec, sim, mem);
+  a.emit(rec, sim, mem);
+
+  obs::IntervalSampler b(obs::IntervalSampler::Config{0.25});
+  b.restore_cursor(a.cursor());
+  EXPECT_DOUBLE_EQ(b.next_due(), a.next_due());
+  // The restored events/sec delta matches: both emit identical records.
+  TraceRecorder ra(TraceRecorder::kAllKinds), rb(TraceRecorder::kAllKinds);
+  sim.events = 19;
+  a.emit(ra, sim, mem);
+  b.emit(rb, sim, mem);
+  ASSERT_EQ(ra.records().size(), rb.records().size());
+  for (std::size_t i = 0; i < ra.records().size(); ++i)
+    EXPECT_EQ(ra.records()[i], rb.records()[i]);
+}
+
+TEST(Sampler, RejectsNonPositiveInterval) {
+  EXPECT_THROW(obs::IntervalSampler(obs::IntervalSampler::Config{0.0}),
+               std::logic_error);
+}
+
+// Attaching the sampler never perturbs the simulation: bit-identical
+// outcomes, with kSample/kMemSample records riding the trace buffer.
+TEST(Sampler, EngineTimelineDoesNotPerturbTheRun) {
+  ExperimentConfig config = small_config(29);
+  const std::vector<JobSpec> jobs = generate_trace(config.trace);
+  std::unique_ptr<Scheduler> plain_sched = make_scheduler("gurita");
+  const SimResults plain = run_one(config, jobs, *plain_sched);
+
+  ExperimentConfig timeline_config = config;
+  timeline_config.obs.timeline_every = 0.02;
+  std::unique_ptr<Scheduler> timeline_sched = make_scheduler("gurita");
+  const SimResults timed = run_one(timeline_config, jobs, *timeline_sched);
+
+  EXPECT_EQ(timed.makespan, plain.makespan);
+  EXPECT_EQ(timed.events, plain.events);
+  EXPECT_EQ(timed.flow_touches, plain.flow_touches);
+
+  std::size_t samples = 0, mem_samples = 0, wall_samples = 0;
+  double prev = 0;
+  for (const TraceRecord& r : timed.trace) {
+    if (r.kind == TraceEventKind::kSample) {
+      ++samples;
+      // Strictly increasing grid times, each an exact multiple of the
+      // cadence (multiplication, not accumulation).
+      EXPECT_GT(r.time, prev);
+      const double k = r.time / 0.02;
+      EXPECT_DOUBLE_EQ(k, std::round(k));
+      prev = r.time;
+    } else if (r.kind == TraceEventKind::kMemSample) {
+      ++mem_samples;
+    } else if (r.kind == TraceEventKind::kWallSample) {
+      ++wall_samples;
+    }
+  }
+  EXPECT_GT(samples, 0u) << "makespan " << timed.makespan
+                         << " crossed no 0.02 s boundary";
+  EXPECT_EQ(samples, mem_samples);
+  EXPECT_EQ(wall_samples, 0u) << "wall samples must be opt-in";
+}
+
+std::string pooled_timeline_jsonl(int jobs) {
+  ExperimentConfig config = small_config(11);
+  config.obs.timeline_every = 0.02;
+  const ComparisonResult result = compare_schedulers_seeds(
+      config, {"gurita", "aalo"}, /*num_seeds=*/3, jobs);
+  std::ostringstream out;
+  for (const auto& [name, res] : result.results)
+    obs::write_jsonl(out, res.trace, name);
+  return out.str();
+}
+
+// The tentpole determinism claim: the pooled timeline (sampler records
+// included) is byte-identical at any worker count.
+TEST(TimelineDeterminism, ByteIdenticalAcrossWorkerCounts) {
+  const std::string serial = pooled_timeline_jsonl(1);
+  EXPECT_NE(serial.find("sample"), std::string::npos)
+      << "timeline export carried no sampler records";
+  EXPECT_EQ(serial, pooled_timeline_jsonl(2)) << "1 worker vs 2 workers";
+  EXPECT_EQ(serial, pooled_timeline_jsonl(8)) << "1 worker vs 8 workers";
+}
+
+// --------------------------------------------------- memory accountant
+
+TEST(MemoryAccountant, PeaksFoldAndMergeByMax) {
+  using S = obs::MemoryAccountant::Subsystem;
+  obs::MemoryAccountant a;
+  a.observe(S::kState, 100);
+  a.observe(S::kCalendar, 50);
+  a.observe(S::kState, 40);  // current drops, peak holds
+  EXPECT_EQ(a.current(S::kState), 40u);
+  EXPECT_EQ(a.peak(S::kState), 100u);
+  EXPECT_EQ(a.peak_total(), 150u);
+
+  obs::MemoryAccountant b;
+  b.observe(S::kState, 70);
+  b.observe(S::kTrace, 500);
+  a.merge(b);
+  EXPECT_EQ(a.peak(S::kState), 100u);
+  EXPECT_EQ(a.peak(S::kTrace), 500u);
+  EXPECT_EQ(a.peak_total(), 570u);
+
+  obs::Registry reg;
+  a.export_to(reg);
+  EXPECT_DOUBLE_EQ(reg.gauge("mem.state.peak_bytes"), 100.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("mem.total.peak_bytes"), 570.0);
 }
 
 // -------------------------------------------------- engine trace content

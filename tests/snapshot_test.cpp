@@ -24,6 +24,7 @@
 #include "exp/runner.h"
 #include "fault/plan.h"
 #include "flowsim/simulator.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
 #include "oracle_sim.h"
 #include "snapshot/snapshot.h"
@@ -369,7 +370,124 @@ TEST(SnapshotDeterminism, MidConvergenceSplitRebuildsAllocatorState) {
       << "incremental and oracle allocators diverged";
 }
 
+// ------------------------------------------------------- sampler cursor ---
+
+/// One timeline run: recorder + interval sampler at `every`, optionally
+/// checkpointed at `split` and finished by a freshly built simulator (the
+/// sampler object is rebuilt too — only the serialized cursor crosses).
+SimResults run_timeline(const Fabric& fabric, const std::vector<JobSpec>& jobs,
+                        double every, const Time* split) {
+  std::string bytes;
+  if (split != nullptr) {
+    obs::TraceRecorder recorder(obs::TraceRecorder::kAllKinds);
+    obs::IntervalSampler sampler(obs::IntervalSampler::Config{every});
+    Simulator::Config config;
+    config.trace = &recorder;
+    config.sampler = &sampler;
+    const std::unique_ptr<Scheduler> sched = make_scheduler("gurita");
+    Simulator sim(fabric, *sched, config);
+    for (const JobSpec& job : jobs) sim.submit(job);
+    (void)sim.run_until(*split);
+    snapshot::Writer w;
+    sim.checkpoint(w);
+    bytes = w.take();
+  }
+  obs::TraceRecorder recorder(obs::TraceRecorder::kAllKinds);
+  obs::IntervalSampler sampler(obs::IntervalSampler::Config{every});
+  Simulator::Config config;
+  config.trace = &recorder;
+  config.sampler = &sampler;
+  const std::unique_ptr<Scheduler> sched = make_scheduler("gurita");
+  Simulator sim(fabric, *sched, config);
+  for (const JobSpec& job : jobs) sim.submit(job);
+  SimResults results;
+  if (split != nullptr) {
+    snapshot::Reader r(bytes);
+    sim.restore(r);
+    results = sim.finish();
+  } else {
+    results = sim.run();
+  }
+  results.trace = recorder.take();
+  return results;
+}
+
+// The tentpole claim for the interval sampler (DESIGN.md §14): the sample
+// timeline of a run split across a checkpoint/restore is bitwise identical
+// to the uninterrupted run's — grid boundaries come from the serialized
+// cursor by multiplication, never from re-accumulation, and the poll points
+// (every processed event) are the same on both sides of the split.
+TEST(SnapshotDeterminism, SamplerTimelineSurvivesSplitBitwise) {
+  const FatTree fabric(FatTree::Config{4});
+  const std::vector<JobSpec> jobs = small_trace(fabric, 23);
+  const double every = 0.02;
+  const SimResults reference =
+      run_timeline(fabric, jobs, every, /*split=*/nullptr);
+
+  std::size_t samples = 0;
+  for (const obs::TraceRecord& r : reference.trace)
+    if (r.kind == obs::TraceEventKind::kSample) ++samples;
+  ASSERT_GT(samples, 2u) << "cadence too coarse to put a split between "
+                            "samples (makespan "
+                         << reference.makespan << ")";
+
+  const std::string want = results_bytes(reference);
+  // Mid-run splits plus a boundary-adjacent one: 0.04 is an exact grid
+  // time, so the resumed run must not re-emit that boundary's sample.
+  for (const Time split : {0.25 * reference.makespan,
+                           0.5 * reference.makespan,
+                           0.75 * reference.makespan, 2 * every}) {
+    SCOPED_TRACE("split at " + std::to_string(split));
+    const SimResults resumed = run_timeline(fabric, jobs, every, &split);
+    EXPECT_EQ(results_bytes(resumed), want);
+  }
+}
+
 // ------------------------------------------------------------- rejection ---
+
+// The sampler's configuration is part of the snapshot fingerprint: a
+// resumed run with a different cadence (or no sampler at all) would emit a
+// different timeline, so restore refuses it up front.
+TEST(SnapshotRestore, RejectsMismatchedSampler) {
+  const FatTree fabric(FatTree::Config{4});
+  const std::vector<JobSpec> jobs = small_trace(fabric, 23);
+
+  obs::TraceRecorder recorder(obs::TraceRecorder::kAllKinds);
+  obs::IntervalSampler sampler(obs::IntervalSampler::Config{0.05});
+  Simulator::Config config;
+  config.trace = &recorder;
+  config.sampler = &sampler;
+  const std::unique_ptr<Scheduler> sched = make_scheduler("gurita");
+  Simulator sim(fabric, *sched, config);
+  for (const JobSpec& job : jobs) sim.submit(job);
+  (void)sim.run_until(0.1);
+  snapshot::Writer w;
+  sim.checkpoint(w);
+  const std::string bytes = w.take();
+
+  const auto expect_rejected = [&](Simulator::Config bad_config) {
+    obs::TraceRecorder rec2(obs::TraceRecorder::kAllKinds);
+    bad_config.trace = &rec2;
+    const std::unique_ptr<Scheduler> sched2 = make_scheduler("gurita");
+    Simulator other(fabric, *sched2, bad_config);
+    for (const JobSpec& job : jobs) other.submit(job);
+    snapshot::Reader r(bytes);
+    EXPECT_THROW(other.restore(r), snapshot::SnapshotError);
+  };
+
+  // No sampler attached on the restoring side.
+  expect_rejected(Simulator::Config{});
+  // Different cadence.
+  obs::IntervalSampler coarse(obs::IntervalSampler::Config{0.1});
+  Simulator::Config coarse_config;
+  coarse_config.sampler = &coarse;
+  expect_rejected(coarse_config);
+  // Different wall-sample setting.
+  obs::IntervalSampler wall(obs::IntervalSampler::Config{0.05, true, true});
+  Simulator::Config wall_config;
+  wall_config.sampler = &wall;
+  expect_rejected(wall_config);
+}
 
 TEST(SnapshotRestore, RejectsMismatchedWorkload) {
   const FatTree fabric(FatTree::Config{4});
