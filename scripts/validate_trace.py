@@ -40,6 +40,8 @@ KNOWN_KINDS = {
     "queue_change", "starvation_weights", "capacity_change", "heavy_mark",
     "fault", "flow_abort", "flow_retry", "job_fail",
     "sample", "mem_sample", "wall_sample",
+    # Open-horizon service records (src/service/, DESIGN.md §15).
+    "admit", "shed", "drain_start", "compact", "degrade",
 }
 # Interval-sampler record fields (obs/sampler.h; --timeline in the bench
 # drivers). kSample counts live entities and engine counters; kMemSample
@@ -139,6 +141,27 @@ def validate_line(lineno, line, counts, tallies):
             if not isinstance(rec.get(field), (int, float)):
                 fail(f"line {lineno} wall_sample lacks numeric '{field}': "
                      f"{line[:120]}")
+    elif kind == "admit":
+        require_int(rec, lineno, line, kind, ("queue_depth",), minimum=0)
+        for field in ("arrival", "queue_wait"):
+            if not isinstance(rec.get(field), (int, float)):
+                fail(f"line {lineno} admit lacks numeric '{field}': "
+                     f"{line[:120]}")
+    elif kind == "shed":
+        require_int(rec, lineno, line, kind, ("policy", "reason"))
+        require_int(rec, lineno, line, kind, ("queue_depth",), minimum=0)
+        if not isinstance(rec.get("bytes"), (int, float)) or rec["bytes"] < 0:
+            fail(f"line {lineno} shed lacks non-negative 'bytes': "
+                 f"{line[:120]}")
+    elif kind == "drain_start":
+        require_int(rec, lineno, line, kind, ("cause",))
+        require_int(rec, lineno, line, kind, ("queued",), minimum=0)
+    elif kind == "compact":
+        require_int(rec, lineno, line, kind,
+                    ("jobs_evicted", "coflows_evicted", "flows_evicted"),
+                    minimum=0)
+    elif kind == "degrade":
+        require_int(rec, lineno, line, kind, ("entered",))
 
 
 def read_sections(path):

@@ -73,6 +73,25 @@ void GuritaScheduler::on_job_fail(const SimJob& job, Time now) {
   for (CoflowId cid : job.coflows) coflow_queue_.erase(cid);
 }
 
+void GuritaScheduler::on_compact(const CompactionRemap& remap) {
+  // Monotone renumbering keeps both maps sorted, so the rebuild preserves
+  // iteration (and hence Ψ̈ fold and trace emission) order over survivors.
+  std::map<JobId, HeadReceiver> survivors;
+  for (auto& [jid, hr] : head_receivers_) {
+    const std::uint64_t to = remap.job_map[jid.value()];
+    if (to == CompactionRemap::kEvicted) continue;
+    // Whole-job eviction: a surviving job's coflows all survive, so every
+    // observation key has a mapping.
+    std::map<CoflowId, CoflowObservation> observations;
+    for (const auto& [cid, o] : hr.observations())
+      observations.emplace(CoflowId{remap.coflow_map[cid.value()]}, o);
+    hr.rekey(JobId{to}, std::move(observations));
+    survivors.emplace(JobId{to}, std::move(hr));
+  }
+  head_receivers_ = std::move(survivors);
+  remap_table(coflow_queue_, remap.coflow_map);
+}
+
 void GuritaScheduler::on_fault(const FaultEvent& event, Time now) {
   if (event.kind != FaultKind::kSchedulerStateLoss) return;
   // A restarted HR has no memory: the byte observations, the AVA history

@@ -89,6 +89,11 @@ class GuritaScheduler final : public Scheduler {
   /// Drops the failed job's HR and its coflows' queue entries (the job
   /// never reaches on_job_finish).
   void on_job_fail(const SimJob& job, Time now) override;
+  /// Re-keys the HR caches (including each HR's per-coflow observation
+  /// cache) and the coflow queue table across an engine compaction. The AVA
+  /// mean and adaptive-threshold reservoir are population statistics, not
+  /// id-keyed, and survive untouched.
+  void on_compact(const CompactionRemap& remap) override;
   void assign(Time now, const std::vector<SimFlow*>& active) override;
   /// Checkpoint hooks (DESIGN.md §12): HR caches, queue table, AVA history,
   /// adaptive-threshold reservoir and introspection counters all travel

@@ -40,6 +40,11 @@ void GuritaPlusScheduler::on_job_fail(const SimJob& job, Time now) {
   for (CoflowId cid : job.coflows) last_queue_.erase(cid);
 }
 
+void GuritaPlusScheduler::on_compact(const CompactionRemap& remap) {
+  remap_table(on_critical_, remap.job_map);
+  remap_table(last_queue_, remap.coflow_map);
+}
+
 void GuritaPlusScheduler::assign(Time now, const std::vector<SimFlow*>& active) {
   // Exact per-stage blocking effect from in-flight (remaining) bytes.
   // Key: (job, stage) -> Ψ_J(k).

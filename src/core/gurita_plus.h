@@ -54,6 +54,10 @@ class GuritaPlusScheduler final : public Scheduler {
   void on_fault(const FaultEvent& event, Time now) override;
   /// Drops the failed job's critical-path vector and traced queues.
   void on_job_fail(const SimJob& job, Time now) override;
+  /// Re-keys the critical-path and traced-queue tables across an engine
+  /// compaction. Local coflow indices are preserved by whole-job eviction,
+  /// so the per-job membership vectors travel unchanged.
+  void on_compact(const CompactionRemap& remap) override;
   void assign(Time now, const std::vector<SimFlow*>& active) override;
   /// Checkpoint hooks (DESIGN.md §12): critical-path membership (DAG
   /// knowledge computed at arrival) and the traced-queue map (needed so a

@@ -68,6 +68,14 @@ class HeadReceiver {
   void save_state(snapshot::Writer& w) const;
   void load_state(snapshot::Reader& r);
 
+  /// Compaction support (DESIGN.md §15): adopts the renumbered job id and a
+  /// re-keyed observation cache built by GuritaScheduler::on_compact.
+  /// Update time and completed-stage count are id-free and stay put.
+  void rekey(JobId job, std::map<CoflowId, CoflowObservation> observations) {
+    job_ = job;
+    observations_ = std::move(observations);
+  }
+
  private:
   JobId job_;
   Time last_update_ = -1;

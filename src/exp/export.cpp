@@ -1,6 +1,8 @@
 #include "exp/export.h"
 
+#include <algorithm>
 #include <cinttypes>
+#include <cstdint>
 #include <cstdio>
 #include <ostream>
 
@@ -26,8 +28,16 @@ void observe_latencies(const SimResults& res, obs::Registry& registry) {
   }
   for (const SimResults::CoflowResult& c : res.coflows) {
     if (c.failed || c.release < 0) continue;
-    const SimResults::JobResult& j = res.jobs[c.job.value()];
-    registry.observe("queue_wait", c.release - j.arrival);
+    // Look the owning job up by id, not by index: batch populations are
+    // dense, but a daemon run's external ids keep the gaps left by shed
+    // jobs (service/daemon.h), so jobs[i].id == i does not hold there.
+    const auto it = std::lower_bound(
+        res.jobs.begin(), res.jobs.end(), c.job.value(),
+        [](const SimResults::JobResult& j, std::uint64_t id) {
+          return j.id.value() < id;
+        });
+    if (it == res.jobs.end() || it->id.value() != c.job.value()) continue;
+    registry.observe("queue_wait", c.release - it->arrival);
   }
   for (const obs::TraceRecord& r : res.trace)
     if (r.kind == obs::TraceEventKind::kFlowRetry)

@@ -11,6 +11,7 @@
 // full SimState instantaneously — mirroring the paper's simulation setup.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,44 @@
 #include "snapshot/codec.h"
 
 namespace gurita {
+
+/// Id renumbering produced by Simulator::compact() (open-horizon state
+/// eviction, DESIGN.md §15): terminal jobs leave the stores and every
+/// surviving entity is renumbered densely. Each map is indexed by the OLD
+/// id value and holds the NEW id value, or kEvicted for entities that left.
+/// Renumbering is monotone: surviving ids keep their relative order, so
+/// sorted-key serialization stays sorted after remapping.
+struct CompactionRemap {
+  static constexpr std::uint64_t kEvicted = ~0ull;
+  std::vector<std::uint64_t> job_map;
+  std::vector<std::uint64_t> coflow_map;
+  std::vector<std::uint64_t> flow_map;
+
+  [[nodiscard]] bool job_evicted(JobId id) const {
+    return job_map[id.value()] == kEvicted;
+  }
+  [[nodiscard]] bool coflow_evicted(CoflowId id) const {
+    return coflow_map[id.value()] == kEvicted;
+  }
+};
+
+/// Rebuilds an id-keyed policy table across a compaction: drops entries
+/// whose key maps to CompactionRemap::kEvicted and re-keys the survivors.
+/// `id_map` must be the remap table matching the map's key family
+/// (job_map for JobId keys, coflow_map for CoflowId keys). Works for both
+/// ordered and unordered maps; monotone renumbering keeps ordered maps
+/// sorted without re-comparison surprises.
+template <typename Map>
+void remap_table(Map& table, const std::vector<std::uint64_t>& id_map) {
+  using Key = typename Map::key_type;
+  Map out;
+  for (auto& [key, value] : table) {
+    const std::uint64_t to = id_map[key.value()];
+    if (to == CompactionRemap::kEvicted) continue;
+    out.emplace(Key{to}, std::move(value));
+  }
+  table = std::move(out);
+}
 
 class Scheduler {
  public:
@@ -82,6 +121,14 @@ class Scheduler {
     (void)now;
   }
 
+  /// The engine compacted its stores (Simulator::compact()): terminal jobs
+  /// were evicted and every surviving job/coflow/flow id was renumbered per
+  /// `remap`. Schedulers holding id-keyed state must drop entries whose key
+  /// maps to CompactionRemap::kEvicted and re-key the survivors. Delivered
+  /// at an event boundary; state() already reflects the new numbering. The
+  /// default ignores it, which is correct only for stateless policies.
+  virtual void on_compact(const CompactionRemap& remap) { (void)remap; }
+
   /// Periodic coordination interval (δ). 0 disables ticks. For Gurita this
   /// is the head-receiver update period; information the scheduler uses in
   /// assign() should be refreshed here, not read fresh, to model staleness.
@@ -120,8 +167,12 @@ class Scheduler {
   /// queue transitions with their Ψ̈ factor breakdown, WRR weight snapshots,
   /// heavy-job marks. The engine wires this automatically when its own
   /// Config::trace is set; tests driving a scheduler through another engine
-  /// (the differential oracle) call it directly. nullptr detaches.
-  void set_trace_recorder(obs::TraceRecorder* recorder) { trace_ = recorder; }
+  /// (the differential oracle) call it directly. nullptr detaches. Virtual
+  /// so forwarding wrappers (the service daemon's degradable scheduler) can
+  /// hand the recorder to the policy they wrap.
+  virtual void set_trace_recorder(obs::TraceRecorder* recorder) {
+    trace_ = recorder;
+  }
 
  protected:
   [[nodiscard]] const SimState& state() const {

@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <type_traits>
 
 #include "fault/validation.h"
 #include "flowsim/allocator.h"
@@ -170,7 +171,10 @@ Simulator::Simulator(const Fabric& fabric, Scheduler& scheduler,
 JobId Simulator::submit(const JobSpec& spec) {
   GURITA_CHECK_MSG(!ran_, "submit after run()");
   validate(spec, fabric_->num_hosts());
+  return register_job(spec);
+}
 
+JobId Simulator::register_job(const JobSpec& spec) {
   const JobId jid{state_.jobs_.size()};
   SimJob job;
   job.id = jid;
@@ -474,6 +478,7 @@ void Simulator::prepare_structures() {
   std::size_t total_flows = 0;
   for (const SimJob& j : state_.jobs_)
     for (const CoflowSpec& c : j.spec.coflows) total_flows += c.flows.size();
+  flows_reserved_ = total_flows;
   state_.flows_.reserve(total_flows);
   pos_in_active_.reserve(total_flows);
   gen_.reserve(total_flows);
@@ -585,6 +590,15 @@ void Simulator::step_impl() {
       fail_stranded_jobs();
       return;
     }
+    if (t_idle >= horizon_) {
+      // Horizon pause (run_to): roll back the iteration accounting so a
+      // paused+resumed run counts exactly the events an uninterrupted one
+      // does, and hand control back before anything mutates.
+      --iterations_;
+      --results_.events;
+      paused_at_horizon_ = true;
+      return;
+    }
     now_ = std::max(now_, t_idle);
     state_.now_ = now_;
     // Fault state must be current before any flow releases (a job
@@ -606,7 +620,9 @@ void Simulator::step_impl() {
   }
 
   const bool was_dirty = dirty_;
-  bool any_ramp_capped = false;
+  // A horizon pause may have interrupted this event after its allocation
+  // marked the TCP-ramp refresh; replay that mark on resume.
+  bool any_ramp_capped = pending_ramp_;
   if (dirty_) {
     {
       obs::ScopedPhase assign_phase(prof, obs::Phase::kSchedulerAssign);
@@ -711,15 +727,34 @@ void Simulator::step_impl() {
   }
   GURITA_CHECK_MSG(std::isfinite(t_next),
                    "simulation stalled: active flows but no next event");
+  if (t_next >= horizon_) {
+    // Horizon pause (run_to): the event's allocation (if any) already ran
+    // at the unchanged clock — exactly where an uninterrupted run performs
+    // it — so only the forward-looking bookkeeping must be undone. Roll
+    // back the iteration accounting, remember the ramp-refresh mark and the
+    // dirty entry state for the resumed execution, and bail out before the
+    // clock advances.
+    --iterations_;
+    --results_.events;
+    pending_ramp_ = any_ramp_capped;
+    pending_was_dirty_ = pending_was_dirty_ || was_dirty;
+    if (any_ramp_capped) dirty_ = false;  // pending_ramp_ replays the mark
+    paused_at_horizon_ = true;
+    return;
+  }
+  pending_ramp_ = false;
   GURITA_CHECK_MSG(t_next <= config_.max_time, "simulation exceeded max_time");
   t_next = std::max(t_next, now_);
 
   // What the pre-calendar engine would have scanned on this event: the
   // completion-time min search and the completion check always, the byte
   // drain when time advances, the ramp pass when enabled, and the
-  // rebuild/assign pass when dirty — each a full active-set walk.
+  // rebuild/assign pass when dirty — each a full active-set walk. An event
+  // resumed after a horizon pause entered dirty on its first execution
+  // (pending_was_dirty_), even though the resumed pass finds dirty_ clear.
   std::uint64_t legacy_scans = 2;
-  if (was_dirty) ++legacy_scans;
+  if (was_dirty || pending_was_dirty_) ++legacy_scans;
+  pending_was_dirty_ = false;
   if (config_.tcp_ramp_time > 0) ++legacy_scans;
   if (t_next > now_) ++legacy_scans;
   results_.legacy_flow_touches += legacy_scans * active_.size();
@@ -933,6 +968,287 @@ SimResults Simulator::finish() {
   GURITA_CHECK_MSG(prepared_, "finish() before run_until()/restore()");
   while (pending()) step();
   return collect();
+}
+
+// --- open-horizon extension (streaming admission; DESIGN.md §15) -------------
+
+bool Simulator::run_to(Time bound) {
+  if (!prepared_) prepare();
+  GURITA_CHECK_MSG(!collected_, "run_to after results were collected");
+  horizon_ = bound;
+  paused_at_horizon_ = false;
+  while (pending() && !paused_at_horizon_) step();
+  horizon_ = std::numeric_limits<Time>::infinity();
+  paused_at_horizon_ = false;
+  return pending();
+}
+
+JobId Simulator::admit(const JobSpec& spec) {
+  GURITA_CHECK_MSG(prepared_ && !collected_,
+                   "admit() outside an open run (prepare/restore first)");
+  validate(spec, fabric_->num_hosts());
+
+  std::size_t spec_flows = 0;
+  for (const CoflowSpec& c : spec.coflows) spec_flows += c.flows.size();
+  flows_reserved_ += spec_flows;
+  if (flows_reserved_ > state_.flows_.capacity()) grow_flow_store();
+  pos_in_active_.reserve(flows_reserved_);
+  gen_.reserve(flows_reserved_);
+
+  const JobId jid = register_job(spec);
+
+  // Keep the unconsumed suffix of the arrival order sorted by
+  // (arrival_time, id) — the invariant prepare_structures establishes. The
+  // new id is the largest, so among equal arrival times it goes last.
+  const Time at = state_.jobs_[jid.value()].arrival_time;
+  const auto begin = arrival_order_.begin() +
+                     static_cast<std::ptrdiff_t>(next_arrival_);
+  const auto pos = std::lower_bound(
+      begin, arrival_order_.end(), at, [this](JobId a, Time t) {
+        return state_.jobs_[a.value()].arrival_time <= t;
+      });
+  arrival_order_.insert(pos, jid);
+  return jid;
+}
+
+void Simulator::grow_flow_store() {
+  // Reallocation moves every SimFlow, so raw pointers into the store (the
+  // active set, the allocator's membership lists) must be re-seeded. The
+  // rebuild is a pure re-solve: the next allocation recomputes every
+  // component from the same stored rates and reports exactly the changes
+  // the incremental path would have — byte-identical results (the same
+  // argument that makes restore() exact).
+  std::vector<FlowId> active_ids;
+  active_ids.reserve(active_.size());
+  for (const SimFlow* f : active_) active_ids.push_back(f->id);
+  const std::size_t target =
+      std::max(flows_reserved_, 2 * state_.flows_.capacity());
+  state_.flows_.reserve(target);
+  for (std::size_t i = 0; i < active_ids.size(); ++i)
+    active_[i] = &state_.flows_[active_ids[i].value()];
+  alloc_.rebuild(active_);
+}
+
+Simulator::Compaction Simulator::compact() {
+  GURITA_CHECK_MSG(prepared_ && !collected_,
+                   "compact() outside an open run");
+  Compaction out;
+  CompactionRemap remap;
+
+  // Survivors: every job not yet terminal. Terminal (finished or failed)
+  // jobs have no active, parked or retrying flows left, so eviction never
+  // touches live engine state. Renumbering is monotone (stable compaction).
+  remap.job_map.assign(state_.jobs_.size(), CompactionRemap::kEvicted);
+  std::uint64_t next_job = 0;
+  for (const SimJob& j : state_.jobs_)
+    if (!j.finished()) remap.job_map[j.id.value()] = next_job++;
+  out.jobs_evicted = state_.jobs_.size() - next_job;
+  if (out.jobs_evicted == 0) return out;  // nothing to do
+
+  remap.coflow_map.assign(state_.coflows_.size(), CompactionRemap::kEvicted);
+  std::uint64_t next_coflow = 0;
+  for (const SimCoflow& c : state_.coflows_)
+    if (remap.job_map[c.job.value()] != CompactionRemap::kEvicted)
+      remap.coflow_map[c.id.value()] = next_coflow++;
+  out.coflows_evicted = state_.coflows_.size() - next_coflow;
+
+  remap.flow_map.assign(state_.flows_.size(), CompactionRemap::kEvicted);
+  std::uint64_t next_flow = 0;
+  for (const SimFlow& f : state_.flows_)
+    if (remap.job_map[f.job.value()] != CompactionRemap::kEvicted)
+      remap.flow_map[f.id.value()] = next_flow++;
+  out.flows_evicted = state_.flows_.size() - next_flow;
+
+  // Harvest the evicted results exactly as collect() reports them, before
+  // the stores move (coflow_total_bytes reads the owning job's spec).
+  out.jobs.reserve(out.jobs_evicted);
+  for (const SimJob& j : state_.jobs_) {
+    if (remap.job_map[j.id.value()] != CompactionRemap::kEvicted) continue;
+    SimResults::JobResult jr{j.id, j.arrival_time, j.finish_time,
+                             j.total_bytes, j.num_stages};
+    jr.failed = j.failed;
+    out.jobs.push_back(jr);
+  }
+  out.coflows.reserve(out.coflows_evicted);
+  for (const SimCoflow& c : state_.coflows_) {
+    if (remap.coflow_map[c.id.value()] != CompactionRemap::kEvicted) continue;
+    SimResults::CoflowResult cr{c.id,          c.job,
+                                c.stage,       c.release_time,
+                                c.finish_time, state_.coflow_total_bytes(c.id)};
+    cr.failed = state_.jobs_[c.job.value()].failed && !c.finished();
+    out.coflows.push_back(cr);
+  }
+
+  // Flows: stable in-place compaction; pos/gen stay parallel. Active flows
+  // all belong to surviving jobs, so none is evicted.
+  std::vector<FlowId> active_ids;
+  active_ids.reserve(active_.size());
+  for (const SimFlow* f : active_) active_ids.push_back(f->id);
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < state_.flows_.size(); ++i) {
+    if (remap.flow_map[i] == CompactionRemap::kEvicted) continue;
+    if (w != i) {
+      state_.flows_[w] = std::move(state_.flows_[i]);
+      pos_in_active_[w] = pos_in_active_[i];
+      gen_[w] = gen_[i];
+    }
+    SimFlow& f = state_.flows_[w];
+    f.id = FlowId{w};
+    f.job = JobId{remap.job_map[f.job.value()]};
+    ++w;
+  }
+  state_.flows_.resize(w);
+  pos_in_active_.resize(w);
+  gen_.resize(w);
+
+  // Coflows + aggregates (parallel arrays).
+  w = 0;
+  for (std::size_t i = 0; i < state_.coflows_.size(); ++i) {
+    if (remap.coflow_map[i] == CompactionRemap::kEvicted) continue;
+    if (w != i) {
+      state_.coflows_[w] = std::move(state_.coflows_[i]);
+      state_.aggregates_[w] = state_.aggregates_[i];
+    }
+    SimCoflow& c = state_.coflows_[w];
+    c.id = CoflowId{w};
+    c.job = JobId{remap.job_map[c.job.value()]};
+    for (FlowId& fid : c.flows) fid = FlowId{remap.flow_map[fid.value()]};
+    ++w;
+  }
+  state_.coflows_.resize(w);
+  state_.aggregates_.resize(w);
+
+  // Jobs (specs are retained — snapshots resubmit them on recovery).
+  w = 0;
+  for (std::size_t i = 0; i < state_.jobs_.size(); ++i) {
+    if (remap.job_map[i] == CompactionRemap::kEvicted) continue;
+    if (w != i) state_.jobs_[w] = std::move(state_.jobs_[i]);
+    SimJob& j = state_.jobs_[w];
+    j.id = JobId{w};
+    for (CoflowId& cid : j.coflows)
+      cid = CoflowId{remap.coflow_map[cid.value()]};
+    ++w;
+  }
+  state_.jobs_.resize(w);
+
+  // Flow-store reservation: released survivors plus the unreleased flows
+  // of surviving jobs. Shrink the heavyweight stores once their capacity
+  // dwarfs what steady state needs — the trigger and target are pure
+  // functions of logical sizes, so reserved footprint stays deterministic.
+  flows_reserved_ = state_.flows_.size();
+  for (const SimJob& j : state_.jobs_)
+    for (CoflowId cid : j.coflows) {
+      const SimCoflow& c = state_.coflows_[cid.value()];
+      if (!c.released())
+        flows_reserved_ += j.spec.coflows[c.index].flows.size();
+    }
+  const auto shrink = [](auto& v, std::size_t need) {
+    using V = std::remove_reference_t<decltype(v)>;
+    const std::size_t floor = std::max<std::size_t>(need, 64);
+    if (v.capacity() <= 4 * floor) return;
+    V tmp;
+    tmp.reserve(2 * floor);
+    for (auto& e : v) tmp.push_back(std::move(e));
+    v = std::move(tmp);
+  };
+  shrink(state_.flows_, flows_reserved_);
+  shrink(state_.coflows_, state_.coflows_.size());
+  shrink(state_.aggregates_, state_.aggregates_.size());
+  shrink(state_.jobs_, state_.jobs_.size());
+  shrink(pos_in_active_, flows_reserved_);
+  shrink(gen_, flows_reserved_);
+
+  // Re-point the active set (same order) at the moved flows.
+  for (std::size_t i = 0; i < active_ids.size(); ++i)
+    active_[i] =
+        &state_.flows_[remap.flow_map[active_ids[i].value()]];
+
+  // Calendar: drop entries of evicted flows (all stale — their flows
+  // finished, which bumped gen), remap the rest and re-heapify. Stale
+  // entries of *surviving* flows are kept so their eventual pops count
+  // flow_touches exactly as without compaction. Equal-key layout changes
+  // cannot affect results: every due entry pops regardless of order and
+  // completions are processed in sorted flow-id order.
+  std::vector<CalendarEntry> cal = calendar_.take_container();
+  w = 0;
+  for (CalendarEntry& e : cal) {
+    const std::uint64_t nf = remap.flow_map[e.flow.value()];
+    if (nf == CompactionRemap::kEvicted) continue;
+    e.flow = FlowId{nf};
+    cal[w++] = e;
+  }
+  cal.resize(w);
+  shrink(cal, cal.size());
+  std::make_heap(cal.begin(), cal.end(), CalendarLater{});
+  calendar_.restore(std::move(cal));
+
+  // Retry heap and parking lot: entries of evicted (cancelled) flows drop,
+  // survivors remap; parked keeps its order.
+  if (have_faults_ || !retries_.empty() || !parked_.empty()) {
+    std::vector<RetryEntry> rt = retries_.take_container();
+    w = 0;
+    for (RetryEntry& e : rt) {
+      const std::uint64_t nf = remap.flow_map[e.flow.value()];
+      if (nf == CompactionRemap::kEvicted) continue;
+      e.flow = FlowId{nf};
+      rt[w++] = e;
+    }
+    rt.resize(w);
+    std::make_heap(rt.begin(), rt.end(), RetryLater{});
+    retries_.restore(std::move(rt));
+
+    w = 0;
+    for (const FlowId fid : parked_) {
+      const std::uint64_t nf = remap.flow_map[fid.value()];
+      if (nf == CompactionRemap::kEvicted) continue;
+      parked_[w++] = FlowId{nf};
+    }
+    parked_.resize(w);
+  }
+
+  // Capped flows (stored rate below pure allocation): finished ones drop,
+  // survivors remap. done_ is per-event scratch; clear defensively.
+  w = 0;
+  for (const FlowId fid : capped_) {
+    const std::uint64_t nf = remap.flow_map[fid.value()];
+    if (nf == CompactionRemap::kEvicted) continue;
+    capped_[w++] = FlowId{nf};
+  }
+  capped_.resize(w);
+  done_.clear();
+
+  // Arrival cursor: every evicted job had arrived (it finished), so the
+  // consumed prefix shrinks by exactly the eviction count. Monotone
+  // renumbering keeps the filtered order sorted by (arrival_time, id) —
+  // the same order a restore-side recomputation produces.
+  w = 0;
+  std::size_t consumed = 0;
+  for (std::size_t i = 0; i < arrival_order_.size(); ++i) {
+    const std::uint64_t nj = remap.job_map[arrival_order_[i].value()];
+    if (nj == CompactionRemap::kEvicted) continue;
+    if (i < next_arrival_) ++consumed;
+    arrival_order_[w++] = JobId{nj};
+  }
+  arrival_order_.resize(w);
+  next_arrival_ = consumed;
+
+  // The allocator holds raw flow pointers and id-indexed arrays: re-seed
+  // it from the compacted active set. Pure re-solve, identical rates.
+  alloc_.rebuild(active_);
+  scheduler_->on_compact(remap);
+
+  obs::TraceRecorder* tr = config_.trace;
+  if (tr && tr->wants(obs::TraceEventKind::kCompact)) {
+    obs::TraceRecord r;
+    r.kind = obs::TraceEventKind::kCompact;
+    r.time = now_;
+    r.i0 = static_cast<std::int32_t>(out.jobs_evicted);
+    r.i1 = static_cast<std::int32_t>(out.coflows_evicted);
+    r.i2 = static_cast<std::int32_t>(out.flows_evicted);
+    r.v0 = static_cast<double>(state_.jobs_.size());
+    tr->emit(r);
+  }
+  return out;
 }
 
 // --- fault injection (fault/fault.h, DESIGN.md §11) -------------------------

@@ -301,6 +301,53 @@ class Simulator {
   /// submitted before run(). Returns the assigned job id.
   JobId submit(const JobSpec& job);
 
+  /// Open-horizon admission: registers a job *while the run is open*
+  /// (after prepare()/restore(), before results were collected). Legal only
+  /// at an event boundary — between run_to()/run_until() calls. The job's
+  /// arrival_time may lie at or after now(); an arrival at or before now()
+  /// is processed by the next event at the current clock. Grows the flow
+  /// store when needed (re-pointing the active set and rebuilding the
+  /// allocator — a pure re-solve, so rates and results are unaffected).
+  /// Returns the assigned job id.
+  JobId admit(const JobSpec& job);
+
+  /// Open-horizon drive: processes every event with time strictly below
+  /// `bound`, then pauses *before* the first event at or beyond it (the
+  /// iteration is rolled back, so a paused+resumed run counts exactly the
+  /// events an uninterrupted one does). Pausing never perturbs the run:
+  /// admit() at the pause point behaves as if the job had been submitted up
+  /// front, and checkpoint() captures the boundary losslessly. With `bound`
+  /// = +infinity this is exactly finish()'s drain loop (no pause). Returns
+  /// true while work remains.
+  bool run_to(Time bound);
+
+  /// Outcome of one compact() pass: the evicted jobs' results, harvested
+  /// exactly as collect() would have reported them (ids are the
+  /// pre-compaction ids; callers tracking external ids map through the
+  /// remap they observed via Scheduler::on_compact).
+  struct Compaction {
+    std::size_t jobs_evicted = 0;
+    std::size_t coflows_evicted = 0;
+    std::size_t flows_evicted = 0;
+    std::vector<SimResults::JobResult> jobs;
+    std::vector<SimResults::CoflowResult> coflows;
+  };
+
+  /// Open-horizon state eviction: removes every terminal (finished or
+  /// failed) job with its coflows and flows from the stores, renumbers the
+  /// survivors densely, rebuilds the calendar/retry heaps and the
+  /// allocator, and notifies the scheduler (on_compact). Steady-state
+  /// memory under sustained admission is therefore O(active) instead of
+  /// O(ever-submitted). Legal only at an event boundary. Determinism is
+  /// per-configuration: identical inputs and compaction cadence give
+  /// byte-identical everything. Relative to an *uncompacted* run the
+  /// populations agree job-for-job, but not to the last bit: the allocator
+  /// rebuild re-sums link loads in the survivors' renumbered order, which
+  /// can move rates by an ulp and lets trajectories drift slightly, and
+  /// the flow_touches counter may run below (evicted flows' stale calendar
+  /// tombstones are dropped instead of popped).
+  Compaction compact();
+
   /// Runs to completion of all submitted jobs and returns the results.
   /// May be called once.
   SimResults run();
@@ -320,6 +367,24 @@ class Simulator {
 
   /// Current simulation clock (the time of the last processed event).
   [[nodiscard]] Time now() const { return now_; }
+
+  // --- open-horizon observability (watermark inputs for the service
+  // daemon; every value is a pure function of the serialized state, so
+  // shedding decisions built on them are deterministic) ---
+  /// Work remains: pending arrivals, active flows or parked/retrying flows.
+  [[nodiscard]] bool pending() const {
+    return next_arrival_ < arrival_order_.size() || !active_.empty() ||
+           outstanding_ > 0;
+  }
+  [[nodiscard]] std::size_t active_flow_count() const {
+    return active_.size();
+  }
+  [[nodiscard]] std::size_t calendar_size() const { return calendar_.size(); }
+  /// Partial counters of the in-progress run (events, flow_touches, ...).
+  /// Valid between prepare()/restore() and collect().
+  [[nodiscard]] const SimResults& partial_results() const { return results_; }
+  /// The run is open: prepared (or restored) and not yet collected.
+  [[nodiscard]] bool open() const { return prepared_ && !collected_; }
 
   /// Serializes the complete dynamic simulation state — event calendar
   /// (verbatim heap array, including lazy-drain tombstones), per-coflow
@@ -437,6 +502,25 @@ class Simulator {
   /// topology or population changed since the last allocation).
   bool dirty_ = true;
 
+  // --- open-horizon pause state (run_to; DESIGN.md §15) ---
+  /// Events at or beyond this time pause instead of executing. +infinity
+  /// outside run_to, so batch runs never pause.
+  Time horizon_ = std::numeric_limits<Time>::infinity();
+  /// step() paused before an event at/beyond horizon_ (transient: reset by
+  /// run_to on entry and exit).
+  bool paused_at_horizon_ = false;
+  /// A paused event had already marked the TCP-ramp refresh; replay it on
+  /// resume (the allocation itself already ran). Serialized (snapshot v3).
+  bool pending_ramp_ = false;
+  /// A paused event entered with dirty_ set; its legacy-cost accounting is
+  /// owed when the event finally executes. Serialized (snapshot v3).
+  bool pending_was_dirty_ = false;
+  /// Flow-store reservation watermark: released flows plus the unreleased
+  /// flows of every registered job. admit() grows the store (re-pointing
+  /// active_) when a new job pushes this past capacity; release_coflow's
+  /// no-reallocation invariant holds against it.
+  std::size_t flows_reserved_ = 0;
+
   // --- fault-injection runtime (all idle unless Config::faults is
   // non-empty; the zero-fault run is byte-identical to a fault-free
   // engine) ---
@@ -506,6 +590,13 @@ class Simulator {
   void finish_flow(SimFlow& flow);
   void finish_coflow(SimCoflow& coflow);
   void arrive_job(SimJob& job);
+  /// Shared body of submit()/admit(): appends the SimJob and its SimCoflow
+  /// records (the spec must already be validated).
+  JobId register_job(const JobSpec& spec);
+  /// admit() helper: grows the flow store to hold flows_reserved_ flows,
+  /// re-pointing the active set and rebuilding the allocator (pure
+  /// re-solve; byte-identical rates).
+  void grow_flow_store();
 
   // --- run-loop decomposition (run() == prepare(); while (pending())
   // step(); collect()) ---
@@ -514,11 +605,6 @@ class Simulator {
   void prepare_structures();
   /// Full fresh-run initialization (prepare_structures + dynamic defaults).
   void prepare();
-  /// Work remains: pending arrivals, active flows or parked/retrying flows.
-  [[nodiscard]] bool pending() const {
-    return next_arrival_ < arrival_order_.size() || !active_.empty() ||
-           outstanding_ > 0;
-  }
   /// One main-loop iteration (one event). Thin wrapper over step_impl()
   /// that polls the interval sampler afterwards, so every exit path of the
   /// event body (idle early-outs included) is sampled.

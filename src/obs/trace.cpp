@@ -131,6 +131,43 @@ const KindSpec& kind_spec(TraceEventKind kind) {
        false,
        false,
        {{"wall_ms", kV0}, {"events", kV1}, {"events_per_wall_sec", kV2}}},
+      /* kAdmit */
+      {"admit",
+       true,
+       true,
+       false,
+       {{"arrival", kV0}, {"queue_wait", kV1}, {"queue_depth", kI0}}},
+      /* kShed */
+      {"shed",
+       true,
+       false,
+       false,
+       {{"policy", kI0},
+        {"reason", kI1},
+        {"queue_depth", kI2},
+        {"bytes", kV0},
+        {"arrival", kV1}}},
+      /* kDrainStart */
+      {"drain_start",
+       false,
+       false,
+       false,
+       {{"cause", kI0}, {"queued", kI1}}},
+      /* kCompact */
+      {"compact",
+       false,
+       false,
+       false,
+       {{"jobs_evicted", kI0},
+        {"coflows_evicted", kI1},
+        {"flows_evicted", kI2},
+        {"jobs_live", kV0}}},
+      /* kDegrade */
+      {"degrade",
+       false,
+       false,
+       false,
+       {{"entered", kI0}, {"queue_depth", kI1}}},
   };
   const auto index = static_cast<std::size_t>(kind);
   GURITA_CHECK_MSG(index < specs.size(), "unknown trace event kind");

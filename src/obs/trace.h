@@ -50,9 +50,15 @@ enum class TraceEventKind : std::uint8_t {
   kSample = 16,           ///< periodic run-health sample (obs/sampler.h)
   kMemSample = 17,        ///< periodic per-subsystem memory sample
   kWallSample = 18,       ///< opt-in wall-clock sample; NOT deterministic
+  // --- open-horizon service records (src/service/, DESIGN.md §15) ---
+  kAdmit = 19,            ///< daemon admitted a streamed job into the engine
+  kShed = 20,             ///< admission control dropped a job (load shedding)
+  kDrainStart = 21,       ///< drain began: admissions stopped
+  kCompact = 22,          ///< engine evicted terminal state (compact())
+  kDegrade = 23,          ///< degrade-to-fifo mode entered (i0=1) / left (0)
 };
 
-inline constexpr int kNumTraceEventKinds = 19;
+inline constexpr int kNumTraceEventKinds = 24;
 
 /// Why a scheduler changed a coflow's queue (TraceRecord::i2 of
 /// kQueueChange records).

@@ -67,6 +67,11 @@ void AaloScheduler::on_job_fail(const SimJob& job, Time now) {
   }
 }
 
+void AaloScheduler::on_compact(const CompactionRemap& remap) {
+  remap_table(fifo_rank_, remap.coflow_map);
+  remap_table(queue_of_, remap.coflow_map);
+}
+
 void AaloScheduler::assign(Time now, const std::vector<SimFlow*>& active) {
   obs::TraceRecorder* tr = trace_recorder();
   const bool trace_queues =

@@ -53,6 +53,10 @@ class AaloScheduler final : public Scheduler {
   void on_fault(const FaultEvent& event, Time now) override;
   /// Drops the failed job's coflows from the rank and queue tables.
   void on_job_fail(const SimJob& job, Time now) override;
+  /// Re-keys the rank and queue tables across an engine compaction (also
+  /// drops finished coflows' leftover entries, keeping both tables
+  /// O(active) in the open-horizon daemon).
+  void on_compact(const CompactionRemap& remap) override;
   void assign(Time now, const std::vector<SimFlow*>& active) override;
   /// Checkpoint hooks (DESIGN.md §12): FIFO ranks and monotone queue marks.
   /// The tables stay unordered (assign() only looks keys up, never iterates

@@ -30,6 +30,11 @@ void BaraatScheduler::on_job_fail(const SimJob& job, Time now) {
   heavy_.erase(job.id);
 }
 
+void BaraatScheduler::on_compact(const CompactionRemap& remap) {
+  remap_table(serial_, remap.job_map);
+  remap_table(heavy_, remap.job_map);
+}
+
 void BaraatScheduler::assign(Time now, const std::vector<SimFlow*>& active) {
   // Jobs with at least one active flow, in FIFO (serial) order.
   std::vector<std::pair<std::uint64_t, JobId>> jobs;

@@ -46,6 +46,10 @@ class BaraatScheduler final : public Scheduler {
   void on_fault(const FaultEvent& event, Time now) override;
   /// Drops the failed job's serial and heavy mark.
   void on_job_fail(const SimJob& job, Time now) override;
+  /// Re-keys the serial and heavy tables across an engine compaction (also
+  /// drops finished jobs' leftover entries). Serials keep their values, so
+  /// the FIFO order over survivors is unchanged.
+  void on_compact(const CompactionRemap& remap) override;
   void assign(Time now, const std::vector<SimFlow*>& active) override;
   /// Checkpoint hooks (DESIGN.md §12): arrival serials and heavy marks,
   /// serialized in sorted-key order (the tables themselves stay unordered —

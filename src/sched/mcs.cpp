@@ -16,6 +16,10 @@ void McsScheduler::on_coflow_finish(const SimCoflow& coflow, Time now) {
   queue_of_.erase(coflow.id);
 }
 
+void McsScheduler::on_compact(const CompactionRemap& remap) {
+  remap_table(queue_of_, remap.coflow_map);
+}
+
 bool McsScheduler::on_tick(Time now) {
   (void)now;
   bool changed = false;

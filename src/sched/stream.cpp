@@ -11,6 +11,10 @@ void StreamScheduler::on_job_arrival(const SimJob& job, Time now) {
   queue_of_.emplace(job.id, 0);  // jobs start at the highest priority
 }
 
+void StreamScheduler::on_compact(const CompactionRemap& remap) {
+  remap_table(queue_of_, remap.job_map);
+}
+
 bool StreamScheduler::on_tick(Time now) {
   (void)now;
   bool changed = false;

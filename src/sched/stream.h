@@ -43,6 +43,9 @@ class StreamScheduler final : public Scheduler {
   }
   bool on_tick(Time now) override;
   void on_job_arrival(const SimJob& job, Time now) override;
+  /// Re-keys the per-job queue table across an engine compaction (also
+  /// drops finished jobs' leftover entries).
+  void on_compact(const CompactionRemap& remap) override;
   void assign(Time now, const std::vector<SimFlow*>& active) override;
   /// Checkpoint hooks (DESIGN.md §12): the stale per-job queue table,
   /// serialized in sorted-key order (on_tick's per-entry updates are

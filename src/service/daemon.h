@@ -1,0 +1,222 @@
+// Open-horizon scheduler daemon (DESIGN.md §15).
+//
+// The batch harness (exp/experiment.h) answers "how fast does this trace
+// finish"; the daemon answers the operational questions around it: what
+// happens when jobs keep arriving, when offered load exceeds capacity, when
+// the operator sends SIGTERM, when the process is SIGKILLed mid-run. It
+// drives one simulator through the PR-5 prepare/step/collect decomposition
+// in sim-time slices (run_to), admitting jobs at their arrival instants
+// from either a JSONL feed (feed.h) or the open-loop generator
+// (workload/open_loop.h), and layers four robustness mechanisms on top:
+//
+//  * Admission control / backpressure — a bounded admission queue with
+//    hysteresis watermarks on active-flow count, calendar size and the p99
+//    admission wait over a recent window. Overflow triggers a deterministic
+//    shed policy; every shed is a typed kShed trace record.
+//  * Graceful drain — a latched SIGTERM/SIGINT (signals.h), the
+//    drain_after_sim_time test hook, or source exhaustion stops admission;
+//    in-flight work drains to completion under a wall-clock deadline and
+//    results export atomically.
+//  * Crash recovery — periodic auto-checkpoints (snapshot v3,
+//    kServiceState) wrapping a full simulator snapshot with the daemon's
+//    own state: source cursor, admission queue, external-id ledger,
+//    overload flags. recover() resumes byte-identically, queued-unadmitted
+//    jobs included. A watchdog thread detects a stalled step loop,
+//    checkpoints at the next boundary and aborts with the exit-75 resume
+//    idiom.
+//  * State compaction — Simulator::compact() on a sim-time cadence evicts
+//    terminal jobs, keeping engine memory O(active); the daemon carries
+//    evicted results forward in an external-id ledger so the final export
+//    is indistinguishable from an uncompacted run's populations.
+//
+// Determinism: every decision (admit, queue, shed, degrade, compact,
+// checkpoint) happens at an event boundary and is a pure function of
+// simulation state and the options, so identical feed+seed+options produce
+// byte-identical traces, exports and checkpoints; wall-clock only ever
+// *ends* things early (drain deadline, watchdog), never reorders them.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "exp/experiment.h"
+#include "flowsim/simulator.h"
+#include "obs/memory.h"
+#include "obs/sampler.h"
+#include "obs/trace.h"
+#include "service/feed.h"
+#include "topology/fattree.h"
+#include "workload/open_loop.h"
+
+namespace gurita::service {
+
+/// What to do with a job that arrives while the admission queue is full.
+enum class ShedPolicy : std::int32_t {
+  kRejectNew = 0,      ///< drop the arriving job
+  kDropLargest = 1,    ///< evict the largest queued-or-arriving job by bytes
+  kDegradeToFifo = 2,  ///< never drop: admit directly under FIFO tiers
+};
+
+[[nodiscard]] const char* to_string(ShedPolicy policy);
+/// Inverse of to_string ("reject-new", "drop-largest", "degrade-to-fifo");
+/// throws ConfigError on an unknown name.
+[[nodiscard]] ShedPolicy shed_policy_from_name(const std::string& name);
+
+/// Why a job was shed (kShed record field i1).
+enum class ShedReason : std::int32_t {
+  kQueueFull = 0,  ///< admission queue overflow under overload
+  kDrain = 1,      ///< queued at drain start; never admitted
+};
+
+/// Overload hysteresis thresholds. The daemon enters overload when ANY
+/// `high` is reached and leaves it only when EVERY signal is back under its
+/// `low` — the classic two-threshold filter that keeps the overload bit
+/// from flapping at the boundary. Defaults are effectively "off" (sized for
+/// fabrics far larger than the tests drive); overload tests lower them.
+struct Watermarks {
+  std::size_t active_flows_high = 200'000;
+  std::size_t active_flows_low = 160'000;
+  std::size_t calendar_high = 1'000'000;
+  std::size_t calendar_low = 800'000;
+  /// p99 admission wait (sim seconds) over the recent window.
+  Time p99_wait_high = std::numeric_limits<Time>::infinity();
+  Time p99_wait_low = std::numeric_limits<Time>::infinity();
+};
+
+struct DaemonOptions {
+  std::string scheduler = "gurita";
+  int fat_tree_k = 4;
+  Rate link_capacity = gbps(10.0);
+  std::uint64_t ecmp_salt = 0;
+
+  /// Job source: a parsed feed when `use_feed`, else the open-loop
+  /// generator (shape/arrivals/load from `open_loop`, stopping after
+  /// `max_jobs` admissions-or-sheds; 0 = unbounded, drain on signal only).
+  bool use_feed = false;
+  std::vector<FeedJob> feed;
+  OpenLoopGenerator::Config open_loop;
+  std::uint64_t max_jobs = 500;
+
+  ShedPolicy shed_policy = ShedPolicy::kRejectNew;
+  std::size_t queue_capacity = 64;
+  Watermarks watermarks;
+  /// Recent-window size for the p99 admission-wait watermark.
+  std::size_t wait_window = 512;
+
+  /// Sim-time cadence of Simulator::compact(); 0 disables compaction
+  /// (memory then grows with ever-admitted, as batch runs do).
+  Time compact_every = 0.25;
+
+  /// Sim-time cadence of auto-checkpoints to `checkpoint_path` (atomic
+  /// overwrite, latest wins); 0 disables.
+  Time checkpoint_every = 0;
+  std::string checkpoint_path;
+  /// Crash simulation: throw snapshot::HaltedError after this many
+  /// checkpoints (drivers exit 75, the resume idiom); 0 = never.
+  int halt_after_checkpoints = 0;
+
+  /// Wall-clock budget for the post-admission drain; when it expires the
+  /// export covers what completed (partial results are still atomic).
+  double drain_deadline_wall = 60.0;
+  /// Sim-seconds per run_to slice during drain and idle stretches — the
+  /// signal-polling granularity once no arrival bounds the horizon.
+  Time drain_slice = 0.25;
+  /// Deterministic drain trigger at a sim time (tests, CI): 0 = off.
+  Time drain_after_sim_time = 0;
+  /// Poll the process signal latch (signals.h). Tests running several
+  /// daemons concurrently turn this off — the latch is process-wide.
+  bool poll_signals = true;
+
+  /// Watchdog: wall seconds without the step loop reaching a boundary
+  /// before declaring a soft stall (checkpoint + HaltedError at the next
+  /// boundary) and, at twice that, a hard stall (marker file + abort).
+  /// 0 disables the watchdog thread entirely.
+  double watchdog_stall = 0;
+  std::string watchdog_marker;
+
+  /// Trace kinds to record (obs/trace.h); 0 attaches no recorder. The
+  /// service kinds (kAdmit/kShed/kDrainStart/kCompact/kDegrade) are in the
+  /// default mask.
+  std::uint32_t trace_mask = 0;
+  /// Interval-sampler cadence (kSample/kMemSample timelines plus the
+  /// MemoryAccountant peaks in the report); 0 = off. Requires a trace mask
+  /// that includes the timeline kinds.
+  Time sample_every = 0;
+
+  /// Hard wall on simulated time (deadlock guard), forwarded to the engine.
+  Time max_sim_time = std::numeric_limits<Time>::infinity();
+};
+
+struct DaemonReport {
+  /// One-entry comparison (keyed by the scheduler name) ready for
+  /// export_traces: the ledger-merged populations, engine counters and the
+  /// full trace.
+  ComparisonResult comparison;
+
+  std::uint64_t admitted = 0;
+  std::uint64_t shed_total = 0;
+  std::uint64_t shed_queue_full = 0;
+  std::uint64_t shed_drain = 0;
+  /// Terminal jobs harvested (completed + failed).
+  std::uint64_t completed = 0;
+  std::uint64_t compactions = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t degrade_spells = 0;
+
+  /// p99 admission wait (sim seconds) over the recent window (wait_window)
+  /// at the end of the run — the daemon's "scheduling latency" headline.
+  /// Window-bounded so a recovered run reports the same value an
+  /// uninterrupted one does.
+  Time p99_wait = 0;
+
+  /// Signal number that triggered the drain; 0 for a natural end (source
+  /// exhausted) or the drain_after_sim_time hook.
+  int drain_cause = 0;
+  bool drain_deadline_expired = false;
+  Time final_sim_time = 0;
+
+  std::size_t peak_queue_depth = 0;
+  std::size_t peak_active_flows = 0;
+  std::size_t peak_calendar = 0;
+  /// Peak simultaneously-registered jobs in the engine stores — the O(active)
+  /// compaction bound made observable (without compaction this equals the
+  /// total ever admitted).
+  std::size_t peak_live_jobs = 0;
+  /// MemoryAccountant peak of the engine state stores (bytes); populated
+  /// only when sample_every > 0.
+  std::uint64_t peak_state_bytes = 0;
+};
+
+class Daemon {
+ public:
+  /// Validates the options (ConfigError on contradictions: no source, bad
+  /// watermark ordering, checkpoint cadence without a path, ...).
+  explicit Daemon(DaemonOptions options);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Fresh run: admit / step / maintain until the source is exhausted and
+  /// the fabric drains, or a drain trigger fires. One-shot.
+  [[nodiscard]] DaemonReport run();
+
+  /// Resumes a run from a kServiceState snapshot written by an auto-
+  /// checkpoint. The options must match the checkpointed run's (scheduler,
+  /// fabric, source fingerprint, policy, watermarks, cadences) — mismatches
+  /// are aggregated into one ConfigError. Continuation is byte-identical to
+  /// the uninterrupted run, queued-but-unadmitted jobs included. One-shot.
+  [[nodiscard]] DaemonReport recover(const std::string& snapshot_path);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace gurita::service

@@ -1,0 +1,485 @@
+#include "service/feed.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "fault/fault.h"
+
+namespace gurita::service {
+
+namespace {
+
+/// Minimal recursive-descent JSON value parser for one feed line. Supports
+/// the subset write_feed produces — objects, arrays, numbers, strings,
+/// true/false/null — which is all a job description needs. Errors carry the
+/// byte position so a feed issue pinpoints the corruption, not just the
+/// line.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> members;
+
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : members)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::logic_error(what + " at position " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (pos_ >= text_.size() || text_[pos_] != c)
+      fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_value();
+    if (c == 't' || c == 'f') return boolean();
+    if (c == 'n') return null_value();
+    return number();
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      JsonValue key = string_value();
+      skip_ws();
+      expect(':');
+      v.members.emplace_back(std::move(key.str), value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.items.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  JsonValue string_value() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kString;
+    expect('"');
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) fail("dangling escape in string");
+      }
+      v.str += text_[pos_++];
+    }
+    expect('"');
+    return v;
+  }
+
+  JsonValue boolean() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      v.b = true;
+      pos_ += 4;
+    } else if (text_.compare(pos_, 5, "false") == 0) {
+      v.b = false;
+      pos_ += 5;
+    } else {
+      fail("malformed literal");
+    }
+    return v;
+  }
+
+  JsonValue null_value() {
+    JsonValue v;
+    if (text_.compare(pos_, 4, "null") != 0) fail("malformed literal");
+    pos_ += 4;
+    return v;
+  }
+
+  JsonValue number() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    v.num = std::strtod(start, &end);
+    if (end == start) fail("malformed number");
+    pos_ += static_cast<std::size_t>(end - start);
+    return v;
+  }
+};
+
+/// Per-line decoder: returns false (and appends issues) when the line
+/// cannot yield a usable job. The caller owns cross-line checks (duplicate
+/// ids, arrival monotonicity).
+bool decode_job(const JsonValue& root, int line, int num_hosts, FeedJob& out,
+                std::vector<ConfigError::Issue>& issues) {
+  const std::string where = "line " + std::to_string(line);
+  const auto issue = [&](const std::string& what) {
+    issues.push_back({where, what});
+  };
+
+  if (root.kind != JsonValue::Kind::kObject) {
+    issue("top-level value is not a JSON object");
+    return false;
+  }
+  bool ok = true;
+
+  const JsonValue* id = root.find("id");
+  if (id == nullptr || id->kind != JsonValue::Kind::kNumber || id->num < 0 ||
+      id->num != std::floor(id->num)) {
+    issue("missing or non-integral \"id\"");
+    ok = false;
+  } else {
+    out.id = static_cast<std::uint64_t>(id->num);
+  }
+
+  const JsonValue* arrival = root.find("arrival");
+  if (arrival == nullptr || arrival->kind != JsonValue::Kind::kNumber) {
+    issue("missing numeric \"arrival\"");
+    ok = false;
+  } else if (std::isnan(arrival->num) || arrival->num < 0 ||
+             std::isinf(arrival->num)) {
+    issue("arrival time must be finite and non-negative, got " +
+          std::to_string(arrival->num));
+    ok = false;
+  } else {
+    out.spec.arrival_time = arrival->num;
+  }
+
+  if (const JsonValue* deadline = root.find("deadline")) {
+    if (deadline->kind != JsonValue::Kind::kNumber ||
+        std::isnan(deadline->num) || deadline->num < 0) {
+      issue("deadline must be a non-negative number");
+      ok = false;
+    } else {
+      out.spec.deadline = deadline->num;
+    }
+  }
+
+  const JsonValue* coflows = root.find("coflows");
+  if (coflows == nullptr || coflows->kind != JsonValue::Kind::kArray) {
+    issue("missing \"coflows\" array");
+    return false;
+  }
+  if (coflows->items.empty()) {
+    issue("job has no coflows");
+    return false;
+  }
+  for (std::size_t c = 0; c < coflows->items.size(); ++c) {
+    const JsonValue& cv = coflows->items[c];
+    const std::string cwhere = "coflows[" + std::to_string(c) + "]";
+    const JsonValue* flows =
+        cv.kind == JsonValue::Kind::kObject ? cv.find("flows") : nullptr;
+    if (flows == nullptr || flows->kind != JsonValue::Kind::kArray) {
+      issue(cwhere + " has no \"flows\" array");
+      ok = false;
+      continue;
+    }
+    if (flows->items.empty()) {
+      issue(cwhere + " has no flows");
+      ok = false;
+      continue;
+    }
+    CoflowSpec coflow;
+    coflow.flows.reserve(flows->items.size());
+    for (std::size_t f = 0; f < flows->items.size(); ++f) {
+      const JsonValue& fv = flows->items[f];
+      const std::string fwhere = cwhere + ".flows[" + std::to_string(f) + "]";
+      const JsonValue* src =
+          fv.kind == JsonValue::Kind::kObject ? fv.find("src") : nullptr;
+      const JsonValue* dst =
+          fv.kind == JsonValue::Kind::kObject ? fv.find("dst") : nullptr;
+      const JsonValue* bytes =
+          fv.kind == JsonValue::Kind::kObject ? fv.find("bytes") : nullptr;
+      if (src == nullptr || src->kind != JsonValue::Kind::kNumber ||
+          dst == nullptr || dst->kind != JsonValue::Kind::kNumber ||
+          bytes == nullptr || bytes->kind != JsonValue::Kind::kNumber) {
+        issue(fwhere + " needs numeric \"src\", \"dst\" and \"bytes\"");
+        ok = false;
+        continue;
+      }
+      FlowSpec flow;
+      flow.src_host = static_cast<int>(src->num);
+      flow.dst_host = static_cast<int>(dst->num);
+      flow.size = bytes->num;
+      if (std::isnan(flow.size) || flow.size <= 0) {
+        issue(fwhere + " has non-positive size");
+        ok = false;
+      }
+      if (flow.src_host < 0 || flow.dst_host < 0 ||
+          flow.src_host == flow.dst_host ||
+          (num_hosts > 0 &&
+           (flow.src_host >= num_hosts || flow.dst_host >= num_hosts))) {
+        issue(fwhere + " endpoints out of range (src " +
+              std::to_string(flow.src_host) + ", dst " +
+              std::to_string(flow.dst_host) +
+              (num_hosts > 0 ? ", hosts " + std::to_string(num_hosts) : "") +
+              ")");
+        ok = false;
+      }
+      coflow.flows.push_back(flow);
+    }
+    out.spec.coflows.push_back(std::move(coflow));
+  }
+
+  const int n = static_cast<int>(out.spec.coflows.size());
+  if (const JsonValue* deps = root.find("deps")) {
+    if (deps->kind != JsonValue::Kind::kArray ||
+        deps->items.size() != static_cast<std::size_t>(n)) {
+      issue("\"deps\" must be an array with one entry per coflow");
+      return false;
+    }
+    out.spec.deps.reserve(deps->items.size());
+    for (std::size_t c = 0; c < deps->items.size(); ++c) {
+      const JsonValue& dv = deps->items[c];
+      if (dv.kind != JsonValue::Kind::kArray) {
+        issue("deps[" + std::to_string(c) + "] is not an array");
+        return false;
+      }
+      std::vector<int> entry;
+      entry.reserve(dv.items.size());
+      for (const JsonValue& d : dv.items) {
+        if (d.kind != JsonValue::Kind::kNumber || d.num != std::floor(d.num)) {
+          issue("deps[" + std::to_string(c) + "] has a non-integral index");
+          ok = false;
+          continue;
+        }
+        const int dep = static_cast<int>(d.num);
+        if (dep < 0 || dep >= n) {
+          issue("deps[" + std::to_string(c) + "] references coflow " +
+                std::to_string(dep) + ", job has " + std::to_string(n));
+          ok = false;
+          continue;
+        }
+        entry.push_back(dep);
+      }
+      out.spec.deps.push_back(std::move(entry));
+    }
+  } else {
+    out.spec.deps.assign(static_cast<std::size_t>(n), {});
+  }
+
+  if (!ok) return false;
+  // Full structural validation (DAG acyclicity, self-deps) on the
+  // assembled spec — same gate submit()/admit() apply, surfaced here with
+  // the line number instead of deep inside the daemon loop.
+  try {
+    validate(out.spec, num_hosts > 0 ? num_hosts
+                                     : std::numeric_limits<int>::max());
+  } catch (const std::logic_error& e) {
+    issue(e.what());
+    return false;
+  }
+  return true;
+}
+
+void append_double(std::string& line, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  line += buf;
+}
+
+}  // namespace
+
+std::vector<FeedJob> parse_feed(std::istream& in, const std::string& context,
+                                int num_hosts) {
+  std::vector<FeedJob> jobs;
+  std::vector<ConfigError::Issue> issues;
+  std::set<std::uint64_t> seen_ids;
+  Time last_arrival = 0;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    const std::string where = "line " + std::to_string(lineno);
+    JsonValue root;
+    try {
+      root = JsonParser(line).parse();
+    } catch (const std::logic_error& e) {
+      issues.push_back({where, std::string("bad JSON: ") + e.what()});
+      continue;
+    }
+    FeedJob job;
+    if (!decode_job(root, lineno, num_hosts, job, issues)) continue;
+    if (!seen_ids.insert(job.id).second) {
+      issues.push_back({where,
+                        "duplicate job id " + std::to_string(job.id)});
+      continue;
+    }
+    if (job.spec.arrival_time < last_arrival) {
+      issues.push_back(
+          {where, "arrival " + std::to_string(job.spec.arrival_time) +
+                      " goes backwards (previous " +
+                      std::to_string(last_arrival) +
+                      "); the feed must be sorted by arrival"});
+      continue;
+    }
+    last_arrival = job.spec.arrival_time;
+    jobs.push_back(std::move(job));
+  }
+  if (!issues.empty()) throw ConfigError(context, std::move(issues));
+  return jobs;
+}
+
+std::vector<FeedJob> load_feed(const std::string& path, int num_hosts) {
+  std::ifstream in(path);
+  if (!in)
+    throw ConfigError("--feed",
+                      {{path, "cannot open feed file for reading"}});
+  return parse_feed(in, "--feed " + path, num_hosts);
+}
+
+void write_feed(std::ostream& out, const std::vector<FeedJob>& jobs) {
+  std::string line;
+  for (const FeedJob& job : jobs) {
+    line.clear();
+    line += "{\"id\":";
+    line += std::to_string(job.id);
+    line += ",\"arrival\":";
+    append_double(line, job.spec.arrival_time);
+    if (job.spec.deadline > 0) {
+      line += ",\"deadline\":";
+      append_double(line, job.spec.deadline);
+    }
+    line += ",\"coflows\":[";
+    for (std::size_t c = 0; c < job.spec.coflows.size(); ++c) {
+      if (c != 0) line += ',';
+      line += "{\"flows\":[";
+      const CoflowSpec& coflow = job.spec.coflows[c];
+      for (std::size_t f = 0; f < coflow.flows.size(); ++f) {
+        if (f != 0) line += ',';
+        const FlowSpec& flow = coflow.flows[f];
+        line += "{\"src\":";
+        line += std::to_string(flow.src_host);
+        line += ",\"dst\":";
+        line += std::to_string(flow.dst_host);
+        line += ",\"bytes\":";
+        append_double(line, flow.size);
+        line += '}';
+      }
+      line += "]}";
+    }
+    line += "],\"deps\":[";
+    for (std::size_t c = 0; c < job.spec.deps.size(); ++c) {
+      if (c != 0) line += ',';
+      line += '[';
+      for (std::size_t d = 0; d < job.spec.deps[c].size(); ++d) {
+        if (d != 0) line += ',';
+        line += std::to_string(job.spec.deps[c][d]);
+      }
+      line += ']';
+    }
+    line += "]}\n";
+    out << line;
+  }
+}
+
+std::uint64_t feed_fingerprint(const std::vector<FeedJob>& jobs) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  const auto mix_double = [&](double v) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    mix(bits);
+  };
+  mix(jobs.size());
+  for (const FeedJob& job : jobs) {
+    mix(job.id);
+    mix_double(job.spec.arrival_time);
+    mix_double(job.spec.deadline);
+    mix(job.spec.coflows.size());
+    for (const CoflowSpec& coflow : job.spec.coflows) {
+      mix(coflow.flows.size());
+      for (const FlowSpec& flow : coflow.flows) {
+        mix(static_cast<std::uint64_t>(flow.src_host));
+        mix(static_cast<std::uint64_t>(flow.dst_host));
+        mix_double(flow.size);
+      }
+    }
+    for (const std::vector<int>& deps : job.spec.deps) {
+      mix(deps.size());
+      for (int d : deps) mix(static_cast<std::uint64_t>(d));
+    }
+  }
+  return h;
+}
+
+}  // namespace gurita::service

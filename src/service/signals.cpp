@@ -1,0 +1,44 @@
+#include "service/signals.h"
+
+#include <atomic>
+#include <csignal>
+
+namespace gurita::service {
+
+namespace {
+
+// The whole extent of state a handler may touch. Lock-free is what makes
+// the store async-signal-safe; on platforms where std::atomic<int> needs a
+// lock the static_assert fails the build instead of deadlocking at runtime.
+std::atomic<int> g_pending_signal{0};
+static_assert(std::atomic<int>::is_always_lock_free,
+              "signal latch must be lock-free to be async-signal-safe");
+
+extern "C" void latch_signal(int sig) {
+  g_pending_signal.store(sig, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void install_signal_handlers() {
+  struct sigaction action {};
+  action.sa_handler = latch_signal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: interrupt blocking I/O promptly
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+}
+
+int pending_signal() {
+  return g_pending_signal.load(std::memory_order_relaxed);
+}
+
+void clear_pending_signal() {
+  g_pending_signal.store(0, std::memory_order_relaxed);
+}
+
+void raise_pending_signal(int sig) {
+  g_pending_signal.store(sig, std::memory_order_relaxed);
+}
+
+}  // namespace gurita::service

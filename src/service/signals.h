@@ -1,0 +1,29 @@
+// Async-signal-safe shutdown latch (DESIGN.md §15).
+//
+// The rule this module encodes — and the only signal-handling pattern
+// allowed in this repo — is: a signal handler may do exactly one thing,
+// store the signal number into a lock-free std::atomic<int>. No logging, no
+// allocation, no iostream, no checkpointing: none of those are
+// async-signal-safe, and a handler that calls them can deadlock inside
+// malloc or corrupt a stream if the signal lands mid-operation. The daemon
+// polls the latch at event boundaries (between run_to() slices), where the
+// full language is available, and performs the graceful drain there.
+#pragma once
+
+namespace gurita::service {
+
+/// Installs SIGTERM and SIGINT handlers that record the signal number in
+/// the process-wide latch. Idempotent; call once near the top of main().
+void install_signal_handlers();
+
+/// The last signal delivered since clear_pending_signal(), or 0.
+[[nodiscard]] int pending_signal();
+
+/// Resets the latch (e.g. before a run that wants fresh delivery).
+void clear_pending_signal();
+
+/// Test hook: simulates delivery of `sig` without involving the kernel, so
+/// drain paths are testable deterministically.
+void raise_pending_signal(int sig);
+
+}  // namespace gurita::service

@@ -161,6 +161,11 @@ class SnapshotCodec {
     const std::size_t token = w.begin_section();
     w.f64(s.now_);
     w.boolean(s.dirty_);
+    // Horizon-pause carry flags (run_to): a daemon checkpoint lands at a
+    // pause boundary, where the ramp-refresh mark and dirty-entry
+    // accounting of the rolled-back event are still pending.
+    w.boolean(s.pending_ramp_);
+    w.boolean(s.pending_was_dirty_);
     w.u64(s.iterations_);
     w.u64(s.next_arrival_);
     w.f64(s.next_tick_);
@@ -169,14 +174,18 @@ class SnapshotCodec {
     w.u64(s.capacities_.size());
     for (Rate c : s.capacities_) w.f64(c);
 
-    // Flow store: everything except the id (the index) and the route (a
-    // pure function of (fabric, id, endpoints), recomputed on restore).
+    // Flow store: everything except the id (the index). The route travels
+    // verbatim (v3): it was drawn by ECMP-hashing the flow's id at release,
+    // and compaction renumbers ids — recomputing from the current id would
+    // silently re-route every compacted flow.
     w.u64(s.state_.flows_.size());
     for (const SimFlow& f : s.state_.flows_) {
       w.u64(f.job.value());
       w.i32(f.coflow_index);
       w.i32(f.src_host);
       w.i32(f.dst_host);
+      w.u64(f.path.size());
+      for (LinkId l : f.path) w.u64(l.value());
       w.f64(f.size);
       w.f64(f.remaining);
       w.f64(f.start_time);
@@ -275,6 +284,8 @@ class SnapshotCodec {
     const std::size_t end = r.begin_section();
     s.now_ = r.f64();
     s.dirty_ = r.boolean();
+    s.pending_ramp_ = r.boolean();
+    s.pending_was_dirty_ = r.boolean();
     s.iterations_ = r.u64();
     s.next_arrival_ = r.u64();
     s.next_tick_ = r.f64();
@@ -285,7 +296,7 @@ class SnapshotCodec {
     for (Rate& c : s.capacities_) c = r.f64();
 
     // prepare_structures() reserved the flow store for the full population;
-    // refill it and recompute each flow's route.
+    // refill it with the serialized routes (v3, see save_engine).
     const std::uint64_t n_flows = r.u64();
     check(n_flows <= s.state_.flows_.capacity(),
           "flow count exceeds the submitted population");
@@ -297,6 +308,10 @@ class SnapshotCodec {
       f.coflow_index = r.i32();
       f.src_host = r.i32();
       f.dst_host = r.i32();
+      const std::uint64_t n_hops = r.u64();
+      f.path.reserve(n_hops);
+      for (std::uint64_t h = 0; h < n_hops; ++h)
+        f.path.push_back(LinkId{r.u64()});
       f.size = r.f64();
       f.remaining = r.f64();
       f.start_time = r.f64();
@@ -309,7 +324,6 @@ class SnapshotCodec {
       f.lost_bytes = r.f64();
       f.abort_time = r.f64();
       f.cancelled = r.boolean();
-      f.path = s.fabric_->route(f.id, f.src_host, f.dst_host);
       s.state_.flows_.push_back(std::move(f));
     }
 
@@ -528,7 +542,8 @@ PayloadKind read_header(Reader& r) {
                         std::to_string(kFormatVersion) + ")");
   const std::uint8_t kind = r.u8();
   if (kind != static_cast<std::uint8_t>(PayloadKind::kSimulatorState) &&
-      kind != static_cast<std::uint8_t>(PayloadKind::kResultsCache))
+      kind != static_cast<std::uint8_t>(PayloadKind::kResultsCache) &&
+      kind != static_cast<std::uint8_t>(PayloadKind::kServiceState))
     throw SnapshotError("unknown snapshot payload kind " +
                         std::to_string(kind));
   return static_cast<PayloadKind>(kind);
@@ -571,6 +586,46 @@ obs::TraceRecord read_trace_record(Reader& r) {
     throw SnapshotError("unknown trace record kind in snapshot");
   rec.kind = static_cast<obs::TraceEventKind>(kind);
   return rec;
+}
+
+void write_job_spec(Writer& w, const JobSpec& spec) {
+  w.f64(spec.arrival_time);
+  w.f64(spec.deadline);
+  w.u64(spec.coflows.size());
+  for (const CoflowSpec& c : spec.coflows) {
+    w.u64(c.flows.size());
+    for (const FlowSpec& f : c.flows) {
+      w.i32(f.src_host);
+      w.i32(f.dst_host);
+      w.f64(f.size);
+    }
+  }
+  w.u64(spec.deps.size());
+  for (const std::vector<int>& d : spec.deps) {
+    w.u64(d.size());
+    for (int dep : d) w.i32(dep);
+  }
+}
+
+JobSpec read_job_spec(Reader& r) {
+  JobSpec spec;
+  spec.arrival_time = r.f64();
+  spec.deadline = r.f64();
+  spec.coflows.resize(r.u64());
+  for (CoflowSpec& c : spec.coflows) {
+    c.flows.resize(r.u64());
+    for (FlowSpec& f : c.flows) {
+      f.src_host = r.i32();
+      f.dst_host = r.i32();
+      f.size = r.f64();
+    }
+  }
+  spec.deps.resize(r.u64());
+  for (std::vector<int>& d : spec.deps) {
+    d.resize(r.u64());
+    for (int& dep : d) dep = r.i32();
+  }
+  return spec;
 }
 
 void save_results(Writer& w, const SimResults& results) {

@@ -35,12 +35,17 @@ namespace gurita::snapshot {
 /// "GSNP" little-endian.
 inline constexpr std::uint32_t kMagic = 0x504e5347u;
 /// v2: added the interval-sampler fingerprint fields and cursor section.
-inline constexpr std::uint32_t kFormatVersion = 2;
+/// v3: flow routes are serialized verbatim (compaction renumbers flow ids,
+/// so routes are no longer a pure function of the id), the engine section
+/// carries the horizon-pause carry flags, and the kServiceState payload
+/// wraps a simulator snapshot with daemon state (DESIGN.md §15).
+inline constexpr std::uint32_t kFormatVersion = 3;
 
 /// Payload kind byte following the header.
 enum class PayloadKind : std::uint8_t {
   kSimulatorState = 1,  ///< Simulator::checkpoint / Simulator::restore
   kResultsCache = 2,    ///< save_results / load_results (finished shard)
+  kServiceState = 3,    ///< service daemon auto-checkpoint (service/daemon.h)
 };
 
 /// Thrown by the experiment runner when --checkpoint-halt-after stops a run
@@ -62,6 +67,13 @@ void write_header(Writer& w, PayloadKind kind);
 /// checkpoint and the results cache).
 void write_trace_record(Writer& w, const obs::TraceRecord& record);
 [[nodiscard]] obs::TraceRecord read_trace_record(Reader& r);
+
+/// Serializes one JobSpec field-by-field. The kServiceState payload embeds
+/// the daemon's in-sim and queued job specs — unlike batch restore, an
+/// open-horizon resume cannot reconstruct the admitted population from the
+/// original inputs (it grew at runtime).
+void write_job_spec(Writer& w, const JobSpec& spec);
+[[nodiscard]] JobSpec read_job_spec(Reader& r);
 
 /// Serializes a finished run's SimResults — jobs, coflows, every counter,
 /// link stats and the trace. The profile is deliberately NOT serialized:

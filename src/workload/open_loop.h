@@ -1,0 +1,79 @@
+// Open-loop job source for the service daemon (DESIGN.md §15).
+//
+// Batch generation (trace_gen.h) draws every job up front from one serial
+// RNG; an open-horizon daemon needs the opposite: jobs materialized one at
+// a time, forever, with a cursor small enough to ride a checkpoint. Each
+// job body is drawn from an RNG derived from (seed, index), so job i is a
+// pure function of the config — the stream can be resumed at any index
+// without replaying the prefix, and two daemons with the same config
+// produce byte-identical job sequences regardless of when they admit them.
+//
+// Arrivals target a load factor: the generator calibrates E[job bytes]
+// from a disjoint probe stream and spaces arrivals so that offered load =
+// `load` × `service_rate`. Poisson draws each inter-arrival gap from a
+// per-index stream; bursty replays the paper's batched pattern (back-to-
+// back arrivals at `burst_spacing`, idle gaps sized to keep the same
+// average rate).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "coflow/job.h"
+#include "workload/trace_gen.h"
+
+namespace gurita {
+
+class OpenLoopGenerator {
+ public:
+  struct Config {
+    /// Job-shape parameters. num_jobs, arrivals, mean_interarrival and the
+    /// burst fields of the shape are ignored: the horizon is open and
+    /// arrivals come from this class.
+    TraceConfig shape;
+    ArrivalPattern arrivals = ArrivalPattern::kPoisson;
+    /// Target load factor: offered bytes/s as a fraction of service_rate.
+    double load = 0.7;
+    /// Aggregate drain capacity the load factor is measured against
+    /// (host count × access-link rate is the natural choice).
+    Rate service_rate = 128 * gbps(10.0);
+    /// Overrides the load-derived mean inter-arrival when > 0.
+    Time mean_interarrival = 0;
+    /// Probe jobs drawn (on a disjoint derivation stream) to estimate
+    /// E[job bytes] for the load → inter-arrival calibration.
+    int calibration_jobs = 64;
+    int burst_size = 50;
+    Time burst_spacing = 2 * kMicrosecond;
+  };
+
+  /// Resume cursor — everything needed to continue the stream exactly.
+  /// Rides the daemon checkpoint (snapshot v3, kServiceState).
+  struct Cursor {
+    std::uint64_t next_index = 0;
+    Time clock = 0;  ///< arrival time of job `next_index`
+  };
+
+  explicit OpenLoopGenerator(const Config& config);
+
+  /// Arrival time of the next job, without consuming it.
+  [[nodiscard]] Time peek_arrival() const { return cursor_.clock; }
+  /// Generates the next job with its arrival stamped; advances the cursor.
+  [[nodiscard]] JobSpec next();
+
+  [[nodiscard]] const Cursor& cursor() const { return cursor_; }
+  void restore_cursor(const Cursor& c) { cursor_ = c; }
+
+  /// The calibrated (or overridden) mean inter-arrival time.
+  [[nodiscard]] Time mean_interarrival() const { return mean_interarrival_; }
+  /// Calibrated mean job size from the probe stream.
+  [[nodiscard]] Bytes mean_job_bytes() const { return mean_job_bytes_; }
+
+ private:
+  Config config_;
+  Time mean_interarrival_ = 0;
+  Bytes mean_job_bytes_ = 0;
+  Cursor cursor_;
+};
+
+}  // namespace gurita

@@ -114,6 +114,28 @@ std::vector<Time> make_arrivals(Rng& rng, const TraceConfig& cfg) {
 
 }  // namespace
 
+JobSpec generate_job(const TraceConfig& config, Rng& rng) {
+  GURITA_CHECK_MSG(config.num_hosts >= 2, "need at least two hosts");
+  GURITA_CHECK_MSG(
+      config.category_weights.size() == static_cast<std::size_t>(kNumCategories),
+      "category_weights must have seven entries");
+  JobSpec job;
+  job.deps = draw_deps(config.structure, rng);
+
+  const Bytes total = draw_total_bytes(rng, config.category_weights);
+  const int n = static_cast<int>(job.deps.size());
+  // On-and-off byte profile: per-coflow shares are log-normally skewed.
+  const std::vector<Bytes> shares =
+      skewed_split(rng, total, n, config.stage_skew_sigma);
+  job.coflows.reserve(static_cast<std::size_t>(n));
+  for (int c = 0; c < n; ++c)
+    job.coflows.push_back(
+        make_coflow(rng, config, shares[static_cast<std::size_t>(c)]));
+
+  validate(job, config.num_hosts);
+  return job;
+}
+
 std::vector<JobSpec> generate_trace(const TraceConfig& config) {
   std::vector<JobSpec> jobs;
   generate_trace_into(config, jobs);
@@ -135,21 +157,8 @@ void generate_trace_into(const TraceConfig& config,
   jobs.clear();
   jobs.reserve(static_cast<std::size_t>(config.num_jobs));
   for (int j = 0; j < config.num_jobs; ++j) {
-    JobSpec job;
+    JobSpec job = generate_job(config, rng);
     job.arrival_time = arrivals[static_cast<std::size_t>(j)];
-    job.deps = draw_deps(config.structure, rng);
-
-    const Bytes total = draw_total_bytes(rng, config.category_weights);
-    const int n = static_cast<int>(job.deps.size());
-    // On-and-off byte profile: per-coflow shares are log-normally skewed.
-    const std::vector<Bytes> shares =
-        skewed_split(rng, total, n, config.stage_skew_sigma);
-    job.coflows.reserve(static_cast<std::size_t>(n));
-    for (int c = 0; c < n; ++c)
-      job.coflows.push_back(
-          make_coflow(rng, config, shares[static_cast<std::size_t>(c)]));
-
-    validate(job, config.num_hosts);
     jobs.push_back(std::move(job));
   }
   std::sort(jobs.begin(), jobs.end(),

@@ -62,6 +62,13 @@ struct TraceConfig {
   std::uint64_t seed = 42;
 };
 
+/// Generates one validated job body (DAG, coflows, flows) from `rng`,
+/// consuming exactly the draws generate_trace_into makes per job.
+/// arrival_time is left 0: batch generation stamps it from a pre-drawn
+/// arrival vector, the open-loop generator (open_loop.h) from its arrival
+/// process cursor.
+[[nodiscard]] JobSpec generate_job(const TraceConfig& config, Rng& rng);
+
 /// Generates `config.num_jobs` validated JobSpecs, sorted by arrival time.
 [[nodiscard]] std::vector<JobSpec> generate_trace(const TraceConfig& config);
 

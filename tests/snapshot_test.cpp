@@ -127,6 +127,47 @@ TEST(SnapshotHeader, RoundTripsAndRejectsCorruption) {
   }
 }
 
+TEST(SnapshotHeader, ServiceStatePayloadKindRoundTrips) {
+  snapshot::Writer w;
+  snapshot::write_header(w, snapshot::PayloadKind::kServiceState);
+  snapshot::Reader r(w.buffer());
+  EXPECT_EQ(snapshot::read_header(r), snapshot::PayloadKind::kServiceState);
+}
+
+// The kServiceState payload embeds job specs verbatim — an open-horizon
+// resume cannot rebuild the admitted population from the original inputs.
+TEST(SnapshotCodec, JobSpecRoundTripsBitExactly) {
+  JobSpec spec;
+  spec.arrival_time = 1.25 + 1e-16;
+  spec.deadline = 9.5;
+  spec.coflows = {CoflowSpec{{FlowSpec{0, 5, 1048576.0},
+                              FlowSpec{3, 4, 524288.5}}},
+                  CoflowSpec{{FlowSpec{8, 9, 7.0}}}};
+  spec.deps = {{}, {0}};
+
+  snapshot::Writer w;
+  snapshot::write_job_spec(w, spec);
+  snapshot::Reader r(w.buffer());
+  const JobSpec got = snapshot::read_job_spec(r);
+  EXPECT_TRUE(r.done());
+
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(got.arrival_time),
+            std::bit_cast<std::uint64_t>(spec.arrival_time));
+  EXPECT_EQ(got.deadline, spec.deadline);
+  EXPECT_EQ(got.deps, spec.deps);
+  ASSERT_EQ(got.coflows.size(), spec.coflows.size());
+  for (std::size_t c = 0; c < spec.coflows.size(); ++c) {
+    ASSERT_EQ(got.coflows[c].flows.size(), spec.coflows[c].flows.size());
+    for (std::size_t f = 0; f < spec.coflows[c].flows.size(); ++f) {
+      EXPECT_EQ(got.coflows[c].flows[f].src_host,
+                spec.coflows[c].flows[f].src_host);
+      EXPECT_EQ(got.coflows[c].flows[f].dst_host,
+                spec.coflows[c].flows[f].dst_host);
+      EXPECT_EQ(got.coflows[c].flows[f].size, spec.coflows[c].flows[f].size);
+    }
+  }
+}
+
 TEST(SnapshotFile, AtomicWriteAndReadBack) {
   const std::string dir =
       ::testing::TempDir() + "gurita_snapshot_file_test";
