@@ -22,25 +22,17 @@ const std::vector<std::string> kOthers = {"baraat", "pfs", "stream", "aalo"};
 void print_panel(const std::string& title, const ComparisonResult& result,
                  int num_jobs, std::uint64_t seed) {
   std::cout << title << "  (jobs=" << num_jobs << ", seed=" << seed << ")\n";
-  TextTable table({"category", "jobs", "gurita JCT(s)", "vs baraat", "vs pfs",
-                   "vs stream", "vs aalo"});
-  for (int cat = 0; cat < kNumCategories; ++cat) {
-    const auto& g = result.collectors.at("gurita");
-    if (g.jobs(cat) == 0) continue;
-    std::vector<std::string> row = {category_name(cat),
-                                    std::to_string(g.jobs(cat)),
-                                    TextTable::num(g.average_jct(cat))};
-    for (const std::string& other : kOthers)
-      row.push_back(TextTable::num(result.improvement("gurita", other, cat)));
-    table.add_row(row);
-  }
-  std::vector<std::string> overall = {"all",
-                                      std::to_string(result.collectors.at("gurita").total_jobs()),
-                                      TextTable::num(result.collectors.at("gurita").average_jct())};
-  for (const std::string& other : kOthers)
-    overall.push_back(TextTable::num(result.improvement("gurita", other)));
-  table.add_row(overall);
-  std::cout << table.to_string() << "\n";
+  std::cout << category_panel(
+                   result.collectors.at("gurita"), "gurita JCT(s)",
+                   {"vs baraat", "vs pfs", "vs stream", "vs aalo"},
+                   [&](int cat) {
+                     std::vector<std::string> cols;
+                     for (const std::string& other : kOthers)
+                       cols.push_back(TextTable::num(
+                           result.improvement("gurita", other, cat)));
+                     return cols;
+                   })
+            << "\n";
 }
 
 }  // namespace

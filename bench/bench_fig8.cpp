@@ -20,24 +20,24 @@ namespace {
 void print_panel(const std::string& title, const ComparisonResult& result,
                  int num_jobs, std::uint64_t seed) {
   std::cout << title << "  (jobs=" << num_jobs << ", seed=" << seed << ")\n";
-  TextTable table({"category", "jobs", "gurita JCT(s)", "gurita+ JCT(s)",
-                   "gurita/gurita+ ratio"});
   const auto& g = result.collectors.at("gurita");
   const auto& p = result.collectors.at("gurita_plus");
-  for (int cat = 0; cat < kNumCategories; ++cat) {
-    if (g.jobs(cat) == 0) continue;
-    const double ratio =
-        p.average_jct(cat) > 0 ? g.average_jct(cat) / p.average_jct(cat) : 0;
-    table.add_row({category_name(cat), std::to_string(g.jobs(cat)),
-                   TextTable::num(g.average_jct(cat)),
-                   TextTable::num(p.average_jct(cat)),
-                   TextTable::num(ratio)});
-  }
-  table.add_row({"all", std::to_string(g.total_jobs()),
-                 TextTable::num(g.average_jct()),
-                 TextTable::num(p.average_jct()),
-                 TextTable::num(g.average_jct() / p.average_jct())});
-  std::cout << table.to_string() << "\n";
+  std::cout << category_panel(
+                   g, "gurita JCT(s)",
+                   {"gurita+ JCT(s)", "gurita/gurita+ ratio"},
+                   [&](int cat) -> std::vector<std::string> {
+                     if (cat < 0)
+                       return {TextTable::num(p.average_jct()),
+                               TextTable::num(g.average_jct() /
+                                              p.average_jct())};
+                     const double ratio = p.average_jct(cat) > 0
+                                              ? g.average_jct(cat) /
+                                                    p.average_jct(cat)
+                                              : 0;
+                     return {TextTable::num(p.average_jct(cat)),
+                             TextTable::num(ratio)};
+                   })
+            << "\n";
 }
 
 }  // namespace

@@ -19,10 +19,19 @@
 //
 //   ./trace_explorer --trace trace.jsonl [--section LABEL-SUBSTRING]
 //                    [--timeline]   # also dump the sample series row by row
+//
+// Gap-report mode (--gap-report FILE): summarize a gap-to-bound JSON report
+// written by `bench_optimality --json` (src/bound/gap.h) — per scenario,
+// one row per scheduler with its achieved average JCT, the sound lower
+// bound, the overall/narrow/wide gaps, and the worst per-category gap.
+//
+//   ./trace_explorer --gap-report BENCH_optimality.json
 #include <algorithm>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <vector>
 
 #include "common/stats.h"
@@ -217,6 +226,129 @@ int explore_trace(const std::string& path, const std::string& section_filter,
   return 0;
 }
 
+/// One parsed gap cell of the report (bound/gap.h JSON layout).
+struct GapCellView {
+  bool ok = false;
+  std::size_t jobs = 0;
+  double achieved = 0, bound = 0, gap = 0;
+};
+
+/// Scans `[from, to)` of the report text for `"key": { ... }` and pulls the
+/// cell fields. The format is this repo's own (GapReport::to_json), so a
+/// targeted scan is enough — no general JSON parser needed.
+GapCellView parse_cell(const std::string& text, std::size_t from,
+                       std::size_t to, const std::string& key) {
+  const std::string needle = "\"" + key + "\": {";
+  const std::size_t p = text.find(needle, from);
+  if (p == std::string::npos || p >= to) return {};
+  const std::size_t end = text.find('}', p);
+  if (end == std::string::npos) return {};
+  const auto field = [&](const char* name) -> double {
+    const std::string fn = std::string("\"") + name + "\": ";
+    const std::size_t q = text.find(fn, p);
+    if (q == std::string::npos || q > end) return 0;
+    return std::strtod(text.c_str() + q + fn.size(), nullptr);
+  };
+  GapCellView c;
+  c.ok = true;
+  c.jobs = static_cast<std::size_t>(field("jobs"));
+  c.achieved = field("achieved");
+  c.bound = field("bound");
+  c.gap = field("gap");
+  return c;
+}
+
+double parse_scalar(const std::string& text, std::size_t from, std::size_t to,
+                    const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  const std::size_t p = text.find(needle, from);
+  if (p == std::string::npos || p >= to) return 0;
+  return std::strtod(text.c_str() + p + needle.size(), nullptr);
+}
+
+int explore_gap_report(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    std::cerr << "cannot open gap report " << path << "\n";
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  const std::string scenario_key = "\"scenario\": \"";
+  const std::string scheduler_key = "\"scheduler\": \"";
+  std::size_t scen = text.find(scenario_key);
+  if (scen == std::string::npos) {
+    std::cerr << path << " holds no gap-report scenarios (expected the JSON "
+                         "written by bench_optimality --json)\n";
+    return 1;
+  }
+  std::cout << "Gap-to-bound report " << path << "\n\n";
+  while (scen != std::string::npos) {
+    const std::size_t name_end = text.find('"', scen + scenario_key.size());
+    const std::string scenario =
+        text.substr(scen + scenario_key.size(),
+                    name_end - scen - scenario_key.size());
+    const std::size_t scen_end = text.find(scenario_key, scen + 1);
+    const std::size_t limit =
+        scen_end == std::string::npos ? text.size() : scen_end;
+
+    std::cout << "Scenario " << scenario << ": port-load bound "
+              << TextTable::num(parse_scalar(text, scen, limit,
+                                             "port_load_bound"))
+              << "s, ordering bound "
+              << TextTable::num(parse_scalar(text, scen, limit,
+                                             "ordering_bound"))
+              << "s, S-G reference "
+              << TextTable::num(parse_scalar(text, scen, limit,
+                                             "reference_avg_jct"))
+              << "s\n";
+    TextTable table({"scheduler", "jobs", "achieved JCT(s)", "bound JCT(s)",
+                     "gap", "narrow gap", "wide gap", "worst category"});
+    std::size_t sched = text.find(scheduler_key, scen);
+    while (sched != std::string::npos && sched < limit) {
+      const std::size_t sched_name_end =
+          text.find('"', sched + scheduler_key.size());
+      const std::string scheduler = text.substr(
+          sched + scheduler_key.size(),
+          sched_name_end - sched - scheduler_key.size());
+      std::size_t block_end = text.find(scheduler_key, sched + 1);
+      block_end = std::min(block_end == std::string::npos ? limit : block_end,
+                           limit);
+      const GapCellView overall =
+          parse_cell(text, sched, block_end, "overall");
+      const GapCellView narrow = parse_cell(text, sched, block_end, "narrow");
+      const GapCellView wide = parse_cell(text, sched, block_end, "wide");
+      double worst_gap = 0;
+      std::string worst_cat = "-";
+      for (int cat = 0; cat < kNumCategories; ++cat) {
+        const GapCellView c =
+            parse_cell(text, sched, block_end, category_name(cat));
+        if (c.ok && c.jobs > 0 && c.gap > worst_gap) {
+          worst_gap = c.gap;
+          worst_cat = category_name(cat);
+        }
+      }
+      table.add_row({scheduler, std::to_string(overall.jobs),
+                     TextTable::num(overall.achieved),
+                     TextTable::num(overall.bound),
+                     TextTable::num(overall.gap),
+                     narrow.jobs ? TextTable::num(narrow.gap)
+                                 : std::string("-"),
+                     wide.jobs ? TextTable::num(wide.gap) : std::string("-"),
+                     worst_cat + " (" + TextTable::num(worst_gap) + ")"});
+      sched = text.find(scheduler_key, sched + 1);
+      if (sched >= limit) break;
+    }
+    std::cout << table.to_string() << "\n";
+    scen = scen_end;
+  }
+  std::cout << "gap = achieved / bound; 1.000 means the scheduler met the "
+               "sound lower bound exactly.\n";
+  return 0;
+}
+
 int explore_workload(const Args& args) {
   TraceConfig config;
   config.num_jobs = args.get_int("num-jobs", 1000);
@@ -282,6 +414,8 @@ int main(int argc, char** argv) {
   using namespace gurita;
   const Args args(argc, argv);
   apply_log_level(args);
+  const std::string gap_path = args.get_string("gap-report", "");
+  if (!gap_path.empty()) return explore_gap_report(gap_path);
   const std::string trace_path = args.get_string("trace", "");
   if (!trace_path.empty())
     return explore_trace(trace_path, args.get_string("section", ""),

@@ -2,7 +2,9 @@
 #include <functional>
 
 #include <algorithm>
+#include <iomanip>
 #include <limits>
+#include <sstream>
 #include <unordered_map>
 
 #include "common/check.h"
@@ -23,15 +25,32 @@ void validate_jobs(const std::vector<StagedJob>& jobs) {
 /// Packs a progress vector into a mixed-radix integer state key.
 class StateCodec {
  public:
+  /// Hard cap on the DP state space (Π over jobs of stages+1): beyond this
+  /// the memo table would not fit a reasonable memory budget.
+  static constexpr std::uint64_t kMaxStates = 50'000'000;
+
   explicit StateCodec(const std::vector<StagedJob>& jobs) {
-    radix_.reserve(jobs.size());
-    std::uint64_t states = 1;
-    for (const StagedJob& j : jobs) {
-      radix_.push_back(j.stage_demand.size() + 1);
-      GURITA_CHECK_MSG(states <= 50'000'000 / radix_.back(),
-                       "optimal DP state space too large");
-      states *= radix_.back();
+    // Size the space as a long double first so an over-limit instance can
+    // report its actual magnitude instead of a bare failure (the product
+    // overflows u64 long before the guard would fire job by job).
+    long double total = 1.0L;
+    for (const StagedJob& j : jobs)
+      total *= static_cast<long double>(j.stage_demand.size() + 1);
+    if (total > static_cast<long double>(kMaxStates)) {
+      std::ostringstream os;
+      os << "optimal DP state space too large: ";
+      if (total < 1e15L)
+        os << static_cast<std::uint64_t>(total);
+      else
+        os << std::scientific << std::setprecision(3)
+           << static_cast<double>(total);
+      os << " states for " << jobs.size() << " jobs exceeds the limit of "
+         << kMaxStates;
+      GURITA_CHECK_MSG(false, os.str());
     }
+    radix_.reserve(jobs.size());
+    for (const StagedJob& j : jobs)
+      radix_.push_back(j.stage_demand.size() + 1);
   }
 
   [[nodiscard]] std::uint64_t encode(const std::vector<std::size_t>& progress) const {

@@ -2,8 +2,11 @@
 
 #include <iomanip>
 #include <sstream>
+#include <utility>
 
 #include "common/check.h"
+#include "metrics/category.h"
+#include "metrics/collector.h"
 
 namespace gurita {
 
@@ -44,6 +47,47 @@ std::string TextTable::to_string() const {
     }
   }
   return os.str();
+}
+
+std::string category_panel(
+    const std::function<std::size_t(int)>& jobs_in_category,
+    const std::function<double(int)>& average_jct,
+    const std::string& jct_header,
+    const std::vector<std::string>& extra_headers,
+    const std::function<std::vector<std::string>(int)>& extra_columns,
+    bool overall) {
+  std::vector<std::string> header = {"category", "jobs", jct_header};
+  header.insert(header.end(), extra_headers.begin(), extra_headers.end());
+  TextTable table(std::move(header));
+
+  const auto emit = [&](int cat, const std::string& label) {
+    std::vector<std::string> row = {label,
+                                    std::to_string(jobs_in_category(cat)),
+                                    TextTable::num(average_jct(cat))};
+    for (std::string& col : extra_columns(cat)) row.push_back(std::move(col));
+    table.add_row(std::move(row));
+  };
+  for (int cat = 0; cat < kNumCategories; ++cat) {
+    if (jobs_in_category(cat) == 0) continue;
+    emit(cat, category_name(cat));
+  }
+  if (overall) emit(-1, "all");
+  return table.to_string();
+}
+
+std::string category_panel(
+    const JctCollector& reference, const std::string& jct_header,
+    const std::vector<std::string>& extra_headers,
+    const std::function<std::vector<std::string>(int)>& extra_columns,
+    bool overall) {
+  return category_panel(
+      [&](int cat) {
+        return cat < 0 ? reference.total_jobs() : reference.jobs(cat);
+      },
+      [&](int cat) {
+        return cat < 0 ? reference.average_jct() : reference.average_jct(cat);
+      },
+      jct_header, extra_headers, extra_columns, overall);
 }
 
 }  // namespace gurita

@@ -2,10 +2,14 @@
 // figures plot, printed in a form diffable across runs.
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
 namespace gurita {
+
+class JctCollector;
 
 /// Simple column-aligned table builder.
 class TextTable {
@@ -21,5 +25,27 @@ class TextTable {
  private:
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// The per-category panel every figure bench prints (and the bound
+/// subsystem's gap tables reuse): one row per non-empty Table-1 category in
+/// order, plus an "all" row when `overall` is set. Each row starts with the
+/// category name, the job count and the average JCT, then the caller's
+/// extra columns for that category (-1 = the overall row). Centralizing the
+/// iteration here guarantees every consumer walks the exact same bins
+/// (metrics/category.h).
+[[nodiscard]] std::string category_panel(
+    const std::function<std::size_t(int)>& jobs_in_category,
+    const std::function<double(int)>& average_jct,
+    const std::string& jct_header,
+    const std::vector<std::string>& extra_headers,
+    const std::function<std::vector<std::string>(int)>& extra_columns,
+    bool overall = true);
+
+/// Convenience overload over a JctCollector reference run.
+[[nodiscard]] std::string category_panel(
+    const JctCollector& reference, const std::string& jct_header,
+    const std::vector<std::string>& extra_headers,
+    const std::function<std::vector<std::string>(int)>& extra_columns,
+    bool overall = true);
 
 }  // namespace gurita

@@ -1,0 +1,209 @@
+#include "sched/adaptive.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace gurita {
+
+AdaptiveScheduler::AdaptiveScheduler(
+    const Config& config, std::vector<std::unique_ptr<Scheduler>> children)
+    : config_(config), children_(std::move(children)) {
+  GURITA_CHECK_MSG(!children_.empty(), "adaptive needs at least one child");
+  for (const auto& c : children_)
+    GURITA_CHECK_MSG(c != nullptr, "adaptive child must not be null");
+  refresh_features();
+}
+
+void AdaptiveScheduler::attach(const SimState& state) {
+  Scheduler::attach(state);
+  for (auto& c : children_) c->attach(state);
+}
+
+void AdaptiveScheduler::set_trace_recorder(obs::TraceRecorder* recorder) {
+  Scheduler::set_trace_recorder(recorder);
+  for (auto& c : children_) c->set_trace_recorder(recorder);
+}
+
+std::string AdaptiveScheduler::active_child() const {
+  return children_[active_]->name();
+}
+
+void AdaptiveScheduler::on_job_arrival(const SimJob& job, Time now) {
+  const double stages = static_cast<double>(job.num_stages);
+  double width = 0;
+  for (const CoflowSpec& c : job.spec.coflows)
+    width += static_cast<double>(c.width());
+  width /= static_cast<double>(job.spec.coflows.empty()
+                                   ? 1
+                                   : job.spec.coflows.size());
+  const double a = config_.feature_alpha;
+  stages_ewma_ = jobs_seen_ == 0 ? stages : (1 - a) * stages_ewma_ + a * stages;
+  width_ewma_ = jobs_seen_ == 0 ? width : (1 - a) * width_ewma_ + a * width;
+  ++jobs_seen_;
+  ++active_jobs_;
+  features_.add("adaptive.jobs_seen");
+  for (auto& c : children_) c->on_job_arrival(job, now);
+}
+
+void AdaptiveScheduler::on_coflow_release(const SimCoflow& coflow, Time now) {
+  for (auto& c : children_) c->on_coflow_release(coflow, now);
+}
+
+void AdaptiveScheduler::on_flow_finish(const SimFlow& flow, Time now) {
+  for (auto& c : children_) c->on_flow_finish(flow, now);
+}
+
+void AdaptiveScheduler::on_coflow_finish(const SimCoflow& coflow, Time now) {
+  for (auto& c : children_) c->on_coflow_finish(coflow, now);
+}
+
+void AdaptiveScheduler::on_job_finish(const SimJob& job, Time now) {
+  if (active_jobs_ > 0) --active_jobs_;
+  for (auto& c : children_) c->on_job_finish(job, now);
+}
+
+void AdaptiveScheduler::on_fault(const FaultEvent& event, Time now) {
+  ++faults_since_tick_;
+  features_.add("adaptive.faults");
+  if (event.kind == FaultKind::kSchedulerStateLoss) reset_features();
+  for (auto& c : children_) c->on_fault(event, now);
+}
+
+void AdaptiveScheduler::on_recover(const FaultEvent& event, Time now) {
+  for (auto& c : children_) c->on_recover(event, now);
+}
+
+void AdaptiveScheduler::on_job_fail(const SimJob& job, Time now) {
+  if (active_jobs_ > 0) --active_jobs_;
+  for (auto& c : children_) c->on_job_fail(job, now);
+}
+
+void AdaptiveScheduler::on_compact(const CompactionRemap& remap) {
+  for (auto& c : children_) c->on_compact(remap);
+}
+
+void AdaptiveScheduler::reset_features() {
+  stages_ewma_ = 0;
+  width_ewma_ = 0;
+  fault_ewma_ = 0;
+  jobs_seen_ = 0;
+  // active_jobs_ is observable (live population), not learned: keep it.
+  refresh_features();
+}
+
+void AdaptiveScheduler::refresh_features() {
+  features_.set_gauge("adaptive.stages_ewma", stages_ewma_);
+  features_.set_gauge("adaptive.width_ewma", width_ewma_);
+  features_.set_gauge("adaptive.active_jobs",
+                      static_cast<double>(active_jobs_));
+  features_.set_gauge("adaptive.fault_pressure", fault_ewma_);
+}
+
+std::size_t AdaptiveScheduler::desired_child() const {
+  // The decision reads the published feature store, not the raw scalars —
+  // the same numbers a telemetry consumer would see.
+  const double stages = features_.gauge("adaptive.stages_ewma");
+  const double live = features_.gauge("adaptive.active_jobs");
+  const double pressure = features_.gauge("adaptive.fault_pressure");
+  if (pressure >= config_.fault_pressure) return 0;
+  if (stages >= config_.deep_stages) return 0;
+  if (stages < config_.shallow_stages && children_.size() > 1) {
+    if (live >= config_.bursty_jobs && children_.size() > 2) return 2;
+    return 1;
+  }
+  return active_;  // dead zone: keep the current choice
+}
+
+bool AdaptiveScheduler::on_tick(Time now) {
+  fault_ewma_ = 0.5 * fault_ewma_ + static_cast<double>(faults_since_tick_);
+  faults_since_tick_ = 0;
+  refresh_features();
+
+  bool changed = false;
+  const std::size_t want = desired_child();
+  if (want != active_) {
+    pending_ticks_ = want == pending_ ? pending_ticks_ + 1 : 1;
+    pending_ = want;
+    if (pending_ticks_ >= config_.hysteresis_ticks) {
+      active_ = want;
+      pending_ticks_ = 0;
+      ++switches_;
+      features_.add("adaptive.switches");
+      changed = true;
+    }
+  } else {
+    pending_ = active_;
+    pending_ticks_ = 0;
+  }
+
+  for (auto& c : children_)
+    if (c->tick_interval() > 0 && c->on_tick(now)) changed = true;
+  return changed;
+}
+
+void AdaptiveScheduler::assign(Time now, const std::vector<SimFlow*>& active) {
+  const std::size_t secondary = active_ == 0 ? 1 : 0;
+  const bool blend =
+      children_.size() > 1 && config_.blend_boost > 0 && !active.empty();
+  Tier secondary_min = std::numeric_limits<Tier>::max();
+  if (blend) {
+    children_[secondary]->assign(now, active);
+    secondary_tier_.resize(active.size());
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      secondary_tier_[i] = active[i]->tier;
+      secondary_min = std::min(secondary_min, active[i]->tier);
+    }
+  }
+  children_[active_]->assign(now, active);
+  if (!blend) return;
+  // The secondary's first-served flows get a weight boost within whatever
+  // tier the primary placed them in; tiers stay the primary's alone.
+  for (std::size_t i = 0; i < active.size(); ++i)
+    if (secondary_tier_[i] == secondary_min)
+      active[i]->weight *= 1 + config_.blend_boost;
+}
+
+void AdaptiveScheduler::save_state(snapshot::Writer& w) const {
+  w.u64(children_.size());
+  w.u64(active_);
+  w.u64(pending_);
+  w.i32(pending_ticks_);
+  w.f64(stages_ewma_);
+  w.f64(width_ewma_);
+  w.f64(fault_ewma_);
+  w.u64(jobs_seen_);
+  w.u64(active_jobs_);
+  w.u64(faults_since_tick_);
+  w.u64(switches_);
+  for (const auto& c : children_) {
+    const std::size_t token = w.begin_section();
+    c->save_state(w);
+    w.end_section(token);
+  }
+}
+
+void AdaptiveScheduler::load_state(snapshot::Reader& r) {
+  const std::uint64_t n = r.u64();
+  GURITA_CHECK_MSG(n == children_.size(),
+                   "adaptive checkpoint has a different child count");
+  active_ = r.u64();
+  pending_ = r.u64();
+  pending_ticks_ = r.i32();
+  stages_ewma_ = r.f64();
+  width_ewma_ = r.f64();
+  fault_ewma_ = r.f64();
+  jobs_seen_ = r.u64();
+  active_jobs_ = r.u64();
+  faults_since_tick_ = r.u64();
+  switches_ = r.u64();
+  for (auto& c : children_) {
+    const std::size_t end = r.begin_section();
+    c->load_state(r);
+    r.end_section(end);
+  }
+  refresh_features();
+}
+
+}  // namespace gurita

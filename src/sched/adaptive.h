@@ -1,0 +1,122 @@
+// Adaptive — workload-driven policy selection over the existing schedulers
+// (ROADMAP item 5's "adaptive policy").
+//
+// The paper's evaluation shows no single policy dominating every regime:
+// Gurita's multi-faced LBEF wins on deep multi-stage DAGs, Stream's pure
+// SPQ wins tiny single-stage jobs (Fig. 7 category I), and Baraat's FIFO-LM
+// holds up under heavy bursty load. This scheduler observes the workload
+// through the ordinary scheduler hooks, folds what it sees into a small
+// feature store (an obs::Registry, so the features double as exportable
+// telemetry), and at every δ tick picks the child policy the features call
+// for — with hysteresis, so a single odd arrival cannot thrash the choice —
+// while *blending* in the runner-up: flows the secondary policy would serve
+// first get a deterministic weight boost inside their primary tier.
+//
+// Every hook forwards to every child, so each child's learned state is
+// always what it would have been had it run alone — switching the active
+// child at a tick boundary is therefore safe, and checkpoint/restore,
+// compaction and fault delivery reduce to forwarding plus the (id-free)
+// feature scalars. Children are injected: sched/ stays independent of
+// core/, and the registry (exp/registry.cpp) wires {gurita, stream,
+// baraat} in.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/units.h"
+#include "flowsim/scheduler.h"
+#include "obs/registry.h"
+
+namespace gurita {
+
+class AdaptiveScheduler final : public Scheduler {
+ public:
+  struct Config {
+    Time update_interval = 8 * kMillisecond;  ///< δ, matching the children
+    double feature_alpha = 0.25;  ///< EWMA step of the arrival features
+    /// Mean stage depth at or above which the workload counts as deep
+    /// (multi-faced Gurita); below `shallow_stages` it counts as shallow
+    /// (Stream / Baraat). The band in between is a hysteresis dead zone:
+    /// the current choice persists.
+    double deep_stages = 2.5;
+    double shallow_stages = 1.5;
+    /// Shallow workloads with at least this many live jobs are treated as
+    /// bursty: Baraat's FIFO-LM replaces Stream.
+    int bursty_jobs = 16;
+    /// Decayed faults-per-tick level at which the choice is pinned to the
+    /// primary child (Gurita's HR reset re-learns fastest after resets).
+    double fault_pressure = 0.5;
+    /// Consecutive ticks a new choice must persist before the switch.
+    int hysteresis_ticks = 2;
+    /// Weight boost for flows the secondary policy would serve first.
+    double blend_boost = 0.25;
+  };
+
+  /// `children` must be non-empty; children[0] is the initial (and
+  /// fault-pressure) choice. With the registry wiring: 0 = gurita,
+  /// 1 = stream, 2 = baraat. Fewer children degrade gracefully — a
+  /// one-child adaptive is a forwarding wrapper.
+  AdaptiveScheduler(const Config& config,
+                    std::vector<std::unique_ptr<Scheduler>> children);
+
+  [[nodiscard]] std::string name() const override { return "adaptive"; }
+
+  void attach(const SimState& state) override;
+  void on_job_arrival(const SimJob& job, Time now) override;
+  void on_coflow_release(const SimCoflow& coflow, Time now) override;
+  void on_flow_finish(const SimFlow& flow, Time now) override;
+  void on_coflow_finish(const SimCoflow& coflow, Time now) override;
+  void on_job_finish(const SimJob& job, Time now) override;
+  /// kSchedulerStateLoss additionally clears the learned features (the
+  /// contract of flowsim/scheduler.h: drop learned control state).
+  void on_fault(const FaultEvent& event, Time now) override;
+  void on_recover(const FaultEvent& event, Time now) override;
+  void on_job_fail(const SimJob& job, Time now) override;
+  void on_compact(const CompactionRemap& remap) override;
+
+  [[nodiscard]] Time tick_interval() const override {
+    return config_.update_interval;
+  }
+  bool on_tick(Time now) override;
+  void assign(Time now, const std::vector<SimFlow*>& active) override;
+
+  void save_state(snapshot::Writer& w) const override;
+  void load_state(snapshot::Reader& r) override;
+  void set_trace_recorder(obs::TraceRecorder* recorder) override;
+
+  /// The feature store the tick decision reads: gauges
+  /// adaptive.stages_ewma / adaptive.width_ewma / adaptive.active_jobs /
+  /// adaptive.fault_pressure, counters adaptive.jobs_seen /
+  /// adaptive.switches / adaptive.faults.
+  [[nodiscard]] const obs::Registry& features() const { return features_; }
+  /// Name of the currently active child policy.
+  [[nodiscard]] std::string active_child() const;
+
+ private:
+  [[nodiscard]] std::size_t desired_child() const;
+  void refresh_features();
+  void reset_features();
+
+  Config config_;
+  std::vector<std::unique_ptr<Scheduler>> children_;
+  obs::Registry features_;
+
+  std::size_t active_ = 0;
+  std::size_t pending_ = 0;
+  int pending_ticks_ = 0;
+
+  // Learned workload features (no id-keyed state: compaction-proof).
+  double stages_ewma_ = 0;
+  double width_ewma_ = 0;
+  double fault_ewma_ = 0;
+  std::uint64_t jobs_seen_ = 0;
+  std::uint64_t active_jobs_ = 0;
+  std::uint64_t faults_since_tick_ = 0;
+  std::uint64_t switches_ = 0;
+
+  /// Scratch of assign(): secondary tiers, parallel to the active list.
+  std::vector<Tier> secondary_tier_;
+};
+
+}  // namespace gurita

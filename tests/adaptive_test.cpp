@@ -1,0 +1,314 @@
+// Tests for the workload-adaptive scheduler (sched/adaptive.h): feature
+// store, hysteresis switching, tier blending, checkpoint round-trips, the
+// worker-count determinism contract, and survival of daemon compaction.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exp/experiment.h"
+#include "exp/registry.h"
+#include "obs/trace.h"
+#include "sched/adaptive.h"
+#include "service/daemon.h"
+#include "snapshot/codec.h"
+
+namespace gurita {
+namespace {
+
+/// Minimal deterministic child: assigns tiers from a repeating pattern and
+/// checkpoints one marker word (so the adaptive wrapper's per-child
+/// sections carry real payloads).
+class StubScheduler final : public Scheduler {
+ public:
+  StubScheduler(std::string name, std::vector<Tier> pattern)
+      : name_(std::move(name)), pattern_(std::move(pattern)) {}
+
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  void assign(Time now, const std::vector<SimFlow*>& active) override {
+    (void)now;
+    for (std::size_t i = 0; i < active.size(); ++i)
+      active[i]->tier = pattern_[i % pattern_.size()];
+    ++assigns_;
+  }
+
+  void on_job_arrival(const SimJob& job, Time now) override {
+    (void)job;
+    (void)now;
+    ++marker_;
+  }
+
+  void save_state(snapshot::Writer& w) const override { w.u64(marker_); }
+  void load_state(snapshot::Reader& r) override { marker_ = r.u64(); }
+
+  std::uint64_t marker_ = 0;
+  std::uint64_t assigns_ = 0;
+
+ private:
+  std::string name_;
+  std::vector<Tier> pattern_;
+};
+
+/// Three stub children wired the way the registry wires the real ones:
+/// 0 = deep/fault primary, 1 = shallow, 2 = shallow + bursty.
+std::vector<std::unique_ptr<Scheduler>> stub_children() {
+  std::vector<std::unique_ptr<Scheduler>> children;
+  children.push_back(std::make_unique<StubScheduler>("g", std::vector<Tier>{3}));
+  children.push_back(
+      std::make_unique<StubScheduler>("s", std::vector<Tier>{0, 1}));
+  children.push_back(std::make_unique<StubScheduler>("b", std::vector<Tier>{2}));
+  return children;
+}
+
+/// A synthetic arrival that touches no engine state: the adaptive wrapper
+/// only reads num_stages and spec.coflows, the stubs read nothing.
+SimJob job_with_stages(int stages) {
+  SimJob job;
+  job.num_stages = stages;
+  return job;
+}
+
+TEST(AdaptiveRegistry, WiredAsTheNinthScheduler) {
+  EXPECT_EQ(scheduler_names().back(), "adaptive");
+  const std::unique_ptr<Scheduler> s = make_scheduler("adaptive");
+  EXPECT_EQ(s->name(), "adaptive");
+  EXPECT_GT(s->tick_interval(), 0.0);
+}
+
+TEST(AdaptiveSwitching, HysteresisDelaysEverySwitch) {
+  AdaptiveScheduler adaptive(AdaptiveScheduler::Config{}, stub_children());
+  EXPECT_EQ(adaptive.active_child(), "g");
+
+  // An empty workload reads as shallow (stages EWMA 0 < 1.5): the wrapper
+  // wants the shallow child, but hysteresis holds the first tick back.
+  EXPECT_FALSE(adaptive.on_tick(0.008));
+  EXPECT_EQ(adaptive.active_child(), "g");
+  EXPECT_TRUE(adaptive.on_tick(0.016));
+  EXPECT_EQ(adaptive.active_child(), "s");
+  EXPECT_EQ(adaptive.features().counter("adaptive.switches"), 1u);
+
+  // Deep arrivals drag the EWMA over deep_stages: two more ticks to swing
+  // back to the primary.
+  adaptive.on_job_arrival(job_with_stages(5), 0.020);
+  EXPECT_FALSE(adaptive.on_tick(0.024));
+  EXPECT_EQ(adaptive.active_child(), "s");
+  EXPECT_TRUE(adaptive.on_tick(0.032));
+  EXPECT_EQ(adaptive.active_child(), "g");
+  EXPECT_EQ(adaptive.features().counter("adaptive.switches"), 2u);
+}
+
+TEST(AdaptiveFeatures, ArrivalsFaultsAndFinishesDriveTheStore) {
+  AdaptiveScheduler adaptive(AdaptiveScheduler::Config{}, stub_children());
+
+  adaptive.on_job_arrival(job_with_stages(4), 0.0);
+  EXPECT_EQ(adaptive.features().counter("adaptive.jobs_seen"), 1u);
+  // Gauges refresh at tick boundaries (the staleness model of δ).
+  EXPECT_DOUBLE_EQ(adaptive.features().gauge("adaptive.stages_ewma"), 0.0);
+  adaptive.on_tick(0.008);
+  EXPECT_DOUBLE_EQ(adaptive.features().gauge("adaptive.stages_ewma"), 4.0);
+
+  adaptive.on_job_arrival(job_with_stages(2), 0.010);
+  adaptive.on_tick(0.016);
+  // EWMA with alpha 0.25: 0.75 * 4 + 0.25 * 2.
+  EXPECT_DOUBLE_EQ(adaptive.features().gauge("adaptive.stages_ewma"), 3.5);
+  EXPECT_DOUBLE_EQ(adaptive.features().gauge("adaptive.active_jobs"), 2.0);
+
+  // State loss clears what was *learned*; the live population is
+  // observable by a restarted scheduler, so it survives.
+  FaultEvent loss;
+  loss.kind = FaultKind::kSchedulerStateLoss;
+  adaptive.on_fault(loss, 0.020);
+  EXPECT_EQ(adaptive.features().counter("adaptive.faults"), 1u);
+  EXPECT_DOUBLE_EQ(adaptive.features().gauge("adaptive.stages_ewma"), 0.0);
+  EXPECT_DOUBLE_EQ(adaptive.features().gauge("adaptive.active_jobs"), 2.0);
+
+  adaptive.on_job_finish(job_with_stages(4), 0.022);
+  adaptive.on_tick(0.024);
+  EXPECT_DOUBLE_EQ(adaptive.features().gauge("adaptive.active_jobs"), 1.0);
+  // The fresh fault raised the decayed pressure over the threshold: the
+  // decision pins to the primary child regardless of the shallow EWMA.
+  EXPECT_GE(adaptive.features().gauge("adaptive.fault_pressure"), 0.5);
+  adaptive.on_tick(0.032);
+  EXPECT_EQ(adaptive.active_child(), "g");
+}
+
+TEST(AdaptiveBlend, SecondaryFirstServedFlowsGetTheWeightBoost) {
+  AdaptiveScheduler adaptive(AdaptiveScheduler::Config{}, stub_children());
+
+  std::vector<SimFlow> flows(4);
+  std::vector<SimFlow*> active;
+  for (SimFlow& f : flows) active.push_back(&f);
+  adaptive.assign(0.0, active);
+
+  for (const SimFlow& f : flows)
+    EXPECT_EQ(f.tier, 3) << "tiers must be the primary child's alone";
+  // The secondary ("s", pattern 0,1) put flows 0 and 2 in its top tier:
+  // they get the 25% boost, the others keep weight 1.
+  EXPECT_DOUBLE_EQ(flows[0].weight, 1.25);
+  EXPECT_DOUBLE_EQ(flows[1].weight, 1.0);
+  EXPECT_DOUBLE_EQ(flows[2].weight, 1.25);
+  EXPECT_DOUBLE_EQ(flows[3].weight, 1.0);
+
+  // blend_boost = 0 turns the secondary pass off entirely.
+  AdaptiveScheduler::Config plain;
+  plain.blend_boost = 0;
+  AdaptiveScheduler unblended(plain, stub_children());
+  std::vector<SimFlow> flat(4);
+  std::vector<SimFlow*> flat_active;
+  for (SimFlow& f : flat) flat_active.push_back(&f);
+  unblended.assign(0.0, flat_active);
+  for (const SimFlow& f : flat) EXPECT_DOUBLE_EQ(f.weight, 1.0);
+}
+
+TEST(AdaptiveSingleChild, DegradesToAForwardingWrapper) {
+  std::vector<std::unique_ptr<Scheduler>> one;
+  one.push_back(std::make_unique<StubScheduler>("solo", std::vector<Tier>{7}));
+  AdaptiveScheduler adaptive(AdaptiveScheduler::Config{}, std::move(one));
+
+  EXPECT_FALSE(adaptive.on_tick(0.008));
+  EXPECT_FALSE(adaptive.on_tick(0.016));
+  EXPECT_EQ(adaptive.active_child(), "solo");
+
+  std::vector<SimFlow> flows(2);
+  std::vector<SimFlow*> active = {&flows[0], &flows[1]};
+  adaptive.assign(0.0, active);
+  EXPECT_EQ(flows[0].tier, 7);
+  EXPECT_DOUBLE_EQ(flows[0].weight, 1.0);  // nothing to blend with
+}
+
+TEST(AdaptiveSnapshot, RoundTripIsByteIdentical) {
+  AdaptiveScheduler adaptive(AdaptiveScheduler::Config{}, stub_children());
+  adaptive.on_job_arrival(job_with_stages(1), 0.0);
+  adaptive.on_tick(0.008);
+  adaptive.on_tick(0.016);  // switched to the shallow child
+  ASSERT_EQ(adaptive.active_child(), "s");
+
+  snapshot::Writer first;
+  adaptive.save_state(first);
+
+  AdaptiveScheduler restored(AdaptiveScheduler::Config{}, stub_children());
+  snapshot::Reader reader(first.buffer());
+  restored.load_state(reader);
+  EXPECT_EQ(restored.active_child(), "s");
+  EXPECT_DOUBLE_EQ(restored.features().gauge("adaptive.stages_ewma"), 1.0);
+
+  snapshot::Writer second;
+  restored.save_state(second);
+  EXPECT_EQ(first.buffer(), second.buffer());
+}
+
+TEST(AdaptiveSnapshot, RejectsAChildCountMismatch) {
+  AdaptiveScheduler three(AdaptiveScheduler::Config{}, stub_children());
+  snapshot::Writer w;
+  three.save_state(w);
+
+  std::vector<std::unique_ptr<Scheduler>> one;
+  one.push_back(std::make_unique<StubScheduler>("solo", std::vector<Tier>{0}));
+  AdaptiveScheduler narrow(AdaptiveScheduler::Config{}, std::move(one));
+  snapshot::Reader r(w.buffer());
+  EXPECT_THROW(narrow.load_state(r), std::logic_error);
+}
+
+// The repo-wide determinism contract: a faulty replicated sweep including
+// `adaptive` is byte-identical whether the replicates run serially or
+// sharded over 2 or 8 workers (mirrors FaultDeterminism, with the adaptive
+// wrapper's switching and feature decay in the loop).
+TEST(AdaptiveDeterminism, ByteIdenticalAcrossWorkerCounts) {
+  ExperimentConfig config = trace_scenario(StructureKind::kFbTao, 30, 11);
+  config.fat_tree_k = 4;
+  config.obs.trace = true;
+  config.faults.enabled = true;
+  config.faults.plan.host_crash_rate = 3.0;
+  config.faults.plan.straggler_rate = 4.0;
+  config.faults.plan.state_loss_rate = 1.0;
+  const std::vector<std::string> names = {"adaptive", "gurita", "stream",
+                                          "baraat"};
+
+  const auto fingerprint = [&](int jobs) {
+    const ComparisonResult pooled =
+        compare_schedulers_seeds(config, names, /*num_seeds=*/4, jobs);
+    std::ostringstream os;
+    os.precision(17);
+    for (const auto& [name, res] : pooled.results) {
+      os << name << " " << res.makespan << " " << res.average_jct() << " "
+         << res.failed_jobs << " " << res.events << "\n";
+      obs::write_jsonl(os, res.trace, name);
+    }
+    return os.str();
+  };
+
+  const std::string serial = fingerprint(1);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, fingerprint(2));
+  EXPECT_EQ(serial, fingerprint(8));
+}
+
+TEST(AdaptiveEndToEnd, CompletesEveryJobAndStaysCompetitive) {
+  ExperimentConfig config = trace_scenario(StructureKind::kTpcDs, 40, 3);
+  config.fat_tree_k = 4;
+  const ComparisonResult result = compare_schedulers(
+      config, {"adaptive", "gurita", "stream", "baraat"});
+
+  const SimResults& adaptive = result.results.at("adaptive");
+  ASSERT_EQ(adaptive.jobs.size(), 40u);
+  for (const SimResults::JobResult& j : adaptive.jobs) {
+    EXPECT_FALSE(j.failed);
+    EXPECT_GE(j.finish, j.arrival);
+  }
+  // Sanity, not optimality: the wrapper must stay in the children's band,
+  // not degrade below the worst of what it is made of.
+  double worst_child = 0;
+  for (const char* name : {"gurita", "stream", "baraat"})
+    worst_child =
+        std::max(worst_child, result.results.at(name).average_jct());
+  EXPECT_LE(adaptive.average_jct(), 1.2 * worst_child);
+  EXPECT_GT(adaptive.average_jct(), 0.0);
+}
+
+// ISSUE acceptance: `adaptive` survives the daemon's live compaction
+// (Simulator::compact() + on_compact forwarding) with memory bounded by
+// the active population and per-configuration determinism intact.
+TEST(AdaptiveCompaction, SurvivesDaemonCompactionDeterministically) {
+  using service::Daemon;
+  using service::DaemonOptions;
+  using service::DaemonReport;
+  DaemonOptions options;
+  options.scheduler = "adaptive";
+  options.fat_tree_k = 4;
+  options.open_loop.shape.seed = 9;
+  options.open_loop.load = 0.5;
+  options.open_loop.service_rate = 16 * options.link_capacity;
+  options.max_jobs = 40;
+  options.poll_signals = false;
+  options.trace_mask = obs::TraceRecorder::kDefaultKinds;
+
+  Daemon daemon(options);
+  const DaemonReport report = daemon.run();
+  EXPECT_EQ(report.admitted, 40u);
+  EXPECT_GT(report.compactions, 0u);
+  EXPECT_LT(report.peak_live_jobs, 40u)
+      << "memory must stay O(active), not O(ever admitted)";
+
+  const SimResults& res = report.comparison.results.at("adaptive");
+  EXPECT_EQ(res.jobs.size(), 40u);
+  for (const SimResults::JobResult& j : res.jobs)
+    EXPECT_GE(j.finish, j.arrival);
+
+  // Identical configuration, identical run — compaction must not have
+  // introduced any order dependence.
+  Daemon again(options);
+  const DaemonReport rerun = again.run();
+  const SimResults& res2 = rerun.comparison.results.at("adaptive");
+  EXPECT_EQ(res.makespan, res2.makespan);
+  EXPECT_EQ(res.average_jct(), res2.average_jct());
+  EXPECT_EQ(res.events, res2.events);
+  EXPECT_EQ(rerun.compactions, report.compactions);
+}
+
+}  // namespace
+}  // namespace gurita

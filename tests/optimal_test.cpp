@@ -127,9 +127,37 @@ TEST(Optimal, RejectsDegenerateInput) {
 }
 
 TEST(Optimal, StateSpaceGuard) {
-  // 20 jobs x 10 stages = 11^20 states: must refuse, not hang.
+  // 20 jobs x 10 stages = 11^20 states: must refuse, not hang — and the
+  // error must say how big the space was and where the limit sits.
   std::vector<StagedJob> jobs(20, StagedJob{std::vector<double>(10, 1.0)});
-  EXPECT_THROW(optimal_average_jct(jobs), std::logic_error);
+  try {
+    optimal_average_jct(jobs);
+    FAIL() << "state-space guard did not fire";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("optimal DP state space too large"), std::string::npos)
+        << what;
+    // 11^20 ~ 6.73e20 overflows the integer rendering threshold, so the
+    // count appears in scientific notation.
+    EXPECT_NE(what.find("6.727e+20"), std::string::npos) << what;
+    EXPECT_NE(what.find("20 jobs"), std::string::npos) << what;
+    EXPECT_NE(what.find("exceeds the limit of 50000000"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(Optimal, StateSpaceGuardReportsExactCountBelowOverflow) {
+  // 9 jobs x 9 stages = 10^9 states: over the 5e7 limit but small enough
+  // that the message renders the exact integer count.
+  std::vector<StagedJob> jobs(9, StagedJob{std::vector<double>(9, 1.0)});
+  try {
+    optimal_average_jct(jobs);
+    FAIL() << "state-space guard did not fire";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1000000000 states for 9 jobs"), std::string::npos)
+        << what;
+  }
 }
 
 }  // namespace
